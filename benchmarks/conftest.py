@@ -1,0 +1,27 @@
+"""Shared benchmark plumbing.
+
+Every bench runs its experiment exactly once (the experiments are
+deterministic sweeps, not microbenchmarks) and prints the resulting
+table, so a ``pytest benchmarks/ --benchmark-only`` transcript is the
+reproduced evaluation section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment function once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def emit(table_text: str) -> None:
+    """Print a rendered table (visible with ``-s`` or on failures)."""
+    print()
+    print(table_text)

@@ -1,0 +1,43 @@
+"""Ablation — MapReduce engine execution modes (real wall time).
+
+A numpy-heavy synthetic workload through the RDD layer, executed
+serially and on the thread pool, across partition counts.  This bench
+measures the engine itself rather than a paper figure.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.bench.reporting import render_rows
+from repro.mapreduce import (
+    ClusterConfig,
+    EVSparkContext,
+    MapReduceEngine,
+    SimulatedCluster,
+)
+
+
+def _workload(executor: str, partitions: int) -> float:
+    engine = MapReduceEngine(
+        cluster=SimulatedCluster(ClusterConfig(num_nodes=4, cores_per_node=2)),
+        executor=executor,
+    )
+    sc = EVSparkContext(engine=engine, default_partitions=partitions)
+    data = sc.parallelize(range(64), partitions)
+
+    def heavy(seed: int):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((120, 120))
+        return (seed % 4, float(np.linalg.norm(a @ a.T)))
+
+    return data.map(heavy).reduceByKey(lambda x, y: x + y).count()
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads"])
+@pytest.mark.parametrize("partitions", [2, 8])
+def test_ablation_engine(benchmark, executor, partitions):
+    result = benchmark.pedantic(
+        _workload, args=(executor, partitions), rounds=3, iterations=1
+    )
+    assert result == 4

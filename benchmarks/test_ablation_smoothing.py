@@ -1,0 +1,42 @@
+"""Ablation — tracklet-smoothed features before matching.
+
+An extension beyond the paper: temporal linking (free, identity-blind)
+averages a person's features within a cell, voting down the occluded
+crops that dominate re-identification errors.  This bench measures the
+accuracy it buys at the default benchmark settings.
+"""
+
+from conftest import emit
+from repro.bench.datasets import dataset, default_config
+from repro.bench.reporting import render_rows
+from repro.core.matcher import EVMatcher, MatcherConfig
+from repro.core.set_splitting import SplitConfig
+from repro.fusion.smoothing import smooth_store
+
+
+def _smoothing_rows():
+    ds = dataset(default_config(num_people=600, cells_per_side=4, duration=1200.0))
+    targets = list(ds.sample_targets(min(150, len(ds.eids)), seed=11))
+    rows = []
+    for label, store in (
+        ("raw features", ds.store),
+        ("tracklet-smoothed", smooth_store(ds.store)),
+    ):
+        matcher = EVMatcher(store, MatcherConfig(split=SplitConfig(seed=7)))
+        report = matcher.match(targets)
+        rows.append(
+            {
+                "variant": label,
+                "acc_pct": round(report.score(ds.truth).percentage, 2),
+            }
+        )
+    return ("variant", "acc_pct"), rows
+
+
+def test_ablation_smoothing(run_once):
+    columns, rows = run_once(_smoothing_rows)
+    emit(render_rows("Ablation — tracklet feature smoothing", columns, rows))
+    by = {r["variant"]: r for r in rows}
+    assert by["tracklet-smoothed"]["acc_pct"] >= by["raw features"]["acc_pct"] - 1.0, (
+        "smoothing should not hurt"
+    )

@@ -1,0 +1,56 @@
+"""Extension bench — is match confidence trustworthy for triage?
+
+The matcher's agreement score is ground-truth-free; this bench checks
+it is *calibrated* enough to auto-accept high-confidence matches and
+route only the rest to human review (the paper's "human intervention
+may be involved" made quantitative).
+"""
+
+from conftest import emit
+from repro.bench.datasets import dataset, default_config
+from repro.bench.reporting import render_rows
+from repro.core.matcher import EVMatcher, MatcherConfig
+from repro.core.set_splitting import SplitConfig
+from repro.metrics.calibration import calibration_report
+
+
+def _calibration_rows():
+    ds = dataset(default_config(v_miss_rate=0.05))
+    matcher = EVMatcher(ds.store, MatcherConfig(split=SplitConfig(seed=7)))
+    targets = list(ds.sample_targets(min(400, len(ds.eids)), seed=11))
+    report = matcher.match(targets)
+    calibration = calibration_report(report.results, ds.truth, num_buckets=5)
+    rows = []
+    for bucket in calibration.buckets:
+        if bucket.count == 0:
+            continue
+        rows.append(
+            {
+                "agreement_band": f"[{bucket.low:.1f},{bucket.high:.1f})",
+                "matches": bucket.count,
+                "precision_pct": round(100 * bucket.precision, 1),
+            }
+        )
+    precision, coverage = calibration.precision_at_threshold(0.75)
+    rows.append(
+        {
+            "agreement_band": "auto-accept >=0.75",
+            "matches": round(coverage * calibration.total),
+            "precision_pct": round(100 * precision, 1),
+        }
+    )
+    rows.append(
+        {
+            "agreement_band": "ECE",
+            "matches": calibration.total,
+            "precision_pct": round(100 * calibration.expected_calibration_error, 2),
+        }
+    )
+    return ("agreement_band", "matches", "precision_pct"), rows
+
+
+def test_calibration_quality(run_once):
+    columns, rows = run_once(_calibration_rows)
+    emit(render_rows("Extension — confidence calibration (5% VID missing)", columns, rows))
+    accept = next(r for r in rows if r["agreement_band"].startswith("auto-accept"))
+    assert accept["precision_pct"] >= 88.0, "triage must be able to trust confidence"

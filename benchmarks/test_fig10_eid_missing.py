@@ -1,0 +1,24 @@
+"""Fig. 10 — accuracy vs EID missing rate.
+
+Paper's shape: accuracy degrades gently as more people carry no
+device; even at a 50% missing rate the matcher stays useful (~85% in
+the paper).
+"""
+
+from conftest import emit
+from repro.bench import fig10_accuracy_vs_eid_missing, render_rows
+
+
+def test_fig10_eid_missing(run_once):
+    columns, rows = run_once(fig10_accuracy_vs_eid_missing)
+    emit(render_rows("Fig. 10 — accuracy vs EID missing rate", columns, rows))
+    assert rows, "sweep produced no rows"
+    low = [r for r in rows if r["eid_miss_pct"] <= 10]
+    high = [r for r in rows if r["eid_miss_pct"] >= 50]
+    for row in low:
+        assert row["ss_acc_pct"] >= 85.0, f"SS should hold up at low missing: {row}"
+    for row in high:
+        assert row["ss_acc_pct"] >= 70.0, f"SS should stay useful at 50% missing: {row}"
+        assert row["ss_acc_pct"] >= row["edp_acc_pct"] - 3.0, (
+            "SS should cope with missing EIDs at least as well as EDP"
+        )

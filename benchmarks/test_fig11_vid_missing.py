@@ -1,0 +1,21 @@
+"""Fig. 11 — accuracy vs VID missing rate.
+
+Paper's shape: missed detections hurt more than missing EIDs, but with
+matching refining SS stays above ~80% at a 10% miss rate and beats
+EDP.
+"""
+
+from conftest import emit
+from repro.bench import fig11_accuracy_vs_vid_missing, render_rows
+
+
+def test_fig11_vid_missing(run_once):
+    columns, rows = run_once(fig11_accuracy_vs_vid_missing)
+    emit(render_rows("Fig. 11 — accuracy vs VID missing rate", columns, rows))
+    assert rows, "sweep produced no rows"
+    worst = [r for r in rows if r["vid_miss_pct"] >= 10]
+    for row in worst:
+        assert row["ss_acc_pct"] >= 75.0, f"refined SS should stay useful: {row}"
+    ss_mean = sum(r["ss_acc_pct"] for r in worst) / len(worst)
+    edp_mean = sum(r["edp_acc_pct"] for r in worst) / len(worst)
+    assert ss_mean > edp_mean, "refined SS should beat EDP under heavy VID missing"

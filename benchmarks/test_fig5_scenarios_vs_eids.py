@@ -1,0 +1,27 @@
+"""Fig. 5 — number of selected scenarios vs number of matched EIDs.
+
+Paper's shape: SS selects far fewer scenarios than EDP; EDP grows
+roughly linearly with the number of matched EIDs while SS grows
+sublinearly thanks to cross-EID scenario reuse.
+"""
+
+from conftest import emit
+from repro.bench import fig5_scenarios_vs_eids, render_rows
+
+
+def test_fig5_scenarios_vs_eids(run_once):
+    columns, rows = run_once(fig5_scenarios_vs_eids)
+    emit(render_rows("Fig. 5 — selected scenarios vs matched EIDs", columns, rows))
+    assert rows, "sweep produced no rows"
+    for row in rows:
+        assert row["ss_selected"] < row["edp_selected"], (
+            f"SS should select fewer scenarios than EDP at {row['matched_eids']} EIDs"
+        )
+    # EDP grows steeply with the number of matched EIDs; SS sublinearly.
+    if len(rows) >= 3:
+        first, last = rows[0], rows[-1]
+        scale = last["matched_eids"] / first["matched_eids"]
+        edp_growth = last["edp_selected"] / first["edp_selected"]
+        ss_growth = last["ss_selected"] / first["ss_selected"]
+        assert edp_growth > 0.5 * scale, "EDP total should track the EID count"
+        assert ss_growth < 0.5 * scale, "SS reuse should keep growth sublinear"

@@ -1,0 +1,27 @@
+"""Fig. 6 — number of selected scenarios vs density.
+
+Paper's shape: as density grows, SS's count *decreases* and converges
+(each selected scenario is reused by more EIDs) while EDP's does not
+decrease.
+"""
+
+from conftest import emit
+from repro.bench import fig6_scenarios_vs_density, render_rows
+
+
+def test_fig6_scenarios_vs_density(run_once):
+    columns, rows = run_once(fig6_scenarios_vs_density)
+    emit(render_rows("Fig. 6 — selected scenarios vs density", columns, rows))
+    assert rows, "sweep produced no rows"
+    for row in rows:
+        for n in (100, 600):
+            ss_key, edp_key = f"ss_selected_{n}eids", f"edp_selected_{n}eids"
+            if ss_key in row:
+                assert row[ss_key] < row[edp_key]
+    if len(rows) >= 3:
+        ss_first = rows[0]["ss_selected_100eids"]
+        ss_last = rows[-1]["ss_selected_100eids"]
+        assert ss_last < ss_first, "SS count should fall as density rises"
+        edp_first = rows[0]["edp_selected_100eids"]
+        edp_last = rows[-1]["edp_selected_100eids"]
+        assert edp_last > 0.8 * edp_first, "EDP count should not collapse with density"

@@ -1,0 +1,22 @@
+"""Fig. 7 — average number of selected scenarios per matched EID.
+
+Paper's shape: SS needs about one more scenario per EID than EDP
+(roughly 3.4 vs 2.4), because SS's evidence comes from shared scenarios
+while EDP optimizes each EID's selection in isolation.
+"""
+
+from conftest import emit
+from repro.bench import fig7_scenarios_per_eid, render_rows
+
+
+def test_fig7_scenarios_per_eid(run_once):
+    columns, rows = run_once(fig7_scenarios_per_eid)
+    emit(render_rows("Fig. 7 — selected scenarios per matched EID", columns, rows))
+    assert rows, "sweep produced no rows"
+    for row in rows:
+        assert row["ss_per_eid"] > row["edp_per_eid"], (
+            "SS should need more scenarios per EID than EDP"
+        )
+        assert row["ss_per_eid"] - row["edp_per_eid"] < 3.0, (
+            "the per-EID gap should stay small (paper: about one scenario)"
+        )

@@ -1,0 +1,19 @@
+"""Fig. 8 — processing time vs number of matched EIDs.
+
+Paper's shape: the E stage is negligible, the V stage dominates, and
+SS's total stays clearly below EDP's at every point.
+"""
+
+from conftest import emit
+from repro.bench import fig8_time_vs_eids, render_rows
+
+
+def test_fig8_time_vs_eids(run_once):
+    columns, rows = run_once(fig8_time_vs_eids)
+    emit(render_rows("Fig. 8 — processing time vs matched EIDs (14x4 cluster)", columns, rows))
+    assert rows, "sweep produced no rows"
+    for row in rows:
+        assert row["ss_e_s"] < 0.1 * max(row["ss_v_s"], 1e-9), "E stage must be negligible"
+        assert row["ss_total_s"] < row["edp_total_s"], (
+            f"SS should be faster than EDP at {row['matched_eids']} EIDs"
+        )

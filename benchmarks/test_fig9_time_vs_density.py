@@ -1,0 +1,19 @@
+"""Fig. 9 — processing time vs density (600 matched EIDs).
+
+Paper's shape: V time dominates both algorithms; SS's advantage holds
+across densities.
+"""
+
+from conftest import emit
+from repro.bench import fig9_time_vs_density, render_rows
+
+
+def test_fig9_time_vs_density(run_once):
+    columns, rows = run_once(fig9_time_vs_density)
+    emit(render_rows("Fig. 9 — processing time vs density (14x4 cluster)", columns, rows))
+    assert rows, "sweep produced no rows"
+    for row in rows:
+        assert row["ss_v_s"] > row["ss_e_s"], "V stage dominates"
+        assert row["ss_total_s"] < row["edp_total_s"], (
+            f"SS should be faster than EDP at density {row['density']}"
+        )

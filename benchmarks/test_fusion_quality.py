@@ -1,0 +1,54 @@
+"""Extension bench — quality of the fused EV index.
+
+Not a paper figure: measures the end product the paper promises
+("retrieve the E and V information for a person ... with one single
+query"), built on universal labeling.  Reports detection-attribution
+accuracy and the visual tracker's tracklet purity.
+"""
+
+from conftest import emit
+from repro.bench.datasets import dataset, default_config
+from repro.bench.reporting import render_rows
+from repro.core.matcher import EVMatcher, MatcherConfig
+from repro.core.set_splitting import SplitConfig
+from repro.fusion import FusedIndex, build_v_tracklets
+
+
+def _fusion_rows():
+    ds = dataset(default_config(num_people=400, cells_per_side=4, duration=1000.0))
+    report = EVMatcher(
+        ds.store, MatcherConfig(split=SplitConfig(seed=7), use_exclusion=True)
+    ).match_universal()
+    index = FusedIndex(ds.store, report)
+    tracklets = build_v_tracklets(ds.store)
+    long_tracklets = [t for t in tracklets if len(t) >= 3]
+    purity = (
+        sum(t.purity() for t in long_tracklets) / len(long_tracklets)
+        if long_tracklets
+        else 0.0
+    )
+    rows = [
+        {
+            "metric": "universal labeling accuracy (%)",
+            "value": round(report.score(ds.truth).percentage, 2),
+        },
+        {
+            "metric": "detection attribution accuracy (%)",
+            "value": round(100 * index.attribution_accuracy(ds.truth), 2),
+        },
+        {
+            "metric": "tracklet purity, len>=3 (%)",
+            "value": round(100 * purity, 2),
+        },
+        {"metric": "profiles indexed", "value": index.num_profiles},
+        {"metric": "tracklets built", "value": len(tracklets)},
+    ]
+    return ("metric", "value"), rows
+
+
+def test_fusion_quality(run_once):
+    columns, rows = run_once(_fusion_rows)
+    emit(render_rows("Extension — fused-index quality", columns, rows))
+    by = {r["metric"]: r["value"] for r in rows}
+    assert by["detection attribution accuracy (%)"] >= 85.0
+    assert by["tracklet purity, len>=3 (%)"] >= 95.0

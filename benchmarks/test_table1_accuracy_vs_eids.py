@@ -1,0 +1,17 @@
+"""Table I — accuracy with respect to the number of matched EIDs.
+
+Paper: both algorithms land in the high-80s/low-90s band and stay
+within a few points of each other.
+"""
+
+from conftest import emit
+from repro.bench import render_rows, table1_accuracy_vs_eids
+
+
+def test_table1_accuracy_vs_eids(run_once):
+    columns, rows = run_once(table1_accuracy_vs_eids)
+    emit(render_rows("Table I — accuracy vs matched EIDs", columns, rows))
+    assert rows, "sweep produced no rows"
+    for row in rows:
+        assert row["ss_acc_pct"] >= 85.0, f"SS accuracy too low: {row}"
+        assert row["edp_acc_pct"] >= 85.0, f"EDP accuracy too low: {row}"

@@ -1,0 +1,17 @@
+"""Table II — accuracy with respect to density.
+
+Paper: accuracy declines only mildly as density rises (92% at density
+30 down to ~87% at 160), and SS stays comparable with EDP.
+"""
+
+from conftest import emit
+from repro.bench import render_rows, table2_accuracy_vs_density
+
+
+def test_table2_accuracy_vs_density(run_once):
+    columns, rows = run_once(table2_accuracy_vs_density)
+    emit(render_rows("Table II — accuracy vs density", columns, rows))
+    assert rows, "sweep produced no rows"
+    for row in rows:
+        assert row["ss_acc_pct"] >= 80.0, f"SS accuracy too low: {row}"
+        assert row["edp_acc_pct"] >= 80.0, f"EDP accuracy too low: {row}"

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Crime-scene investigation — the paper's motivating use case.
+
+"A crime happened and the police have the EIDs appearing around the
+crime scene when it occurred.  They want to figure out the activities
+of these EIDs' holders in surveillance videos over previous months in
+order to find the suspects." (Sec. I)
+
+This example:
+
+1. builds a city-block world and picks a crime scene (one cell at one
+   instant);
+2. pulls the E-Scenario of that cell/instant — the EIDs the police
+   would have from base-station logs;
+3. matches exactly those EIDs to visual identities with elastic-size
+   EV-Matching (only the suspects are matched, not the whole city);
+4. prints each suspect's "gallery": the scenarios where their matched
+   appearance was confirmed, i.e. where to pull video frames from.
+
+Run:
+    python examples/crime_scene_investigation.py
+"""
+
+from repro import EVMatcher, ExperimentConfig, build_dataset
+from repro.sensing.index import ScenarioIndex
+from repro.sensing.scenarios import ScenarioKey
+from repro.world.geometry import Point
+
+
+def main() -> None:
+    print("Building the city world (600 people, 5x5 cells)...")
+    dataset = build_dataset(
+        ExperimentConfig(
+            num_people=600,
+            cells_per_side=5,
+            duration=1500.0,
+            sample_dt=10.0,
+            seed=11,
+        )
+    )
+
+    # The crime: reported near the plaza at (500, 500) around t=750s.
+    # A spatiotemporal range query over the scenario index pulls every
+    # base-station log covering that place and window.
+    index = ScenarioIndex(dataset.store, dataset.grid)
+    scene_keys = index.around(Point(500, 500), radius=30.0, first=74, last=76)
+    crime_key = next(k for k in scene_keys if k.tick == 75)
+    crime_scene = dataset.store.e_scenario(crime_key)
+    suspects = sorted(crime_scene.inclusive)
+    cell = dataset.grid.cell(crime_key.cell_id)
+    print(
+        f"\nCrime scene: query around (500, 500) m, t=740-760s hit "
+        f"{len(scene_keys)} scenarios; focusing on cell {cell.cell_id} at t=750s"
+    )
+    print(f"Base-station log shows {len(suspects)} EIDs present:")
+    print("  " + ", ".join(e.mac for e in suspects[:6]) + (" ..." if len(suspects) > 6 else ""))
+
+    print(f"\nRunning elastic EV-Matching on just the {len(suspects)} suspects...")
+    matcher = EVMatcher(dataset.store)
+    report = matcher.match(suspects)
+
+    score = report.score(dataset.truth)
+    print(f"Matched {score.correct}/{score.total} suspects correctly "
+          f"({score.percentage:.0f}% — verified against ground truth).")
+    print(f"Visual workload: only {report.num_selected} of "
+          f"{len(dataset.store)} scenarios needed processing.")
+
+    print("\nSuspect gallery (first 5):")
+    for eid in suspects[:5]:
+        result = report.results[eid]
+        if result.best is None:
+            print(f"  {eid.mac}: no visual match found")
+            continue
+        places = ", ".join(
+            f"cell {k.cell_id}@t{k.tick * 10}s" for k in result.scenario_keys
+        )
+        confirmed = "confirmed" if result.agreement >= 0.75 else "weak"
+        print(
+            f"  {eid.mac}: detection #{result.best.detection_id} "
+            f"({confirmed}, agreement {result.agreement:.2f}) seen at {places}"
+        )
+
+    # Cross-check: the matched appearances at the crime scene instant.
+    v_scene = dataset.store.v_scenario(crime_key)
+    print(f"\nThe crime-scene video itself holds {len(v_scene)} figures; "
+          "the matched identities tell investigators which ones to pull.")
+
+
+if __name__ == "__main__":
+    main()

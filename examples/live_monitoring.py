@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Live monitoring: streaming EV-Matching with per-target latency.
+
+Surveillance data does not arrive as a finished database — cameras and
+base stations emit one window of EV-Scenarios at a time.  This example
+replays a world tick by tick through the IncrementalMatcher:
+
+* watch targets get matched the moment their evidence suffices;
+* add a new target mid-stream (a tip comes in while monitoring);
+* report per-target latency: how much observation time each match
+  needed.
+
+Run:
+    python examples/live_monitoring.py
+"""
+
+from repro import ExperimentConfig, IncrementalMatcher, build_dataset
+from repro.core.set_splitting import SplitConfig
+
+
+def main() -> None:
+    print("Building the world (300 people, 4x4 cells)...")
+    dataset = build_dataset(
+        ExperimentConfig(
+            num_people=300,
+            cells_per_side=4,
+            duration=1200.0,
+            sample_dt=10.0,
+            seed=29,
+        )
+    )
+    store = dataset.store
+    targets = list(dataset.sample_targets(20, seed=1))
+    late_tip = dataset.sample_targets(25, seed=1)[-1]
+
+    stream = IncrementalMatcher(store, dataset.eids, SplitConfig(seed=7))
+    stream.add_targets(targets)
+    print(f"Monitoring {len(targets)} targets; replaying the live feed...\n")
+
+    ticks = list(store.ticks)
+    tip_tick = ticks[len(ticks) // 3]
+    shown = 0
+    for tick in ticks:
+        if tick == tip_tick:
+            stream.add_target(late_tip)
+            print(f"  t={tick * 10:>5.0f}s  [tip received: now also tracking {late_tip.mac}]")
+        for emission in stream.observe_tick(store, tick):
+            shown += 1
+            if shown <= 8 or emission.eid == late_tip:
+                correct = (
+                    "correct"
+                    if emission.result.best is not None
+                    and emission.result.best.true_vid == dataset.truth[emission.eid]
+                    else "check"
+                )
+                print(
+                    f"  t={tick * 10:>5.0f}s  MATCH {emission.eid.mac} "
+                    f"after {len(emission.result.scenario_keys)} scenarios "
+                    f"(agreement {emission.result.agreement:.2f}, {correct})"
+                )
+    if shown > 8:
+        print(f"  ... {shown - 8} further matches elided ...")
+
+    latency = stream.latency_report()
+    matched = [t for t in targets if t in latency]
+    if matched:
+        avg_latency = sum(latency[t] for t in matched) / len(matched) * 10
+        print(f"\n{len(matched)}/{len(targets)} initial targets matched; "
+              f"average latency {avg_latency:.0f}s of feed time.")
+    if late_tip in latency:
+        print(f"The mid-stream tip was matched at t={latency[late_tip] * 10:.0f}s "
+              f"(tracking began at t={tip_tick * 10:.0f}s).")
+    print(f"Still pending: {len(stream.pending)} targets "
+          "(would match as more footage arrives).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Benchmark harness: one experiment per paper table/figure.
+
+:mod:`repro.bench.experiments` defines a function per experiment that
+returns structured rows; :mod:`repro.bench.reporting` renders them the
+way the paper prints them.  The ``benchmarks/`` pytest files are thin
+wrappers that time the runs with pytest-benchmark and print the rows,
+so ``pytest benchmarks/ --benchmark-only`` regenerates the whole
+evaluation section.
+"""
+
+from repro.bench.experiments import (
+    ExperimentRow,
+    fig5_scenarios_vs_eids,
+    fig6_scenarios_vs_density,
+    fig7_scenarios_per_eid,
+    fig8_time_vs_eids,
+    fig9_time_vs_density,
+    fig10_accuracy_vs_eid_missing,
+    fig11_accuracy_vs_vid_missing,
+    table1_accuracy_vs_eids,
+    table2_accuracy_vs_density,
+)
+from repro.bench.reporting import render_rows
+
+__all__ = [
+    "ExperimentRow",
+    "fig5_scenarios_vs_eids",
+    "fig6_scenarios_vs_density",
+    "fig7_scenarios_per_eid",
+    "fig8_time_vs_eids",
+    "fig9_time_vs_density",
+    "fig10_accuracy_vs_eid_missing",
+    "fig11_accuracy_vs_vid_missing",
+    "render_rows",
+    "table1_accuracy_vs_eids",
+    "table2_accuracy_vs_density",
+]

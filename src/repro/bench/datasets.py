@@ -1,0 +1,88 @@
+"""Shared, cached dataset construction for the benchmark suite.
+
+Several experiments reuse the same synthetic world (e.g. every
+"vs number of matched EIDs" sweep uses the default-density dataset);
+caching builds by configuration keeps the suite's wall time dominated
+by the matching algorithms rather than by trace generation.
+
+``REPRO_BENCH_SCALE`` selects the sweep scale:
+
+* ``paper`` (default) — the paper's x-axis points.
+* ``smoke`` — two points per sweep and a smaller world, for CI.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import EVDataset, build_dataset
+
+#: (num_people, cells_per_side) pairs realizing the paper's densities.
+DENSITY_CONFIGS: Tuple[Tuple[int, int, int], ...] = (
+    (30, 750, 5),
+    (60, 960, 4),
+    (100, 900, 3),
+    (160, 1440, 3),
+)
+
+#: Fig. 6/9 sweep: density via cell size at the fixed 1000-person database.
+DENSITY_SWEEP_CELLS: Tuple[Tuple[int, int], ...] = (
+    (10, 10),
+    (20, 7),
+    (40, 5),
+    (62, 4),
+    (111, 3),
+)
+
+
+def scale() -> str:
+    """The configured sweep scale (``paper`` or ``smoke``)."""
+    value = os.environ.get("REPRO_BENCH_SCALE", "paper")
+    if value not in ("paper", "smoke"):
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be 'paper' or 'smoke', got {value!r}"
+        )
+    return value
+
+
+def matched_eids_axis() -> Sequence[int]:
+    """The "number of matched EIDs" x-axis (Figs. 5/7/8, Tables)."""
+    if scale() == "smoke":
+        return (100, 300)
+    return (100, 200, 300, 400, 500, 600, 700, 800, 900)
+
+
+def table_axis() -> Sequence[int]:
+    """Tables I and Figs. 10/11 use the coarser axis."""
+    if scale() == "smoke":
+        return (200,)
+    return (200, 400, 600, 800)
+
+
+@lru_cache(maxsize=16)
+def dataset(config: ExperimentConfig) -> EVDataset:
+    """Build (or fetch the cached) dataset for ``config``."""
+    return build_dataset(config)
+
+
+def default_config(**overrides) -> ExperimentConfig:
+    """The benchmark suite's shared baseline configuration.
+
+    1000 people, 5x5 grid (density 40), 25 minutes of trace at 10 s
+    sampling — the regime of the paper's Sec. VI-A setup, scaled down
+    in the ``smoke`` profile.
+    """
+    base = dict(
+        num_people=1000,
+        cells_per_side=5,
+        duration=1500.0,
+        sample_dt=10.0,
+        seed=3,
+    )
+    if scale() == "smoke":
+        base.update(num_people=300, cells_per_side=3, duration=800.0)
+    base.update(overrides)
+    return ExperimentConfig(**base)

@@ -1,0 +1,238 @@
+"""One function per paper table/figure, returning printable rows.
+
+Every function returns ``(columns, rows)`` where ``rows`` is a list of
+dicts keyed by ``columns``.  The companion pytest-benchmark files call
+these and print them with :func:`repro.bench.reporting.render_rows`;
+EXPERIMENTS.md records the outputs next to the paper's numbers.
+
+The E-stage-only experiments (Figs. 5-7) skip VID filtering entirely —
+scenario counts are decided in the E stage — which keeps the sweeps
+fast without changing any reported quantity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench import datasets as ds_mod
+from repro.core.edp import EDPConfig, EDPMatcher
+from repro.core.matcher import EVMatcher, MatcherConfig
+from repro.core.refining import RefiningConfig
+from repro.core.set_splitting import SetSplitter, SplitConfig
+from repro.datagen.dataset import EVDataset
+from repro.mapreduce.cluster import ClusterConfig
+from repro.parallel.driver import ParallelEVMatcher
+
+ExperimentRow = Dict[str, object]
+Table = Tuple[Sequence[str], List[ExperimentRow]]
+
+#: The paper's cluster (Sec. VI-A): 14 machines x 4 cores.
+PAPER_CLUSTER = ClusterConfig(num_nodes=14, cores_per_node=4)
+
+
+def _e_stages(dataset: EVDataset, num_targets: int):
+    """Run both algorithms' E stages only; returns (ss, edp) results."""
+    targets = list(dataset.sample_targets(num_targets, seed=11))
+    ss = SetSplitter(dataset.store, SplitConfig(seed=7)).run(targets)
+    edp = EDPMatcher(dataset.store, EDPConfig(seed=7)).run(targets)
+    return ss, edp
+
+
+# -- Figs. 5-7: scenario counts ------------------------------------------
+def fig5_scenarios_vs_eids() -> Table:
+    """Fig. 5: number of selected scenarios vs number of matched EIDs."""
+    dataset = ds_mod.dataset(ds_mod.default_config())
+    rows: List[ExperimentRow] = []
+    for n in ds_mod.matched_eids_axis():
+        n = min(n, len(dataset.eids))
+        ss, edp = _e_stages(dataset, n)
+        rows.append(
+            {
+                "matched_eids": n,
+                "ss_selected": ss.num_selected,
+                "edp_selected": edp.num_selected,
+            }
+        )
+    return ("matched_eids", "ss_selected", "edp_selected"), rows
+
+
+def fig6_scenarios_vs_density() -> Table:
+    """Fig. 6: number of selected scenarios vs density (100 & 600 EIDs)."""
+    rows: List[ExperimentRow] = []
+    sweep = ds_mod.DENSITY_SWEEP_CELLS
+    if ds_mod.scale() == "smoke":
+        sweep = sweep[:2]
+    for density, cells in sweep:
+        dataset = ds_mod.dataset(ds_mod.default_config(cells_per_side=cells))
+        row: ExperimentRow = {"density": round(dataset.config.density)}
+        for n in (100, 600):
+            n = min(n, len(dataset.eids))
+            ss, edp = _e_stages(dataset, n)
+            row[f"ss_selected_{n}eids"] = ss.num_selected
+            row[f"edp_selected_{n}eids"] = edp.num_selected
+        rows.append(row)
+    columns = tuple(rows[0].keys()) if rows else ()
+    return columns, rows
+
+
+def fig7_scenarios_per_eid() -> Table:
+    """Fig. 7: average number of selected scenarios per matched EID."""
+    dataset = ds_mod.dataset(ds_mod.default_config())
+    rows: List[ExperimentRow] = []
+    for n in ds_mod.matched_eids_axis():
+        n = min(n, len(dataset.eids))
+        ss, edp = _e_stages(dataset, n)
+        rows.append(
+            {
+                "matched_eids": n,
+                "ss_per_eid": round(ss.avg_scenarios_per_eid, 2),
+                "edp_per_eid": round(edp.avg_scenarios_per_eid, 2),
+            }
+        )
+    return ("matched_eids", "ss_per_eid", "edp_per_eid"), rows
+
+
+# -- Figs. 8-9: processing time ------------------------------------------
+def _timed_row(dataset: EVDataset, n: int) -> ExperimentRow:
+    matcher = ParallelEVMatcher(dataset.store, cluster=PAPER_CLUSTER)
+    targets = list(dataset.sample_targets(n, seed=11))
+    ss = matcher.match(targets)
+    edp = matcher.match_edp(targets)
+    return {
+        "ss_e_s": round(ss.times.e_time, 1),
+        "ss_v_s": round(ss.times.v_time, 1),
+        "ss_total_s": round(ss.times.total, 1),
+        "edp_e_s": round(edp.times.e_time, 1),
+        "edp_v_s": round(edp.times.v_time, 1),
+        "edp_total_s": round(edp.times.total, 1),
+    }
+
+
+def fig8_time_vs_eids() -> Table:
+    """Fig. 8: E/V/E+V processing time vs number of matched EIDs.
+
+    Times are scheduled makespans on the paper's 14x4 simulated
+    cluster — shapes comparable, absolute seconds not.
+    """
+    dataset = ds_mod.dataset(ds_mod.default_config())
+    axis = [n for n in ds_mod.matched_eids_axis() if n <= 800]
+    rows: List[ExperimentRow] = []
+    for n in axis:
+        n = min(n, len(dataset.eids))
+        row: ExperimentRow = {"matched_eids": n}
+        row.update(_timed_row(dataset, n))
+        rows.append(row)
+    columns = tuple(rows[0].keys()) if rows else ()
+    return columns, rows
+
+
+def fig9_time_vs_density() -> Table:
+    """Fig. 9: E/V/E+V processing time vs density (600 matched EIDs)."""
+    rows: List[ExperimentRow] = []
+    sweep = ds_mod.DENSITY_SWEEP_CELLS
+    if ds_mod.scale() == "smoke":
+        sweep = sweep[:2]
+    for density, cells in sweep:
+        dataset = ds_mod.dataset(ds_mod.default_config(cells_per_side=cells))
+        n = min(600, len(dataset.eids))
+        row: ExperimentRow = {"density": round(dataset.config.density)}
+        row.update(_timed_row(dataset, n))
+        rows.append(row)
+    columns = tuple(rows[0].keys()) if rows else ()
+    return columns, rows
+
+
+# -- Tables I-II: accuracy -------------------------------------------------
+def _accuracy_pair(dataset: EVDataset, n: int, refine: bool = False) -> Tuple[float, float]:
+    config = MatcherConfig(
+        split=SplitConfig(seed=7),
+        edp=EDPConfig(seed=7),
+        refining=RefiningConfig(max_rounds=4) if refine else None,
+    )
+    matcher = EVMatcher(dataset.store, config)
+    targets = list(dataset.sample_targets(n, seed=11))
+    ss = matcher.match(targets).score(dataset.truth).percentage
+    edp = matcher.match_edp(targets).score(dataset.truth).percentage
+    return ss, edp
+
+
+def table1_accuracy_vs_eids() -> Table:
+    """Table I: accuracy with respect to the number of matched EIDs."""
+    dataset = ds_mod.dataset(ds_mod.default_config())
+    rows: List[ExperimentRow] = []
+    for n in ds_mod.table_axis():
+        n = min(n, len(dataset.eids))
+        ss, edp = _accuracy_pair(dataset, n)
+        rows.append(
+            {"matched_eids": n, "ss_acc_pct": round(ss, 2), "edp_acc_pct": round(edp, 2)}
+        )
+    return ("matched_eids", "ss_acc_pct", "edp_acc_pct"), rows
+
+
+def table2_accuracy_vs_density() -> Table:
+    """Table II: accuracy with respect to density."""
+    rows: List[ExperimentRow] = []
+    configs = ds_mod.DENSITY_CONFIGS
+    if ds_mod.scale() == "smoke":
+        configs = configs[:2]
+    for density, people, cells in configs:
+        dataset = ds_mod.dataset(
+            ds_mod.default_config(num_people=people, cells_per_side=cells)
+        )
+        n = min(200, len(dataset.eids))
+        ss, edp = _accuracy_pair(dataset, n)
+        rows.append(
+            {"density": density, "ss_acc_pct": round(ss, 2), "edp_acc_pct": round(edp, 2)}
+        )
+    return ("density", "ss_acc_pct", "edp_acc_pct"), rows
+
+
+# -- Figs. 10-11: practical settings ---------------------------------------
+def fig10_accuracy_vs_eid_missing() -> Table:
+    """Fig. 10: accuracy vs EID missing rate (people without devices)."""
+    rows: List[ExperimentRow] = []
+    rates = (0.01, 0.10, 0.30, 0.50)
+    if ds_mod.scale() == "smoke":
+        rates = (0.01, 0.30)
+    for rate in rates:
+        dataset = ds_mod.dataset(
+            ds_mod.default_config(device_carry_rate=1.0 - rate)
+        )
+        seen_sizes = set()
+        for n in ds_mod.table_axis():
+            n = min(n, len(dataset.eids))
+            if n in seen_sizes:
+                continue  # axis point capped to the same available size
+            seen_sizes.add(n)
+            ss, edp = _accuracy_pair(dataset, n, refine=True)
+            rows.append(
+                {
+                    "eid_miss_pct": round(100 * rate),
+                    "matched_eids": n,
+                    "ss_acc_pct": round(ss, 2),
+                    "edp_acc_pct": round(edp, 2),
+                }
+            )
+    return ("eid_miss_pct", "matched_eids", "ss_acc_pct", "edp_acc_pct"), rows
+
+
+def fig11_accuracy_vs_vid_missing() -> Table:
+    """Fig. 11: accuracy vs VID missing rate (missed detections)."""
+    rows: List[ExperimentRow] = []
+    rates = (0.02, 0.05, 0.08, 0.10)
+    if ds_mod.scale() == "smoke":
+        rates = (0.02, 0.10)
+    for rate in rates:
+        dataset = ds_mod.dataset(ds_mod.default_config(v_miss_rate=rate))
+        for n in ds_mod.table_axis():
+            n = min(n, len(dataset.eids))
+            ss, edp = _accuracy_pair(dataset, n, refine=True)
+            rows.append(
+                {
+                    "vid_miss_pct": round(100 * rate),
+                    "matched_eids": n,
+                    "ss_acc_pct": round(ss, 2),
+                    "edp_acc_pct": round(edp, 2),
+                }
+            )
+    return ("vid_miss_pct", "matched_eids", "ss_acc_pct", "edp_acc_pct"), rows

@@ -1,0 +1,39 @@
+"""Plain-text rendering of experiment tables.
+
+Keeps the benchmark output self-describing: each bench prints its
+table under a title so ``pytest benchmarks/ --benchmark-only -s``
+produces the full evaluation section in one readable transcript.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+def render_rows(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Dict[str, object]],
+) -> str:
+    """Render ``rows`` as an aligned text table with a title line."""
+    if not rows:
+        return f"== {title} ==\n(no rows)"
+    widths = {
+        col: max(len(col), *(len(_fmt(row.get(col))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(col.rjust(widths[col]) for col in columns)
+    lines = [f"== {title} ==", header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(col)).rjust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,298 @@
+"""Command-line interface: run matches and regenerate experiments.
+
+Examples::
+
+    python -m repro match --people 400 --cells 4 --targets 100
+    python -m repro match --people 400 --cells 4 --targets 100 --algorithm edp
+    python -m repro experiment fig5
+    python -m repro experiment list
+    python -m repro build --out world.npz --people 600
+    python -m repro match --dataset world.npz --targets 100
+    python -m repro investigate --dataset world.npz --suspect 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench import experiments as exp_mod
+from repro.bench.reporting import render_rows
+from repro.core.matcher import EVMatcher, MatcherConfig
+from repro.core.refining import RefiningConfig
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import build_dataset
+from repro.datagen.io import load_dataset, save_dataset
+
+#: Experiment registry: CLI name -> (function, title).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig5": (exp_mod.fig5_scenarios_vs_eids, "Fig. 5 — selected scenarios vs matched EIDs"),
+    "fig6": (exp_mod.fig6_scenarios_vs_density, "Fig. 6 — selected scenarios vs density"),
+    "fig7": (exp_mod.fig7_scenarios_per_eid, "Fig. 7 — selected scenarios per matched EID"),
+    "fig8": (exp_mod.fig8_time_vs_eids, "Fig. 8 — processing time vs matched EIDs"),
+    "fig9": (exp_mod.fig9_time_vs_density, "Fig. 9 — processing time vs density"),
+    "table1": (exp_mod.table1_accuracy_vs_eids, "Table I — accuracy vs matched EIDs"),
+    "table2": (exp_mod.table2_accuracy_vs_density, "Table II — accuracy vs density"),
+    "fig10": (exp_mod.fig10_accuracy_vs_eid_missing, "Fig. 10 — accuracy vs EID missing"),
+    "fig11": (exp_mod.fig11_accuracy_vs_vid_missing, "Fig. 11 — accuracy vs VID missing"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EV-Matching (ICDCS 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    match = sub.add_parser("match", help="run one matching task on a fresh world")
+    match.add_argument("--dataset", help="load a saved world instead of building")
+    match.add_argument("--people", type=int, default=400, help="population size")
+    match.add_argument("--cells", type=int, default=4, help="cells per side")
+    match.add_argument("--targets", type=int, default=100, help="EIDs to match")
+    match.add_argument("--duration", type=float, default=1200.0, help="trace seconds")
+    match.add_argument("--seed", type=int, default=0)
+    match.add_argument(
+        "--algorithm", choices=("ss", "edp", "both"), default="both"
+    )
+    match.add_argument("--v-miss", type=float, default=0.0, help="VID missing rate")
+    match.add_argument("--e-drift", type=float, default=0.0, help="drift sigma (m)")
+    match.add_argument("--vague-width", type=float, default=0.0, help="vague band (m)")
+    match.add_argument(
+        "--refine", action="store_true", help="enable the Algorithm 2 loop"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure (or 'list')"
+    )
+    experiment.add_argument("name", help="experiment id, e.g. fig5, table1, list")
+
+    build = sub.add_parser("build", help="build a synthetic world and save it")
+    build.add_argument("--out", required=True, help="output .npz path")
+    build.add_argument("--people", type=int, default=400)
+    build.add_argument("--cells", type=int, default=4)
+    build.add_argument("--duration", type=float, default=1200.0)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--v-miss", type=float, default=0.0)
+    build.add_argument("--e-drift", type=float, default=0.0)
+    build.add_argument("--vague-width", type=float, default=0.0)
+
+    investigate = sub.add_parser(
+        "investigate", help="universal-label a world and query the fused index"
+    )
+    investigate.add_argument("--dataset", help="load a saved world instead of building")
+    investigate.add_argument("--people", type=int, default=300)
+    investigate.add_argument("--cells", type=int, default=3)
+    investigate.add_argument("--duration", type=float, default=1000.0)
+    investigate.add_argument("--seed", type=int, default=0)
+    investigate.add_argument(
+        "--suspect", type=int, default=0, help="EID index to profile"
+    )
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument("--out", default="results.md", help="output path")
+
+    inspect = sub.add_parser(
+        "inspect", help="profile a synthetic world (stats + occupancy heatmap)"
+    )
+    inspect.add_argument("--people", type=int, default=400)
+    inspect.add_argument("--cells", type=int, default=4)
+    inspect.add_argument("--duration", type=float, default=1200.0)
+    inspect.add_argument("--seed", type=int, default=0)
+    inspect.add_argument(
+        "--mobility",
+        choices=("random_waypoint", "random_walk", "gauss_markov", "hotspot"),
+        default="random_waypoint",
+    )
+    return parser
+
+
+def _world_from_args(args: argparse.Namespace, out) -> "EVDataset":  # noqa: F821
+    if getattr(args, "dataset", None):
+        print(f"loading world from {args.dataset}", file=out)
+        return load_dataset(args.dataset)
+    config = ExperimentConfig(
+        num_people=args.people,
+        cells_per_side=args.cells,
+        duration=args.duration,
+        v_miss_rate=getattr(args, "v_miss", 0.0),
+        e_drift_sigma=getattr(args, "e_drift", 0.0),
+        vague_width=getattr(args, "vague_width", 0.0),
+        seed=args.seed,
+    )
+    print(
+        f"building world: {config.num_people} people, "
+        f"{config.cells_per_side}x{config.cells_per_side} cells, "
+        f"{config.duration:.0f}s trace (seed {config.seed})",
+        file=out,
+    )
+    return build_dataset(config)
+
+
+def run_match(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    dataset = _world_from_args(args, out)
+    targets = list(dataset.sample_targets(min(args.targets, len(dataset.eids)), seed=1))
+    matcher_config = MatcherConfig(
+        refining=RefiningConfig(max_rounds=4) if args.refine else None
+    )
+    matcher = EVMatcher(dataset.store, matcher_config)
+
+    rows: List[dict] = []
+    if args.algorithm in ("ss", "both"):
+        report = matcher.match(targets)
+        rows.append(_report_row("ss", report, dataset))
+    if args.algorithm in ("edp", "both"):
+        report = matcher.match_edp(targets)
+        rows.append(_report_row("edp", report, dataset))
+    columns = ("algorithm", "accuracy_pct", "selected", "per_eid", "sim_v_time_s")
+    print(render_rows(f"match {len(targets)} EIDs", columns, rows), file=out)
+    return 0
+
+
+def _report_row(name: str, report, dataset) -> dict:
+    return {
+        "algorithm": name,
+        "accuracy_pct": round(report.score(dataset.truth).percentage, 2),
+        "selected": report.num_selected,
+        "per_eid": round(report.avg_scenarios_per_eid, 2),
+        "sim_v_time_s": round(report.times.v_time, 1),
+    }
+
+
+def run_experiment(name: str, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    if name == "list":
+        for key, (_fn, title) in EXPERIMENTS.items():
+            print(f"  {key:<8} {title}", file=out)
+        return 0
+    entry = EXPERIMENTS.get(name)
+    if entry is None:
+        print(
+            f"unknown experiment {name!r}; try: {', '.join(EXPERIMENTS)} or 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    fn, title = entry
+    columns, rows = fn()
+    print(render_rows(title, columns, rows), file=out)
+    return 0
+
+
+def run_inspect(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    from repro.sensing.stats import (
+        co_occurrence_histogram,
+        occupancy_by_cell,
+        occupancy_over_time,
+        store_stats,
+    )
+    from repro.world.render import render_heatmap, render_sparkline
+
+    config = ExperimentConfig(
+        num_people=args.people,
+        cells_per_side=args.cells,
+        duration=args.duration,
+        mobility_model=args.mobility,
+        seed=args.seed,
+    )
+    dataset = build_dataset(config)
+    stats = store_stats(dataset.store)
+    print(
+        f"world: {args.people} people, {args.cells}x{args.cells} cells, "
+        f"{args.mobility}, seed {args.seed}",
+        file=out,
+    )
+    print(
+        f"  {stats.num_scenarios} scenarios over {stats.num_ticks} ticks; "
+        f"{stats.distinct_eids} EIDs, {stats.total_detections} detections",
+        file=out,
+    )
+    print(
+        f"  density: mean {stats.mean_eids_per_scenario:.1f} / max "
+        f"{stats.max_eids_per_scenario} EIDs per scenario; "
+        f"vague {100 * stats.vague_fraction:.1f}%; "
+        f"E/V balance {stats.ev_balance:.2f}",
+        file=out,
+    )
+    print("\nmean occupancy per cell:", file=out)
+    print(render_heatmap(occupancy_by_cell(dataset.store), args.cells, width=3), file=out)
+    series = [count for _tick, count in occupancy_over_time(dataset.store)]
+    print("\nsightings over time:", file=out)
+    print("  " + render_sparkline(series), file=out)
+    print("\ncrowd-size histogram:", file=out)
+    for label, count in co_occurrence_histogram(dataset.store):
+        print(f"  {label:>9}  {count}", file=out)
+    return 0
+
+
+def run_build(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    dataset = _world_from_args(args, out)
+    written = save_dataset(dataset, args.out)
+    print(
+        f"saved {len(dataset.store)} scenarios "
+        f"({dataset.store.total_detections()} detections) to {written}",
+        file=out,
+    )
+    return 0
+
+
+def run_investigate(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    from repro.fusion import FusedIndex
+    from repro.world.entities import EID
+
+    dataset = _world_from_args(args, out)
+    print("running universal labeling...", file=out)
+    report = EVMatcher(dataset.store).match_universal()
+    index = FusedIndex(dataset.store, report)
+    print(f"indexed {index.num_profiles} profiles", file=out)
+
+    suspect = EID(args.suspect)
+    if suspect not in index.eids:
+        print(f"no profile for EID index {args.suspect}", file=sys.stderr)
+        return 2
+    profile = index.profile(suspect)
+    print(f"\nprofile of {suspect.mac}:", file=out)
+    if profile.e_trajectory is not None:
+        print(
+            f"  electronic: {len(profile.e_trajectory)} sightings, "
+            f"cells {profile.e_trajectory.cells_visited()[:8]}",
+            file=out,
+        )
+    print(
+        f"  visual: {profile.num_appearances} attributed detections "
+        f"(confidence {profile.match_agreement:.2f})",
+        file=out,
+    )
+    companions = index.co_travelers(suspect, min_shared=3)[:5]
+    if companions:
+        print("  co-travelers:", file=out)
+        for other, shared in companions:
+            print(f"    {other.mac}: {shared} shared scenarios", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "match":
+        return run_match(args)
+    if args.command == "experiment":
+        return run_experiment(args.name)
+    if args.command == "inspect":
+        return run_inspect(args)
+    if args.command == "build":
+        return run_build(args)
+    if args.command == "investigate":
+        return run_investigate(args)
+    if args.command == "report":
+        from repro.bench.report import generate_report
+
+        written = generate_report(args.out)
+        print(f"wrote {written}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

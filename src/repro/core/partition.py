@@ -1,0 +1,256 @@
+"""Partition structures for EID set splitting.
+
+Two representations back the two algorithm variants:
+
+* :class:`EIDPartition` — the literal structure of Algorithm 1: a
+  partition of the EID universe into undistinguishable sets, split one
+  E-Scenario at a time.  Used by the ideal-setting splitter and by the
+  MapReduce parallelization (whose merge step rebuilds exactly this).
+* :class:`SeparationTracker` — a pairwise "still confusable" relation
+  over the universe, stored as a boolean matrix.  The practical setting
+  needs it because vague EIDs are retained on *both* sides of a split
+  (they may or may not belong to the scenario), which turns the
+  partition into an overlapping cover; tracking separation pairwise
+  keeps that sound and cheap (numpy block updates).
+
+For vague-free inputs the two representations agree — a property test
+pins that down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.world.entities import EID
+
+
+class EIDPartition:
+    """A partition of the EID universe into undistinguishable sets.
+
+    Invariants (checked in tests): every EID is in exactly one set;
+    sets are disjoint and non-empty; their union is the universe.
+
+    Set ids are stable handles: a split consumes one id and produces
+    two fresh ones, which is what lets the MapReduce merge step refer
+    to sets by id across a shuffle.
+    """
+
+    def __init__(self, universe: Iterable[EID]) -> None:
+        members = frozenset(universe)
+        if not members:
+            raise ValueError("cannot partition an empty EID universe")
+        self._sets: Dict[int, Set[EID]] = {0: set(members)}
+        self._set_of: Dict[EID, int] = {eid: 0 for eid in members}
+        self._next_id = 1
+        self._universe = members
+
+    @property
+    def universe(self) -> FrozenSet[EID]:
+        return self._universe
+
+    @property
+    def num_sets(self) -> int:
+        return len(self._sets)
+
+    def set_ids(self) -> Sequence[int]:
+        return tuple(sorted(self._sets.keys()))
+
+    def members(self, set_id: int) -> FrozenSet[EID]:
+        """The EIDs of one set."""
+        try:
+            return frozenset(self._sets[set_id])
+        except KeyError:
+            raise KeyError(f"no set with id {set_id}") from None
+
+    def set_of(self, eid: EID) -> int:
+        """Which set an EID currently belongs to."""
+        try:
+            return self._set_of[eid]
+        except KeyError:
+            raise KeyError(f"{eid} is not in the universe") from None
+
+    def set_size_of(self, eid: EID) -> int:
+        """Size of the set containing ``eid`` (1 means distinguished)."""
+        return len(self._sets[self.set_of(eid)])
+
+    def is_distinguished(self, eid: EID) -> bool:
+        """Whether ``eid`` is alone in its set."""
+        return self.set_size_of(eid) == 1
+
+    def all_distinguished(self, eids: Iterable[EID]) -> bool:
+        """Whether every EID in ``eids`` is alone in its set."""
+        return all(self.is_distinguished(e) for e in eids)
+
+    def split_by(self, scenario_eids: FrozenSet[EID]) -> List[Tuple[int, int, int]]:
+        """Algorithm 1's ``SplitBy``: split every set against a scenario.
+
+        Each set ``A`` with a non-trivial intersection ``A' = A & C``
+        (neither empty nor all of ``A``) is replaced by ``A'`` and
+        ``A \\ A'``.  Sets fully inside or fully outside the scenario
+        are untouched — the paper's "skip ineffective" remark falls out
+        naturally because such sets produce trivial intersections.
+
+        Returns:
+            One ``(old_id, in_id, out_id)`` triple per set actually
+            split; empty list means the scenario was ineffective.
+        """
+        # Group the scenario's EIDs by the set currently holding them,
+        # touching only sets the scenario intersects: O(|C|).
+        hits: Dict[int, Set[EID]] = {}
+        for eid in scenario_eids:
+            set_id = self._set_of.get(eid)
+            if set_id is not None:
+                hits.setdefault(set_id, set()).add(eid)
+
+        splits: List[Tuple[int, int, int]] = []
+        for set_id, inside in hits.items():
+            current = self._sets[set_id]
+            if len(inside) == len(current):
+                continue  # scenario contains the whole set: no information
+            outside = current - inside
+            in_id = self._next_id
+            out_id = self._next_id + 1
+            self._next_id += 2
+            del self._sets[set_id]
+            self._sets[in_id] = inside
+            self._sets[out_id] = outside
+            for eid in inside:
+                self._set_of[eid] = in_id
+            for eid in outside:
+                self._set_of[eid] = out_id
+            splits.append((set_id, in_id, out_id))
+        return splits
+
+    def as_frozensets(self) -> FrozenSet[FrozenSet[EID]]:
+        """The partition as a set of sets, for structural comparison."""
+        return frozenset(frozenset(s) for s in self._sets.values())
+
+    def __iter__(self) -> Iterator[FrozenSet[EID]]:
+        for set_id in sorted(self._sets.keys()):
+            yield frozenset(self._sets[set_id])
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+
+class SeparationTracker:
+    """Pairwise confusability over a fixed EID universe.
+
+    ``confusable(a, b)`` starts True for every distinct pair and is
+    cleared by :meth:`separate`.  The practical splitter feeds it the
+    (inclusive-in, confident-out) pairs of each scenario; vague EIDs are
+    simply not part of either side, so no vague evidence ever separates
+    a pair — the formal core of the paper's vague-zone rule.
+    """
+
+    def __init__(self, universe: Sequence[EID]) -> None:
+        ordered = sorted(set(universe))
+        if not ordered:
+            raise ValueError("cannot track separation over an empty universe")
+        self._eids: Tuple[EID, ...] = tuple(ordered)
+        self._index: Dict[EID, int] = {e: i for i, e in enumerate(ordered)}
+        n = len(ordered)
+        self._confusable = np.ones((n, n), dtype=bool)
+        np.fill_diagonal(self._confusable, False)
+
+    @property
+    def universe(self) -> Tuple[EID, ...]:
+        return self._eids
+
+    def index_of(self, eid: EID) -> int:
+        try:
+            return self._index[eid]
+        except KeyError:
+            raise KeyError(f"{eid} is not in the universe") from None
+
+    def confusable(self, a: EID, b: EID) -> bool:
+        """Whether ``a`` and ``b`` are still mutually undistinguished."""
+        return bool(self._confusable[self.index_of(a), self.index_of(b)])
+
+    def confusion_set(self, eid: EID) -> FrozenSet[EID]:
+        """All EIDs still confusable with ``eid`` (excluding itself)."""
+        row = self._confusable[self.index_of(eid)]
+        return frozenset(self._eids[i] for i in np.flatnonzero(row))
+
+    def confusion_count(self, eid: EID) -> int:
+        return int(self._confusable[self.index_of(eid)].sum())
+
+    def is_distinguished(self, eid: EID) -> bool:
+        return self.confusion_count(eid) == 0
+
+    def num_distinguished(self) -> int:
+        """How many EIDs are fully separated from everyone."""
+        return int((self._confusable.sum(axis=1) == 0).sum())
+
+    def all_distinguished(self, eids: Iterable[EID]) -> bool:
+        idx = [self.index_of(e) for e in eids]
+        if not idx:
+            return True
+        return bool((self._confusable[idx].sum(axis=1) == 0).all())
+
+    def separate(
+        self,
+        inside: Iterable[EID],
+        outside: Iterable[EID],
+    ) -> Tuple[FrozenSet[EID], FrozenSet[EID]]:
+        """Mark every (inside, outside) pair as separated.
+
+        Returns:
+            ``(in_progress, out_progress)``: the subset of each side for
+            which this call separated at least one previously-confusable
+            pair.  The splitter records the scenario into exactly those
+            EIDs' evidence lists.
+        """
+        in_idx = np.array(
+            sorted(self.index_of(e) for e in set(inside)), dtype=int
+        )
+        out_idx = np.array(
+            sorted(self.index_of(e) for e in set(outside)), dtype=int
+        )
+        if in_idx.size == 0 or out_idx.size == 0:
+            return frozenset(), frozenset()
+        overlap = set(in_idx.tolist()) & set(out_idx.tolist())
+        if overlap:
+            raise ValueError(
+                f"EIDs on both sides of a separation: "
+                f"{sorted(self._eids[i].index for i in overlap)}"
+            )
+        block = self._confusable[np.ix_(in_idx, out_idx)]
+        in_progress = frozenset(
+            self._eids[i] for i in in_idx[block.any(axis=1)]
+        )
+        out_progress = frozenset(
+            self._eids[j] for j in out_idx[block.any(axis=0)]
+        )
+        self._confusable[np.ix_(in_idx, out_idx)] = False
+        self._confusable[np.ix_(out_idx, in_idx)] = False
+        return in_progress, out_progress
+
+    def groups(self) -> FrozenSet[FrozenSet[EID]]:
+        """Connected components of the confusability graph.
+
+        For vague-free splitting these are exactly the sets of the
+        :class:`EIDPartition` (the cross-check property test relies on
+        this); with vague EIDs they are the maximal clusters still
+        needing evidence.
+        """
+        n = len(self._eids)
+        seen = np.zeros(n, dtype=bool)
+        components: List[FrozenSet[EID]] = []
+        for start in range(n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = [start]
+            while stack:
+                node = stack.pop()
+                for neighbor in np.flatnonzero(self._confusable[node]):
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        stack.append(int(neighbor))
+                        component.append(int(neighbor))
+            components.append(frozenset(self._eids[i] for i in component))
+        return frozenset(components)

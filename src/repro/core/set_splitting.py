@@ -1,0 +1,427 @@
+"""EID set splitting — the E stage (paper Sec. IV-B.1 and IV-C.2).
+
+Two entry points:
+
+* :func:`algorithm1_set_split` is the *faithful* transcription of the
+  paper's Algorithm 1: it drives on the
+  :class:`~repro.core.partition.EIDPartition`, records every E-Scenario
+  that changes the partition, and stops when every set is a singleton.
+  The correctness/efficiency theorems (4.1/4.2) are stated about this
+  procedure and the tests exercise them against it.
+  :func:`practical_universal_split` is its vague-aware counterpart
+  (Theorems 4.3/4.4) driving on the
+  :class:`~repro.core.partition.SeparationTracker`.
+
+* :class:`SetSplitter` is the production E stage used by the matcher
+  and the benchmarks.  It supports *elastic matching sizes* (Sec. I):
+  only the requested target EIDs drive scenario selection, yet every
+  recorded scenario is shared by all targets it helps — the reuse that
+  separates SS from EDP in Figs. 5-7.  Per target it maintains the
+  *candidate set*: the intersection of the (inclusive-EID sets of the)
+  scenarios recorded as that target's positive evidence.  A target is
+  distinguished when its candidate set is a singleton, at which point
+  its positive evidence list is exactly the input VID filtering needs —
+  "a list of E-Scenarios such that only one EID ... appear[s] in all
+  these EV-Scenarios" (Sec. IV-A).
+
+Vague-zone rule (Sec. IV-C.2), as implemented here: a scenario can only
+serve as positive evidence for a target that is *inclusive* in it, and
+intersecting never rules out the scenario's own vague EIDs ("they may
+or may not belong"), so vague sightings neither distinguish the target
+nor get other EIDs wrongly eliminated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.partition import EIDPartition, SeparationTracker
+from repro.metrics.timing import SimulatedClock
+from repro.sensing.scenarios import EScenario, ScenarioKey, ScenarioStore
+from repro.world.entities import EID
+
+
+class SelectionStrategy(str, enum.Enum):
+    """How the E stage orders the untouched scenario pool.
+
+    RANDOM: uniformly shuffled scenario order (seeded; the default).
+    SEQUENTIAL: deterministic (tick, cell) order.
+    RANDOM_TICK: shuffle timestamps, then take each instant's scenarios
+        together — the order the MapReduce preprocess induces when it
+        "filter[s] escelist by a random time stamp" (Algorithm 3).
+    GREEDY: at each step pick the scenario that shrinks the most active
+        targets' candidate sets.  Quadratic; for the ablation bench.
+    """
+
+    RANDOM = "random"
+    SEQUENTIAL = "sequential"
+    RANDOM_TICK = "random_tick"
+    GREEDY = "greedy"
+
+
+@dataclass(frozen=True)
+class SplitConfig:
+    """E-stage knobs.
+
+    Attributes:
+        strategy: scenario ordering (see :class:`SelectionStrategy`).
+        seed: shuffle seed for the random strategies.
+        max_scenarios: examination budget; ``None`` means until the pool
+            is exhausted or every target is distinguished.
+        treat_vague_as_inclusive: ablation switch — collapse the vague
+            attribute into inclusive, i.e. run the ideal-setting rule on
+            practical data (what the vague zone protects against).
+        min_gap_ticks: evidence-diversity rule — a scenario is not used
+            as positive evidence for a target that already has evidence
+            from the *same cell* within this many ticks.  Two snapshots
+            of one camera seconds apart see the same crowd, so they
+            duplicate rather than add identity information (the same
+            travel companions co-occur, the same occlusions persist);
+            spacing the evidence keeps the V stage's probability
+            products nearly independent.  0 disables the rule.
+    """
+
+    strategy: SelectionStrategy = SelectionStrategy.RANDOM
+    seed: int = 0
+    max_scenarios: Optional[int] = None
+    treat_vague_as_inclusive: bool = False
+    min_gap_ticks: int = 5
+
+    def __post_init__(self) -> None:
+        if self.max_scenarios is not None and self.max_scenarios <= 0:
+            raise ValueError(
+                f"max_scenarios must be positive or None, got {self.max_scenarios}"
+            )
+        if self.min_gap_ticks < 0:
+            raise ValueError(
+                f"min_gap_ticks must be non-negative, got {self.min_gap_ticks}"
+            )
+
+
+@dataclass
+class SplitResult:
+    """Everything the E stage hands to the V stage, plus bookkeeping.
+
+    Attributes:
+        targets: the EIDs this run was asked to distinguish.
+        recorded: every effective scenario, in the order used.  The
+            paper's "number of selected scenarios" metric (Figs. 5/6) is
+            ``len(recorded)`` — reused scenarios counted once.
+        evidence: per-target positive scenario list (the input to VID
+            filtering; Fig. 7 plots its average length).
+        candidates: per-target final candidate EID set.
+        scenarios_examined: how many E-Scenarios were inspected,
+            effective or not — the E-stage cost driver.
+    """
+
+    targets: Tuple[EID, ...]
+    recorded: List[ScenarioKey] = field(default_factory=list)
+    evidence: Dict[EID, List[ScenarioKey]] = field(default_factory=dict)
+    candidates: Dict[EID, FrozenSet[EID]] = field(default_factory=dict)
+    scenarios_examined: int = 0
+
+    @property
+    def num_selected(self) -> int:
+        """Distinct effective scenarios (the Fig. 5/6 metric)."""
+        return len(self.recorded)
+
+    @property
+    def distinguished(self) -> FrozenSet[EID]:
+        """Targets whose candidate set reached a singleton."""
+        return frozenset(
+            t for t in self.targets if len(self.candidates.get(t, (0, 0))) == 1
+        )
+
+    @property
+    def unresolved(self) -> FrozenSet[EID]:
+        """Targets still confusable with at least one other EID."""
+        return frozenset(self.targets) - self.distinguished
+
+    @property
+    def avg_scenarios_per_eid(self) -> float:
+        """Mean positive-evidence length over targets (Fig. 7 metric)."""
+        if not self.targets:
+            return 0.0
+        return sum(len(self.evidence.get(t, ())) for t in self.targets) / len(
+            self.targets
+        )
+
+
+class SetSplitter:
+    """Production E stage with elastic matching size."""
+
+    def __init__(
+        self,
+        store: ScenarioStore,
+        config: Optional[SplitConfig] = None,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        self.store = store
+        self.config = config if config is not None else SplitConfig()
+        self.clock = clock if clock is not None else SimulatedClock()
+
+    def run(
+        self,
+        targets: Sequence[EID],
+        universe: Optional[Iterable[EID]] = None,
+        exclude: FrozenSet[ScenarioKey] = frozenset(),
+    ) -> SplitResult:
+        """Select and record scenarios until all ``targets`` stand alone.
+
+        Args:
+            targets: the EIDs to distinguish (1 = single matching,
+                a subset = multiple, everything = universal).
+            universe: the EID population the targets must be separated
+                from.  Defaults to every EID observed in the store.
+            exclude: scenario keys to skip — the refining loop passes
+                the keys already consumed by earlier rounds so each
+                round works on untouched scenarios.
+
+        Returns:
+            A :class:`SplitResult`; targets whose candidates never
+            reached a singleton are listed in ``result.unresolved``.
+        """
+        if not targets:
+            raise ValueError("targets must not be empty")
+        if len(set(targets)) != len(targets):
+            raise ValueError("targets contain duplicates")
+        universe_set = (
+            frozenset(universe) if universe is not None else self._observed_universe()
+        )
+        missing = [t for t in targets if t not in universe_set]
+        if missing:
+            raise ValueError(
+                f"targets not in universe: {sorted(e.index for e in missing)}"
+            )
+
+        result = SplitResult(targets=tuple(targets))
+        candidates: Dict[EID, Set[EID]] = {t: set(universe_set) for t in targets}
+        for t in targets:
+            result.evidence[t] = []
+        active: Set[EID] = set(targets)
+
+        if self.config.strategy is SelectionStrategy.GREEDY:
+            self._run_greedy(result, candidates, active, exclude)
+        else:
+            self._run_streaming(result, candidates, active, exclude)
+
+        result.candidates = {t: frozenset(candidates[t]) for t in targets}
+        return result
+
+    def _is_diverse(
+        self, key: ScenarioKey, existing: Sequence[ScenarioKey]
+    ) -> bool:
+        """The ``min_gap_ticks`` evidence-diversity rule for one target."""
+        gap = self.config.min_gap_ticks
+        if gap == 0:
+            return True
+        return not any(
+            prior.cell_id == key.cell_id and abs(prior.tick - key.tick) < gap
+            for prior in existing
+        )
+
+    # ------------------------------------------------------------------
+    def _observed_universe(self) -> FrozenSet[EID]:
+        """All EIDs that appear (inclusive or vague) in any scenario."""
+        eids: Set[EID] = set()
+        for e_scenario in self.store.e_scenarios():
+            eids.update(e_scenario.eids)
+        if not eids:
+            raise ValueError("the scenario store contains no EIDs")
+        return frozenset(eids)
+
+    def _scenario_sides(self, e_scenario: EScenario) -> Tuple[FrozenSet[EID], FrozenSet[EID]]:
+        """The (inclusive, allowed) EID sets under the configured rule.
+
+        ``allowed`` is what a positive intersection may keep: inclusive
+        plus vague, because a vague sighting must never eliminate its
+        EID from a candidate set.
+        """
+        if self.config.treat_vague_as_inclusive:
+            merged = e_scenario.inclusive | e_scenario.vague
+            return merged, merged
+        return e_scenario.inclusive, e_scenario.inclusive | e_scenario.vague
+
+    def _apply_scenario(
+        self,
+        key: ScenarioKey,
+        result: SplitResult,
+        candidates: Dict[EID, Set[EID]],
+        active: Set[EID],
+    ) -> bool:
+        """Use one scenario if it is effective.  Returns True if recorded."""
+        e_scenario = self.store.e_scenario(key)
+        inclusive, allowed = self._scenario_sides(e_scenario)
+        helped: List[EID] = []
+        for target in inclusive:
+            if (
+                target in active
+                and not candidates[target] <= allowed
+                and self._is_diverse(key, result.evidence[target])
+            ):
+                helped.append(target)
+        if not helped:
+            return False
+        result.recorded.append(key)
+        for target in helped:
+            candidates[target] &= allowed
+            result.evidence[target].append(key)
+            if len(candidates[target]) == 1:
+                active.discard(target)
+        return True
+
+    def _run_streaming(
+        self,
+        result: SplitResult,
+        candidates: Dict[EID, Set[EID]],
+        active: Set[EID],
+        exclude: FrozenSet[ScenarioKey],
+    ) -> None:
+        """RANDOM / SEQUENTIAL / RANDOM_TICK: one pass in a fixed order."""
+        budget = self.config.max_scenarios
+        for key in self._ordered_keys(exclude):
+            if not active:
+                break
+            if budget is not None and result.scenarios_examined >= budget:
+                break
+            result.scenarios_examined += 1
+            self.clock.charge_e_scenarios(1)
+            self._apply_scenario(key, result, candidates, active)
+
+    def _run_greedy(
+        self,
+        result: SplitResult,
+        candidates: Dict[EID, Set[EID]],
+        active: Set[EID],
+        exclude: FrozenSet[ScenarioKey],
+    ) -> None:
+        """GREEDY: repeatedly pick the scenario helping the most targets.
+
+        Every candidate scenario inspected during a sweep is charged as
+        examined, which is honest about why greedy selection is not the
+        production default.
+        """
+        pool: List[ScenarioKey] = [k for k in self.store.keys if k not in exclude]
+        budget = self.config.max_scenarios
+        while active and pool:
+            if budget is not None and result.scenarios_examined >= budget:
+                break
+            best_key: Optional[ScenarioKey] = None
+            best_score = 0
+            for key in pool:
+                result.scenarios_examined += 1
+                self.clock.charge_e_scenarios(1)
+                e_scenario = self.store.e_scenario(key)
+                inclusive, allowed = self._scenario_sides(e_scenario)
+                score = sum(
+                    1
+                    for t in inclusive
+                    if t in active and not candidates[t] <= allowed
+                )
+                if score > best_score:
+                    best_key, best_score = key, score
+                if budget is not None and result.scenarios_examined >= budget:
+                    break
+            if best_key is None:
+                break
+            pool.remove(best_key)
+            self._apply_scenario(best_key, result, candidates, active)
+
+    def _ordered_keys(
+        self, exclude: FrozenSet[ScenarioKey]
+    ) -> Iterator[ScenarioKey]:
+        """Scenario keys in the strategy's order, minus exclusions."""
+        strategy = self.config.strategy
+        if strategy is SelectionStrategy.SEQUENTIAL:
+            ordered: Iterable[ScenarioKey] = self.store.keys
+        elif strategy is SelectionStrategy.RANDOM:
+            keys = list(self.store.keys)
+            rng = np.random.default_rng(self.config.seed)
+            rng.shuffle(keys)  # type: ignore[arg-type]
+            ordered = keys
+        elif strategy is SelectionStrategy.RANDOM_TICK:
+            ticks = list(self.store.ticks)
+            rng = np.random.default_rng(self.config.seed)
+            rng.shuffle(ticks)  # type: ignore[arg-type]
+            ordered = (
+                key for tick in ticks for key in self.store.keys_at_tick(tick)
+            )
+        else:  # pragma: no cover - GREEDY handled by _run_greedy
+            raise ValueError(f"unsupported streaming strategy {strategy}")
+        for key in ordered:
+            if key not in exclude:
+                yield key
+
+
+def algorithm1_set_split(
+    universe: Iterable[EID],
+    scenarios: Sequence[EScenario],
+    max_scenarios: Optional[int] = None,
+) -> Tuple[List[ScenarioKey], EIDPartition]:
+    """Faithful Algorithm 1 (ideal setting): universal set splitting.
+
+    Starts from the one-set partition ``{U_eid}``, applies ``SplitBy``
+    scenario by scenario in the given order, records each scenario that
+    changes the partition, and stops when the partition has ``|U|``
+    singletons or scenarios run out.
+
+    Vague attributes are ignored (the ideal setting assumes none); use
+    :func:`practical_universal_split` for vague-aware universal
+    splitting.
+
+    Returns:
+        ``(recorded_keys, final_partition)``.
+    """
+    partition = EIDPartition(universe)
+    recorded: List[ScenarioKey] = []
+    n = len(partition.universe)
+    examined = 0
+    for e_scenario in scenarios:
+        if partition.num_sets >= n:
+            break
+        if max_scenarios is not None and examined >= max_scenarios:
+            break
+        examined += 1
+        splits = partition.split_by(
+            frozenset(e_scenario.inclusive & partition.universe)
+        )
+        if splits:
+            recorded.append(e_scenario.key)
+    return recorded, partition
+
+
+def practical_universal_split(
+    universe: Iterable[EID],
+    scenarios: Sequence[EScenario],
+    max_scenarios: Optional[int] = None,
+) -> Tuple[List[ScenarioKey], SeparationTracker]:
+    """Vague-aware universal splitting (Theorems 4.3/4.4 semantics).
+
+    Each scenario separates its inclusive EIDs from the EIDs confidently
+    *outside* it (neither inclusive nor vague); vague EIDs stay on both
+    sides of the split, so vague sightings never distinguish anybody.
+
+    Returns:
+        ``(recorded_keys, tracker)`` — a scenario is recorded iff it
+        separated at least one previously-confusable pair.
+    """
+    tracker = SeparationTracker(sorted(set(universe)))
+    universe_set = set(tracker.universe)
+    recorded: List[ScenarioKey] = []
+    examined = 0
+    for e_scenario in scenarios:
+        if tracker.num_distinguished() == len(universe_set):
+            break
+        if max_scenarios is not None and examined >= max_scenarios:
+            break
+        examined += 1
+        inside = e_scenario.inclusive & universe_set
+        outside = universe_set - e_scenario.inclusive - e_scenario.vague
+        in_progress, out_progress = tracker.separate(inside, outside)
+        if in_progress or out_progress:
+            recorded.append(e_scenario.key)
+    return recorded, tracker

@@ -1,0 +1,368 @@
+"""VID filtering — the V stage (paper Sec. IV-B.2, Eq. 1).
+
+Given each target EID's positive scenario list from the E stage, the V
+stage processes *only* those V-Scenarios:
+
+1. **Extraction** — detect human figures and extract appearance
+   features in every distinct selected V-Scenario.  This is the
+   dominant cost; a scenario shared by many EIDs is extracted once
+   (the reuse that makes SS cheaper than EDP).
+2. **Scoring** — for a candidate detection ``d`` and a scenario ``S``,
+   ``P(d in S) = max over detections d' in S of sim(d, d')`` with
+   ``sim = 1 - dist`` (Eq. 1); the candidate's probability of being the
+   target's VID is the product over the target's scenario list
+   (Sec. IV-B.2, following [24]).
+3. **Choice** — "in every scenario, we choose the VID with the largest
+   probability to be VID* as the final result": one chosen detection
+   per scenario; the accuracy metric applies the majority criterion to
+   these choices and the reported match is the highest-scoring one.
+
+Pairwise membership vectors are cached per (scenario, scenario) pair so
+repeated appearances of the same scenarios across targets cost real
+time only once, while the *simulated* comparison cost is still charged
+per target (the paper's Spark design compares features inside one
+mapper per EID, so cross-EID comparison reuse does not happen there —
+"this results in more comparisons of VID features in the V stage of our
+algorithm").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.metrics.timing import SimulatedClock
+from repro.sensing.scenarios import Detection, ScenarioKey, ScenarioStore
+from repro.world.entities import EID
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """V-stage knobs.
+
+    Attributes:
+        max_evidence: cap on how many scenarios of a target's list are
+            actually processed (None = all).  Lets callers trade
+            accuracy for V time; the headline benchmarks use None.
+        agreement_threshold: similarity above which two chosen
+            detections are considered the same person when judging a
+            match's self-consistency (ground-truth-free, used by the
+            refining loop's acceptability test).
+        min_agreement: minimum fraction of a target's chosen detections
+            that must mutually agree for the match to be *acceptable*
+            to Algorithm 2.  The default is deliberately strict: a match
+            whose choices only barely agree is worth a second, fresh
+            pass, because pooling two passes' votes is cheap insurance
+            against a round poisoned by missed detections.
+        exclusion_threshold: similarity above which a candidate
+            detection is considered the same person as an
+            already-matched VID and suppressed when matching *other*
+            EIDs (the paper's reuse of matched VIDs: "VIDs that have
+            been already matched may help distinguishing those remain
+            unmatched", Sec. IV-A).  Only used by
+            :meth:`VIDFilter.match` with ``use_exclusion=True``.
+    """
+
+    max_evidence: Optional[int] = None
+    agreement_threshold: float = 0.6
+    min_agreement: float = 0.75
+    exclusion_threshold: float = 0.62
+
+    def __post_init__(self) -> None:
+        if self.max_evidence is not None and self.max_evidence <= 0:
+            raise ValueError(
+                f"max_evidence must be positive or None, got {self.max_evidence}"
+            )
+        if not 0.0 < self.agreement_threshold < 1.0:
+            raise ValueError(
+                f"agreement_threshold must be in (0, 1), got {self.agreement_threshold}"
+            )
+        if not 0.0 < self.min_agreement <= 1.0:
+            raise ValueError(
+                f"min_agreement must be in (0, 1], got {self.min_agreement}"
+            )
+        if not 0.0 < self.exclusion_threshold < 1.0:
+            raise ValueError(
+                f"exclusion_threshold must be in (0, 1), got {self.exclusion_threshold}"
+            )
+
+
+@dataclass
+class MatchResult:
+    """Outcome of VID filtering for one EID.
+
+    Attributes:
+        eid: the matched target.
+        scenario_keys: the scenarios actually processed (the target's
+            evidence list, minus detection-less scenarios, truncated to
+            ``max_evidence``).
+        chosen: the per-scenario chosen detections, aligned with
+            ``scenario_keys``.
+        scores: each chosen detection's probability product.
+        agreement: fraction of chosen detections agreeing with the
+            plurality cluster (computed without ground truth).
+    """
+
+    eid: EID
+    scenario_keys: Tuple[ScenarioKey, ...]
+    chosen: Tuple[Detection, ...]
+    scores: Tuple[float, ...]
+    agreement: float
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no scenario offered any detection to choose."""
+        return not self.chosen
+
+    @property
+    def best(self) -> Optional[Detection]:
+        """The reported VID: the highest-scoring chosen detection."""
+        if not self.chosen:
+            return None
+        return self.chosen[int(np.argmax(self.scores))]
+
+    def is_acceptable(self, config: FilterConfig) -> bool:
+        """Algorithm 2's acceptability test, without ground truth."""
+        if self.is_empty:
+            return False
+        return self.agreement >= config.min_agreement
+
+
+def membership_vector(features_a: np.ndarray, features_b: np.ndarray) -> np.ndarray:
+    """``P(d in S_b)`` for every detection ``d`` of scenario ``a``.
+
+    Eq. 1 over unit-norm features: ``sim = 1 - |f - f'| / 2`` and the
+    membership probability takes the best-matching detection of ``b``.
+    """
+    if features_a.size == 0:
+        return np.zeros(0)
+    if features_b.size == 0:
+        return np.zeros(features_a.shape[0])
+    dots = features_a @ features_b.T
+    dist = np.sqrt(np.clip(2.0 - 2.0 * dots, 0.0, None)) / 2.0
+    sims = 1.0 - dist
+    return sims.max(axis=1)
+
+
+class VIDFilter:
+    """The V stage: from per-EID scenario lists to matched detections."""
+
+    def __init__(
+        self,
+        store: ScenarioStore,
+        config: Optional[FilterConfig] = None,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        self.store = store
+        self.config = config if config is not None else FilterConfig()
+        self.clock = clock if clock is not None else SimulatedClock()
+        self._extracted: Set[ScenarioKey] = set()
+        self._features: Dict[ScenarioKey, np.ndarray] = {}
+        self._membership_cache: Dict[Tuple[ScenarioKey, ScenarioKey], np.ndarray] = {}
+
+    def match(
+        self,
+        evidence: Mapping[EID, Sequence[ScenarioKey]],
+        use_exclusion: bool = False,
+    ) -> Dict[EID, MatchResult]:
+        """Run VID filtering for every target in ``evidence``.
+
+        Extraction is charged once per distinct scenario across all
+        targets (frame reuse); comparisons are charged per target.
+
+        With ``use_exclusion=True`` the targets are processed from the
+        shortest evidence list up (the analog of the correctness
+        proof's post-order traversal, Sec. IV-D), and each confidently
+        matched appearance is *claimed*: later targets' candidate
+        detections that look like a claimed person are suppressed —
+        "VIDs that have been already matched may help distinguishing
+        those remain unmatched" (Sec. IV-A).
+        """
+        results: Dict[EID, MatchResult] = {}
+        if not use_exclusion:
+            for eid in sorted(evidence.keys()):
+                results[eid] = self.match_one(eid, evidence[eid])
+            return results
+
+        claimed: List[np.ndarray] = []
+        order = sorted(
+            evidence.keys(), key=lambda e: (len(evidence[e]), e)
+        )
+        for eid in order:
+            result = self.match_one(eid, evidence[eid], claimed=claimed)
+            results[eid] = result
+            centroid = self._claim_centroid(result)
+            if centroid is not None:
+                claimed.append(centroid)
+        return results
+
+    def match_one(
+        self,
+        eid: EID,
+        scenario_keys: Sequence[ScenarioKey],
+        claimed: Optional[Sequence[np.ndarray]] = None,
+    ) -> MatchResult:
+        """Run VID filtering for a single target.
+
+        ``claimed`` holds appearance centroids of already-matched
+        people; candidate detections closer than ``exclusion_threshold``
+        to any of them are suppressed (unless that would leave a
+        scenario with no candidate at all).
+        """
+        keys = self._usable_keys(scenario_keys)
+        if not keys:
+            return MatchResult(
+                eid=eid, scenario_keys=(), chosen=(), scores=(), agreement=0.0
+            )
+        for key in keys:
+            self._ensure_extracted(key)
+
+        chosen: List[Detection] = []
+        scores: List[float] = []
+        for key_a in keys:
+            scenario = self.store.v_scenario(key_a)
+            score_vec = np.ones(len(scenario))
+            for key_b in keys:
+                if key_b == key_a:
+                    continue
+                score_vec = score_vec * self._membership(key_a, key_b)
+                self.clock.charge_comparisons(
+                    len(scenario) * len(self.store.v_scenario(key_b))
+                )
+            if claimed:
+                score_vec = self._suppress_claimed(key_a, score_vec, claimed)
+            winner = int(np.argmax(score_vec))
+            chosen.append(scenario.detections[winner])
+            scores.append(float(score_vec[winner]))
+
+        agreement = self._agreement(chosen)
+        return MatchResult(
+            eid=eid,
+            scenario_keys=tuple(keys),
+            chosen=tuple(chosen),
+            scores=tuple(scores),
+            agreement=agreement,
+        )
+
+    def _suppress_claimed(
+        self,
+        key: ScenarioKey,
+        score_vec: np.ndarray,
+        claimed: Sequence[np.ndarray],
+    ) -> np.ndarray:
+        """Zero out candidates that look like an already-matched person."""
+        features = self._features[key]
+        centroids = np.stack(list(claimed))
+        self.clock.charge_comparisons(features.shape[0] * centroids.shape[0])
+        best = membership_vector(features, centroids)
+        mask = best >= self.config.exclusion_threshold
+        if mask.all():
+            return score_vec  # suppressing everyone would be nonsense
+        suppressed = score_vec.copy()
+        suppressed[mask] = 0.0
+        return suppressed
+
+    def _claim_centroid(self, result: MatchResult) -> Optional[np.ndarray]:
+        """Centroid of a confident match's agreeing choices, or None.
+
+        Only self-consistent matches claim an appearance — claiming on
+        a shaky match would suppress the *right* person for later
+        targets, cascading one error into many.
+        """
+        if result.is_empty or not result.is_acceptable(self.config):
+            return None
+        features = np.stack([d.feature for d in result.chosen])
+        centroid = features.mean(axis=0)
+        norm = np.linalg.norm(centroid)
+        if norm == 0.0:
+            return None
+        return centroid / norm
+
+    def pool(self, first: MatchResult, second: MatchResult) -> MatchResult:
+        """Merge two rounds' matches for one EID (Algorithm 2 pooling).
+
+        The chosen detections of both rounds vote together: per-round
+        failures come from correlated evidence (one missed detection
+        poisons every product of its round), so pooling independent
+        rounds is what actually repairs them.  Agreement is recomputed
+        over the combined choices.
+        """
+        if first.eid != second.eid:
+            raise ValueError(
+                f"cannot pool results for different EIDs: "
+                f"{first.eid} vs {second.eid}"
+            )
+        chosen = first.chosen + second.chosen
+        return MatchResult(
+            eid=first.eid,
+            scenario_keys=first.scenario_keys + second.scenario_keys,
+            chosen=chosen,
+            scores=first.scores + second.scores,
+            agreement=self._agreement(chosen),
+        )
+
+    # ------------------------------------------------------------------
+    def _usable_keys(
+        self, scenario_keys: Sequence[ScenarioKey]
+    ) -> List[ScenarioKey]:
+        """Drop duplicate and detection-less scenarios; apply the cap.
+
+        A V-Scenario with no detections offers no VID to choose and
+        would zero out every candidate's product, so it is unusable
+        evidence (this happens under heavy VID missing).
+        """
+        seen: Set[ScenarioKey] = set()
+        keys: List[ScenarioKey] = []
+        for key in scenario_keys:
+            if key in seen:
+                continue
+            seen.add(key)
+            if len(self.store.v_scenario(key)) > 0:
+                keys.append(key)
+        if self.config.max_evidence is not None:
+            keys = keys[: self.config.max_evidence]
+        return keys
+
+    def _ensure_extracted(self, key: ScenarioKey) -> None:
+        """Charge extraction the first time a scenario is processed."""
+        if key in self._extracted:
+            return
+        scenario = self.store.v_scenario(key)
+        self.clock.charge_extraction(len(scenario))
+        self._features[key] = scenario.feature_matrix()
+        self._extracted.add(key)
+
+    def _membership(self, key_a: ScenarioKey, key_b: ScenarioKey) -> np.ndarray:
+        """Cached ``P(d in S_b)`` vector for the detections of ``a``."""
+        cache_key = (key_a, key_b)
+        vector = self._membership_cache.get(cache_key)
+        if vector is None:
+            vector = membership_vector(self._features[key_a], self._features[key_b])
+            self._membership_cache[cache_key] = vector
+        return vector
+
+    def _agreement(self, chosen: Sequence[Detection]) -> float:
+        """Plurality agreement among chosen detections, by similarity.
+
+        Two choices "agree" when their features are closer than
+        ``agreement_threshold``; the score is the largest agreement
+        neighborhood's size over the number of choices.  Uses no ground
+        truth, so Algorithm 2 can gate on it in production.
+        """
+        if not chosen:
+            return 0.0
+        if len(chosen) == 1:
+            return 1.0
+        features = np.stack([d.feature for d in chosen])
+        dots = features @ features.T
+        dist = np.sqrt(np.clip(2.0 - 2.0 * dots, 0.0, None)) / 2.0
+        sims = 1.0 - dist
+        agree_counts = (sims >= self.config.agreement_threshold).sum(axis=1)
+        return float(agree_counts.max()) / len(chosen)
+
+    @property
+    def scenarios_extracted(self) -> int:
+        """Distinct V-Scenarios extracted so far (the reuse metric)."""
+        return len(self._extracted)

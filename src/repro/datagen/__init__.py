@@ -1,0 +1,19 @@
+"""Synthetic EV dataset generation (paper Sec. VI-A).
+
+One :class:`~repro.datagen.config.ExperimentConfig` describes a whole
+evaluation setup — population size, region, cell decomposition,
+mobility, sensing noise — and :func:`~repro.datagen.dataset.build_dataset`
+turns it into a ready-to-match :class:`~repro.datagen.dataset.EVDataset`.
+"""
+
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import EVDataset, build_dataset
+from repro.datagen.io import load_dataset, save_dataset
+
+__all__ = [
+    "EVDataset",
+    "ExperimentConfig",
+    "build_dataset",
+    "load_dataset",
+    "save_dataset",
+]

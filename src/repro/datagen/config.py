@@ -1,0 +1,173 @@
+"""Experiment configuration: every knob of the synthetic evaluation.
+
+Defaults reproduce the paper's setup (Sec. VI-A): 1000 human objects on
+a 1000 m x 1000 m region under random-waypoint mobility, with WiFi-MAC
+EIDs and appearance-feature VIDs.  The benchmark sweeps vary exactly
+the fields the paper varies — the number of matched EIDs, the per-cell
+density, and the E/V missing rates — and hold everything else fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.mobility.random_waypoint import RandomWaypointConfig
+from repro.sensing.builder import ScenarioBuilderConfig
+from repro.sensing.e_sensing import ESensingConfig
+from repro.sensing.v_sensing import VSensingConfig
+from repro.world.features import FeatureSpace
+from repro.world.population import PopulationConfig
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full description of one synthetic evaluation setup.
+
+    Attributes:
+        num_people: human objects in the database (paper: 1000).
+        region_side: side of the square region in metres (paper: 1000).
+        cells_per_side: cell-grid resolution; per-cell density is
+            ``num_people / cells_per_side**2`` (grid shape only).
+        cell_shape: ``"grid"`` (rectangular tiling, the benchmark
+            default) or ``"hex"`` (the hexagonal tiling of the paper's
+            Fig. 1, sized by ``hex_radius``).
+        hex_radius: circumradius in metres of hex cells (``"hex"`` only).
+        mobility_model: ``"random_waypoint"`` (Sec. VI-A's model),
+            ``"random_walk"``, ``"gauss_markov"`` or ``"hotspot"``
+            (crowd-forming waypoint) for sensitivity studies; the
+            alternatives use their default parameters.
+        vague_width: vague-band width in metres inside each cell border
+            (0 = ideal setting, no vague machinery).
+        duration: recorded simulation length in seconds.
+        sample_dt: trace sampling interval in seconds; also the spacing
+            of scenario snapshots.
+        warmup: pre-recording mobility warmup in seconds (escapes the
+            random-waypoint non-stationarity).
+        device_carry_rate: probability a person carries a device;
+            ``1 - rate`` is the population-level EID missing rate.
+        multi_device_rate: probability a device carrier has a second
+            device — violates the paper's one-phone-per-person
+            assumption for sensitivity studies.
+        e_drift_sigma: positional noise (metres) on electronic
+            sightings (the drifting-EID practical setting).
+        e_miss_rate: per-sighting EID capture miss probability
+            (Fig. 10's sweep variable).
+        v_miss_rate: per-person-per-scenario detection miss probability
+            (Fig. 11's sweep variable).
+        window_ticks: trace samples aggregated into one scenario window
+            (1 = single-instant snapshots).
+        feature_dimension / feature_noise / feature_outlier_rate /
+            feature_outlier_noise: appearance-model geometry — the
+            re-identification difficulty knobs (see
+            :class:`~repro.world.features.FeatureSpace`).
+        mobility: random-waypoint parameters.
+        seed: master seed; population, mobility and sensing derive
+            independent substreams from it.
+    """
+
+    num_people: int = 1000
+    region_side: float = 1000.0
+    cells_per_side: int = 5
+    cell_shape: str = "grid"
+    hex_radius: float = 120.0
+    mobility_model: str = "random_waypoint"
+    vague_width: float = 0.0
+    duration: float = 1800.0
+    sample_dt: float = 10.0
+    warmup: float = 300.0
+    device_carry_rate: float = 1.0
+    multi_device_rate: float = 0.0
+    e_drift_sigma: float = 0.0
+    e_miss_rate: float = 0.0
+    v_miss_rate: float = 0.0
+    window_ticks: int = 1
+    feature_dimension: int = 64
+    feature_noise: float = 0.45
+    feature_outlier_rate: float = 0.10
+    feature_outlier_noise: float = 1.3
+    mobility: RandomWaypointConfig = field(default_factory=RandomWaypointConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_people <= 0:
+            raise ValueError(f"num_people must be positive, got {self.num_people}")
+        if self.region_side <= 0:
+            raise ValueError(f"region_side must be positive, got {self.region_side}")
+        if self.cells_per_side <= 0:
+            raise ValueError(
+                f"cells_per_side must be positive, got {self.cells_per_side}"
+            )
+        if self.cell_shape not in ("grid", "hex"):
+            raise ValueError(
+                f"cell_shape must be 'grid' or 'hex', got {self.cell_shape!r}"
+            )
+        if self.hex_radius <= 0:
+            raise ValueError(f"hex_radius must be positive, got {self.hex_radius}")
+        if self.mobility_model not in (
+            "random_waypoint",
+            "random_walk",
+            "gauss_markov",
+            "hotspot",
+        ):
+            raise ValueError(
+                f"unknown mobility_model {self.mobility_model!r}"
+            )
+        if self.duration <= 0 or self.sample_dt <= 0:
+            raise ValueError("duration and sample_dt must be positive")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {self.warmup}")
+
+    @property
+    def num_cells(self) -> int:
+        return self.cells_per_side**2
+
+    @property
+    def density(self) -> float:
+        """Average human objects per cell — the Fig. 6/9 x-axis."""
+        return self.num_people / self.num_cells
+
+    @property
+    def num_ticks(self) -> int:
+        """Trace samples per trajectory."""
+        return int(self.duration / self.sample_dt) + 1
+
+    def population_config(self) -> PopulationConfig:
+        return PopulationConfig(
+            num_people=self.num_people,
+            device_carry_rate=self.device_carry_rate,
+            multi_device_rate=self.multi_device_rate,
+            feature_space=FeatureSpace(
+                dimension=self.feature_dimension,
+                observation_noise=self.feature_noise,
+                outlier_rate=self.feature_outlier_rate,
+                outlier_noise=self.feature_outlier_noise,
+            ),
+            seed=self.seed,
+        )
+
+    def e_sensing_config(self) -> ESensingConfig:
+        return ESensingConfig(
+            drift_sigma=self.e_drift_sigma,
+            miss_rate=self.e_miss_rate,
+        )
+
+    def v_sensing_config(self) -> VSensingConfig:
+        return VSensingConfig(miss_rate=self.v_miss_rate)
+
+    def builder_config(self) -> ScenarioBuilderConfig:
+        return ScenarioBuilderConfig(
+            window_ticks=self.window_ticks,
+            seed=self.seed + 1,
+        )
+
+    def with_density(self, density: float) -> "ExperimentConfig":
+        """Closest configuration with the requested per-cell density.
+
+        Adjusts ``cells_per_side`` (keeping the population fixed, as the
+        paper does when sweeping density).
+        """
+        if density <= 0:
+            raise ValueError(f"density must be positive, got {density}")
+        best = max(1, round((self.num_people / density) ** 0.5))
+        return replace(self, cells_per_side=int(best))

@@ -1,0 +1,125 @@
+"""Dataset assembly: config -> world -> traces -> scenarios.
+
+:func:`build_dataset` is the one-stop factory the examples, tests and
+benchmarks all use.  The resulting :class:`EVDataset` bundles the
+matcher's input (the scenario store) with the ground truth needed only
+for scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.datagen.config import ExperimentConfig
+from repro.mobility.base import MobilityModel
+from repro.mobility.gauss_markov import GaussMarkov
+from repro.mobility.hotspot import HotspotWaypoint
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.trace import TraceSet, generate_traces
+from repro.sensing.builder import ScenarioBuilder
+from repro.sensing.e_sensing import ESensingModel
+from repro.sensing.scenarios import ScenarioStore
+from repro.sensing.v_sensing import VSensingModel
+from repro.world.cells import CellGrid, HexCellGrid
+from repro.world.entities import EID, VID
+from repro.world.geometry import BoundingBox
+from repro.world.population import Population
+
+
+@dataclass
+class EVDataset:
+    """A fully-built synthetic evaluation world.
+
+    Attributes:
+        config: the configuration that produced it.
+        population: people + appearance model (ground truth side).
+        grid: the cell decomposition.
+        traces: ground-truth trajectories (``None`` for datasets
+            reloaded from disk — see :mod:`repro.datagen.io`).
+        store: the EV-Scenarios — the only thing the matcher sees.
+    """
+
+    config: ExperimentConfig
+    population: Population
+    grid: "CellGrid | HexCellGrid"
+    traces: Optional[TraceSet]
+    store: ScenarioStore
+
+    @property
+    def truth(self) -> Dict[EID, VID]:
+        """Ground-truth EID -> VID map for the accuracy metric."""
+        return self.population.true_match_map()
+
+    @property
+    def eids(self) -> Sequence[EID]:
+        """All device-carrying EIDs, sorted."""
+        return self.population.eids
+
+    def sample_targets(self, count: int, seed: int = 0) -> Sequence[EID]:
+        """A reproducible random subset of EIDs to match.
+
+        The benchmark sweeps use this for their "number of matched
+        EIDs" axis.
+        """
+        eids = list(self.eids)
+        if count > len(eids):
+            raise ValueError(
+                f"requested {count} targets but only {len(eids)} EIDs exist"
+            )
+        rng = np.random.default_rng(seed)
+        picked = rng.choice(len(eids), size=count, replace=False)
+        return tuple(eids[i] for i in sorted(picked.tolist()))
+
+
+def build_dataset(config: ExperimentConfig) -> EVDataset:
+    """Generate the world, simulate movement and sensing, build scenarios."""
+    population = Population(config.population_config())
+    region = BoundingBox.square(config.region_side)
+    if config.cell_shape == "hex":
+        grid = HexCellGrid(
+            region,
+            hex_radius=config.hex_radius,
+            vague_width=config.vague_width,
+        )
+    else:
+        grid = CellGrid(
+            region,
+            cells_per_side=config.cells_per_side,
+            vague_width=config.vague_width,
+        )
+    model: MobilityModel
+    if config.mobility_model == "random_walk":
+        model = RandomWalk(region)
+    elif config.mobility_model == "gauss_markov":
+        model = GaussMarkov(region)
+    elif config.mobility_model == "hotspot":
+        model = HotspotWaypoint(region, config.mobility)
+    else:
+        model = RandomWaypoint(region, config.mobility)
+    traces = generate_traces(
+        model,
+        person_ids=[p.person_id for p in population.people],
+        duration=config.duration,
+        dt=config.sample_dt,
+        seed=config.seed + 2,
+        warmup=config.warmup,
+    )
+    builder = ScenarioBuilder(
+        population=population,
+        grid=grid,
+        e_model=ESensingModel(config.e_sensing_config()),
+        v_model=VSensingModel(population.appearance, config.v_sensing_config()),
+        config=config.builder_config(),
+    )
+    store = builder.build(traces)
+    return EVDataset(
+        config=config,
+        population=population,
+        grid=grid,
+        traces=traces,
+        store=store,
+    )

@@ -1,0 +1,35 @@
+"""EV data fusion: the queryable product of EV-Matching.
+
+The paper's end goal is not the matching itself but what it enables:
+"we are further able to fuse these two big and heterogeneous datasets,
+and retrieve the E and V information for a person at the same time
+with one single query" (Sec. I).  This package builds that product:
+
+* :mod:`repro.fusion.trajectories` — the Sec. III data model:
+  per-EID **E-Trajectories** recovered from electronic sightings, and
+  **V-Tracklets** (the paper's V-Trajectory segments) recovered by
+  linking detections across time with appearance similarity.
+* :mod:`repro.fusion.index` — the :class:`FusedIndex`: built from a
+  (typically universal) match report, it answers single queries that
+  need both sides at once — a person's full profile, everyone present
+  at a place and time, appearance search, co-travel analysis.
+"""
+
+from repro.fusion.trajectories import (
+    ETrajectory,
+    VTracklet,
+    build_e_trajectories,
+    build_v_tracklets,
+)
+from repro.fusion.index import FusedIndex, PersonProfile
+from repro.fusion.smoothing import smooth_store
+
+__all__ = [
+    "ETrajectory",
+    "FusedIndex",
+    "PersonProfile",
+    "VTracklet",
+    "build_e_trajectories",
+    "build_v_tracklets",
+    "smooth_store",
+]

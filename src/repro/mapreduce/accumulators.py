@@ -1,0 +1,99 @@
+"""Spark-style accumulators: driver-visible counters for tasks.
+
+Mappers and reducers are plain callables, so side statistics (records
+dropped, parse errors, cache hits) have nowhere to go through return
+values.  Spark's answer is the accumulator: a driver-owned cell that
+task closures capture and `add` to; this module reproduces it,
+including the famous caveat.
+
+    sc = EVSparkContext()
+    dropped = sc.accumulator("dropped")
+    rdd.filter(lambda x: keep(x) or not dropped.add(1)).collect()
+    print(dropped.value)
+
+**The retry caveat, faithfully.**  The engine re-runs failed task
+attempts, and an attempt may die *after* it already added to an
+accumulator — so under failures an accumulator can over-count, exactly
+as Spark documents for accumulators used inside transformations.
+Accumulators are statistics, not results; anything that must be exact
+belongs in the job's output.  (A test pins this behaviour down so
+nobody "fixes" it into false precision.)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Accumulator:
+    """A thread-safe, add-only cell shared between driver and tasks.
+
+    Args:
+        name: label used in ``__repr__`` and context listings.
+        initial: starting value.
+        combine: how to fold an added amount into the current value
+            (default: ``+``).  Must be associative and commutative —
+            task execution order is unspecified.
+    """
+
+    def __init__(
+        self,
+        name: str = "accumulator",
+        initial: T = 0,  # type: ignore[assignment]
+        combine: Optional[Callable[[T, T], T]] = None,
+    ) -> None:
+        self.name = name
+        self._value = initial
+        self._combine = combine if combine is not None else (lambda a, b: a + b)
+        self._lock = threading.Lock()
+
+    def add(self, amount: T) -> None:
+        """Fold ``amount`` into the accumulator (safe from any thread)."""
+        with self._lock:
+            self._value = self._combine(self._value, amount)
+
+    @property
+    def value(self) -> T:
+        """The current folded value (read on the driver)."""
+        with self._lock:
+            return self._value
+
+    def reset(self, value: T = 0) -> None:  # type: ignore[assignment]
+        """Driver-side reset (e.g. between experiment repetitions)."""
+        with self._lock:
+            self._value = value
+
+    def __repr__(self) -> str:
+        return f"Accumulator({self.name}={self.value!r})"
+
+
+class AccumulatorRegistry:
+    """Named accumulators owned by one context."""
+
+    def __init__(self) -> None:
+        self._accumulators: Dict[str, Accumulator] = {}
+
+    def create(
+        self,
+        name: str,
+        initial: T = 0,  # type: ignore[assignment]
+        combine: Optional[Callable[[T, T], T]] = None,
+    ) -> Accumulator:
+        """Create (or fetch) the accumulator called ``name``.
+
+        Re-creating an existing name returns the existing accumulator —
+        convenient for notebook-style re-execution.
+        """
+        existing = self._accumulators.get(name)
+        if existing is not None:
+            return existing
+        accumulator = Accumulator(name=name, initial=initial, combine=combine)
+        self._accumulators[name] = accumulator
+        return accumulator
+
+    def snapshot(self) -> Dict[str, object]:
+        """Current values of every accumulator, by name."""
+        return {name: acc.value for name, acc in sorted(self._accumulators.items())}

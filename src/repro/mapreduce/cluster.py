@@ -1,0 +1,208 @@
+"""Simulated cluster: nodes, worker slots, and makespan scheduling.
+
+The paper evaluates on "a cluster with 14 machines[, e]ach ... a
+four-core (2.4 GHz) processor" (Sec. VI-A).  We model exactly that
+resource shape: ``num_nodes`` nodes of ``cores_per_node`` slots.  Real
+execution parallelism (threads) is handled by the engine; this module
+answers the *simulated-time* question — if every task ``i`` costs
+``c_i`` seconds of one core, how long does the stage take on this
+cluster? — via greedy list scheduling (each task goes to the
+earliest-free slot), which is how Hadoop/Spark's slot schedulers behave
+for independent tasks within a stage.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.mapreduce.speculation import SkewModel, StagePolicy, simulate_stage
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster resource shape.
+
+    Attributes:
+        num_nodes: machines in the cluster (paper: 14).
+        cores_per_node: concurrent task slots per machine (paper: 4).
+        task_overhead: fixed per-task scheduling/launch cost in
+            simulated seconds (JVM-less, but task dispatch is never
+            free; keeps tiny-task stages from showing impossible
+            speedups).
+        skew_sigma: lognormal task-duration noise (0 = deterministic
+            durations; see :class:`~repro.mapreduce.speculation.SkewModel`).
+        skew_seed: determinism root for the skew draws.
+        speculate: enable speculative backup copies for stragglers.
+        locality_wait: delay-scheduling wait for a data-local slot.
+        remote_read_penalty: extra seconds a non-local map task pays.
+    """
+
+    num_nodes: int = 14
+    cores_per_node: int = 4
+    task_overhead: float = 0.01
+    skew_sigma: float = 0.0
+    skew_seed: int = 0
+    speculate: bool = False
+    locality_wait: float = 0.0
+    remote_read_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {self.num_nodes}")
+        if self.cores_per_node <= 0:
+            raise ValueError(
+                f"cores_per_node must be positive, got {self.cores_per_node}"
+            )
+        if self.task_overhead < 0:
+            raise ValueError(
+                f"task_overhead must be non-negative, got {self.task_overhead}"
+            )
+        if self.skew_sigma < 0:
+            raise ValueError(
+                f"skew_sigma must be non-negative, got {self.skew_sigma}"
+            )
+        if self.locality_wait < 0 or self.remote_read_penalty < 0:
+            raise ValueError("locality knobs must be non-negative")
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+
+@dataclass
+class TaskStats:
+    """Per-stage scheduling outcome.
+
+    Attributes:
+        num_tasks: tasks scheduled in the stage.
+        serial_cost: total simulated core-seconds of the stage.
+        makespan: simulated wall time of the stage on the cluster.
+        slot_utilization: fraction of slot-time actually busy during
+            the makespan (1.0 = perfectly balanced stage).
+        per_slot_busy: busy seconds of each slot, for skew inspection.
+        speculative_copies / wasted_work / local_tasks / remote_tasks:
+            populated by :meth:`SimulatedCluster.simulate` when skew,
+            speculation or locality are configured.
+    """
+
+    num_tasks: int
+    serial_cost: float
+    makespan: float
+    slot_utilization: float
+    per_slot_busy: Tuple[float, ...]
+    speculative_copies: int = 0
+    wasted_work: float = 0.0
+    local_tasks: int = 0
+    remote_tasks: int = 0
+
+
+class SimulatedCluster:
+    """Greedy list scheduler over ``num_nodes * cores_per_node`` slots."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config if config is not None else ClusterConfig()
+
+    def schedule(self, task_costs: Sequence[float]) -> TaskStats:
+        """Assign independent tasks to slots in submission order.
+
+        Each task is placed on the slot that frees up earliest — the
+        behaviour of a slot scheduler pulling from a task queue.  (This
+        is the classic 2-approximation of optimal makespan; real
+        clusters do no better without task-length oracles.)
+
+        Args:
+            task_costs: simulated seconds of one core per task, in
+                submission order.
+
+        Returns:
+            The stage's :class:`TaskStats`; zero tasks yield a zero
+            makespan.
+        """
+        for i, cost in enumerate(task_costs):
+            if cost < 0:
+                raise ValueError(f"task {i} has negative cost {cost}")
+        slots = self.config.total_slots
+        if not task_costs:
+            return TaskStats(
+                num_tasks=0,
+                serial_cost=0.0,
+                makespan=0.0,
+                slot_utilization=1.0,
+                per_slot_busy=tuple(0.0 for _ in range(slots)),
+            )
+        # Min-heap of (finish_time, slot_index).
+        heap: List[Tuple[float, int]] = [(0.0, s) for s in range(slots)]
+        heapq.heapify(heap)
+        busy = [0.0] * slots
+        overhead = self.config.task_overhead
+        for cost in task_costs:
+            finish, slot = heapq.heappop(heap)
+            duration = cost + overhead
+            busy[slot] += duration
+            heapq.heappush(heap, (finish + duration, slot))
+        makespan = max(finish for finish, _ in heap)
+        serial = sum(task_costs) + overhead * len(task_costs)
+        utilization = serial / (makespan * slots) if makespan > 0 else 1.0
+        return TaskStats(
+            num_tasks=len(task_costs),
+            serial_cost=serial,
+            makespan=makespan,
+            slot_utilization=utilization,
+            per_slot_busy=tuple(busy),
+        )
+
+    def simulate(
+        self,
+        task_costs: Sequence[float],
+        stage_id: str = "stage",
+        placements: Optional[Sequence[int]] = None,
+    ) -> TaskStats:
+        """Schedule a stage under the configured skew / speculation /
+        locality policy (event-driven), falling back to plain list
+        scheduling when none of those knobs are set.
+
+        ``placements`` gives each task's input-block node for delay
+        scheduling; pass None for shuffled (reduce) stages.
+        """
+        cfg = self.config
+        advanced = (
+            cfg.skew_sigma > 0
+            or cfg.speculate
+            or (placements is not None and cfg.remote_read_penalty > 0)
+        )
+        if not advanced:
+            return self.schedule(task_costs)
+        policy = StagePolicy(
+            slots=cfg.total_slots,
+            cores_per_node=cfg.cores_per_node,
+            task_overhead=cfg.task_overhead,
+            skew=SkewModel(sigma=cfg.skew_sigma, seed=cfg.skew_seed),
+            speculate=cfg.speculate,
+            locality_wait=cfg.locality_wait,
+            remote_read_penalty=cfg.remote_read_penalty,
+        )
+        sim = simulate_stage(task_costs, policy, stage_id, placements)
+        serial = sum(task_costs) + cfg.task_overhead * len(task_costs)
+        utilization = (
+            serial / (sim.makespan * cfg.total_slots) if sim.makespan > 0 else 1.0
+        )
+        return TaskStats(
+            num_tasks=len(task_costs),
+            serial_cost=serial,
+            makespan=sim.makespan,
+            slot_utilization=utilization,
+            per_slot_busy=(),
+            speculative_copies=sim.speculative_copies,
+            wasted_work=sim.wasted_work,
+            local_tasks=sim.local_tasks,
+            remote_tasks=sim.remote_tasks,
+        )
+
+    def speedup(self, task_costs: Sequence[float]) -> float:
+        """Serial-cost / makespan for one stage (ideal = total_slots)."""
+        stats = self.schedule(task_costs)
+        if stats.makespan == 0.0:
+            return float(self.config.total_slots)
+        return stats.serial_cost / stats.makespan

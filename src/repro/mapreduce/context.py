@@ -1,0 +1,155 @@
+"""EVSparkContext: the RDD entry point and lineage compiler.
+
+Owns the engine (and through it the DFS and the simulated cluster),
+hands out RDDs, and materializes lineage graphs: each maximal chain of
+narrow nodes becomes one map-only job; each shuffle node becomes one
+shuffled job; unions concatenate partitions in storage.  Every job's
+:class:`~repro.mapreduce.job.JobMetrics` is appended to ``job_log`` so
+callers can audit what actually ran (the engine ablation bench does).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.mapreduce.accumulators import Accumulator, AccumulatorRegistry
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import JobMetrics, MapReduceJob
+from repro.mapreduce.rdd import RDD, _Narrow, _Node, _Shuffle, _Source, _Union
+
+
+class EVSparkContext:
+    """Creates RDDs and compiles their lineage onto the engine."""
+
+    def __init__(
+        self,
+        engine: Optional[MapReduceEngine] = None,
+        default_partitions: int = 8,
+    ) -> None:
+        if default_partitions <= 0:
+            raise ValueError(
+                f"default_partitions must be positive, got {default_partitions}"
+            )
+        self.engine = engine if engine is not None else MapReduceEngine()
+        self.default_partitions = default_partitions
+        self.job_log: List[JobMetrics] = []
+        self.accumulators = AccumulatorRegistry()
+        self._name_counter = itertools.count()
+
+    def accumulator(self, name: str, initial=0, combine=None) -> Accumulator:
+        """A named driver-side counter task closures can ``add`` to.
+
+        See :mod:`repro.mapreduce.accumulators` for semantics and the
+        retry over-counting caveat.
+        """
+        return self.accumulators.create(name, initial=initial, combine=combine)
+
+    # -- RDD creation -----------------------------------------------------
+    def parallelize(
+        self, data: Iterable[Any], num_partitions: Optional[int] = None
+    ) -> RDD:
+        """Distribute a local collection into an RDD."""
+        records = list(data)
+        num = num_partitions or self.default_partitions
+        name = self._fresh_name("parallelize")
+        self.engine.dfs.write_records(name, records, num)
+        return RDD(self, _Source(name))
+
+    def from_dataset(self, dataset_name: str) -> RDD:
+        """Wrap an existing DFS dataset (keeps its partitioning)."""
+        if not self.engine.dfs.exists(dataset_name):
+            raise KeyError(f"no dataset {dataset_name!r}")
+        return RDD(self, _Source(dataset_name))
+
+    # -- lineage compilation ------------------------------------------------
+    def materialize(self, node: _Node) -> str:
+        """Evaluate a lineage node to a DFS dataset name (with caching)."""
+        if node.cached_name is not None:
+            return node.cached_name
+        name = self._evaluate(node)
+        if node.cached:
+            node.cached_name = name
+        return name
+
+    def _evaluate(self, node: _Node) -> str:
+        if isinstance(node, _Source):
+            return node.dataset_name
+        if isinstance(node, _Union):
+            parts: List[Sequence[Any]] = []
+            for parent in node.parents:
+                parent_name = self.materialize(parent)
+                dfs = self.engine.dfs
+                for i in range(dfs.num_partitions(parent_name)):
+                    parts.append(dfs.read_partition(parent_name, i))
+            name = self._fresh_name("union")
+            self.engine.dfs.write(name, parts)
+            return name
+        if isinstance(node, _Narrow):
+            chain, base = self._narrow_chain(node)
+            base_name = self.materialize(base)
+            fn = self._compose(chain)
+            job = MapReduceJob(name=self._fresh_name("narrow"), mapper=fn)
+            handle, metrics = self.engine.run(
+                job, base_name, self._fresh_name("narrow-out")
+            )
+            self.job_log.append(metrics)
+            return handle.name
+        if isinstance(node, _Shuffle):
+            base_name = self.materialize(node.parent)
+            job = MapReduceJob(
+                name=self._fresh_name(node.label),
+                mapper=node.pair_fn,
+                reducer=node.reduce_fn,
+                combiner=node.combiner,
+                num_reducers=node.num_partitions or self.default_partitions,
+                partitioner=node.partitioner,
+                key_order=node.key_order,
+            )
+            handle, metrics = self.engine.run(
+                job, base_name, self._fresh_name(f"{node.label}-out")
+            )
+            self.job_log.append(metrics)
+            return handle.name
+        raise TypeError(f"unknown lineage node {type(node).__name__}")
+
+    @staticmethod
+    def _narrow_chain(node: _Narrow):
+        """Walk up consecutive uncached narrow nodes; return (chain, base).
+
+        ``chain`` is in application order (earliest first).  A cached
+        narrow node acts as a chain boundary so its materialization is
+        reused.
+        """
+        chain: List[_Narrow] = []
+        current: _Node = node
+        while isinstance(current, _Narrow):
+            chain.append(current)
+            if current.cached and current is not node:
+                break
+            parent = current.parent
+            if isinstance(parent, _Narrow) and not parent.cached:
+                current = parent
+            else:
+                return list(reversed(chain)), parent
+        # Loop exited via the cached-boundary break.
+        boundary = chain.pop()
+        return list(reversed(chain)), boundary
+
+    @staticmethod
+    def _compose(chain: Sequence[_Narrow]) -> Callable[[Any], Iterable[Any]]:
+        """Fuse a narrow chain into one record -> records function."""
+
+        def fused(record: Any) -> Iterable[Any]:
+            outputs = [record]
+            for node in chain:
+                next_outputs: List[Any] = []
+                for item in outputs:
+                    next_outputs.extend(node.fn(item))
+                outputs = next_outputs
+            return outputs
+
+        return fused
+
+    def _fresh_name(self, prefix: str) -> str:
+        return f"{prefix}-{next(self._name_counter)}"

@@ -1,0 +1,272 @@
+"""The MapReduce engine: split -> map -> shuffle -> reduce.
+
+Executes :class:`~repro.mapreduce.job.MapReduceJob` over datasets in
+the :class:`~repro.mapreduce.storage.InMemoryDFS`:
+
+* **split** — the input dataset's partitions are the map tasks (the
+  DFS already stores data in blocks, as HDFS does);
+* **map** — each task runs the mapper over its block, applies the
+  optional combiner, and writes one shuffle bucket per reducer;
+* **shuffle** — each reduce task gathers its bucket from every map
+  output and groups values by key (sorted);
+* **reduce** — the reducer runs per key group; outputs become the
+  partitions of the output dataset.
+
+Task attempts go through the :class:`~repro.mapreduce.failures.FailureInjector`
+and are retried up to the policy's ``max_attempts`` — the master-side
+"task failure recovery" of Sec. V-A.  Real execution runs serially or
+on a thread pool; *simulated* stage times come from scheduling each
+task's accumulated cost onto the :class:`~repro.mapreduce.cluster.SimulatedCluster`
+(failed attempts are charged too: a retried task occupied a slot).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.failures import (
+    FailureInjector,
+    FailurePolicy,
+    InjectedTaskFailure,
+)
+from repro.mapreduce.job import JobMetrics, MapReduceJob
+from repro.mapreduce.shuffle import HashPartitioner, bucket_pairs, merge_buckets
+from repro.mapreduce.storage import DatasetHandle, InMemoryDFS
+
+
+class JobFailedError(RuntimeError):
+    """A task exhausted its attempts; the job is dead."""
+
+
+class MapReduceEngine:
+    """Runs jobs over a DFS on a (simulated) cluster.
+
+    Args:
+        dfs: the storage layer; a fresh one is created if omitted.
+        cluster: resource shape for simulated-time scheduling.
+        failure_policy: injected-fault configuration (default: none).
+        executor: ``"serial"`` or ``"threads"``.  Threads give real
+            concurrency for numpy-heavy tasks; simulated times are
+            identical either way, by construction.
+        max_workers: thread-pool width for the ``"threads"`` executor
+            (default: the cluster's slot count, capped at 16).
+    """
+
+    def __init__(
+        self,
+        dfs: Optional[InMemoryDFS] = None,
+        cluster: Optional[SimulatedCluster] = None,
+        failure_policy: Optional[FailurePolicy] = None,
+        executor: str = "serial",
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.cluster = cluster if cluster is not None else SimulatedCluster()
+        self.dfs = (
+            dfs
+            if dfs is not None
+            else InMemoryDFS(num_nodes=self.cluster.config.num_nodes)
+        )
+        self.injector = FailureInjector(
+            failure_policy if failure_policy is not None else FailurePolicy()
+        )
+        if executor not in ("serial", "threads"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.executor = executor
+        if max_workers is None:
+            max_workers = min(self.cluster.config.total_slots, 16)
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        job: MapReduceJob,
+        input_name: str,
+        output_name: str,
+    ) -> Tuple[DatasetHandle, JobMetrics]:
+        """Execute ``job`` reading ``input_name``, writing ``output_name``."""
+        started = time.perf_counter()
+        metrics = JobMetrics(job_name=job.name)
+        num_map_tasks = self.dfs.num_partitions(input_name)
+        metrics.records_in = self.dfs.handle(input_name).num_records
+
+        if job.reducer is None:
+            handle = self._run_map_only(job, input_name, output_name, metrics)
+        else:
+            handle = self._run_full(job, input_name, output_name, metrics)
+        metrics.map_tasks = num_map_tasks
+        metrics.wall_time = time.perf_counter() - started
+        metrics.records_out = handle.num_records
+        return handle, metrics
+
+    # ------------------------------------------------------------------
+    def _run_map_only(
+        self,
+        job: MapReduceJob,
+        input_name: str,
+        output_name: str,
+        metrics: JobMetrics,
+    ) -> DatasetHandle:
+        """Narrow job: mapper output keeps the input partitioning."""
+
+        def task(index: int) -> Tuple[List[Any], float]:
+            records = self.dfs.read_partition(input_name, index)
+            output: List[Any] = []
+            cost = 0.0
+            for record in records:
+                for pair in job.mapper(record):
+                    output.append(pair)
+                if job.map_cost is not None:
+                    cost += job.map_cost(record)
+            return output, cost
+
+        num_tasks = self.dfs.num_partitions(input_name)
+        results, attempts, costs = self._run_tasks(
+            job.name + ":map", task, num_tasks
+        )
+        metrics.map_attempts = attempts
+        metrics.map_stats = self.cluster.simulate(
+            costs, job.name + ":map", self._map_placements(input_name, len(costs))
+        )
+        return self.dfs.write(output_name, results)
+
+    def _run_full(
+        self,
+        job: MapReduceJob,
+        input_name: str,
+        output_name: str,
+        metrics: JobMetrics,
+    ) -> DatasetHandle:
+        """Shuffled job: map, bucket, merge, reduce."""
+        partitioner = (
+            job.partitioner
+            if job.partitioner is not None
+            else HashPartitioner(job.num_reducers)
+        )
+        num_reducers = partitioner.num_partitions
+
+        def map_task(index: int) -> Tuple[List[List[Tuple[Hashable, Any]]], float]:
+            records = self.dfs.read_partition(input_name, index)
+            pairs: List[Tuple[Hashable, Any]] = []
+            cost = 0.0
+            for record in records:
+                pairs.extend(job.mapper(record))
+                if job.map_cost is not None:
+                    cost += job.map_cost(record)
+            if job.combiner is not None:
+                pairs = self._combine(job, pairs)
+            return bucket_pairs(pairs, partitioner), cost
+
+        num_map_tasks = self.dfs.num_partitions(input_name)
+        map_results, map_attempts, map_costs = self._run_tasks(
+            job.name + ":map", map_task, num_map_tasks
+        )
+        metrics.map_attempts = map_attempts
+        metrics.map_stats = self.cluster.simulate(
+            map_costs, job.name + ":map", self._map_placements(input_name, len(map_costs))
+        )
+        all_buckets = map_results
+        metrics.pairs_shuffled = sum(
+            len(bucket) for buckets in all_buckets for bucket in buckets
+        )
+
+        key_order = job.key_order if job.key_order is not None else repr
+
+        def reduce_task(index: int) -> Tuple[List[Any], float]:
+            grouped = merge_buckets(all_buckets, index)
+            output: List[Any] = []
+            cost = 0.0
+            assert job.reducer is not None
+            for key in sorted(grouped.keys(), key=key_order):
+                values = grouped[key]
+                output.extend(job.reducer(key, values))
+                if job.reduce_cost is not None:
+                    cost += job.reduce_cost(key, values)
+            return output, cost
+
+        reduce_results, reduce_attempts, reduce_costs = self._run_tasks(
+            job.name + ":reduce", reduce_task, num_reducers
+        )
+        metrics.reduce_tasks = num_reducers
+        metrics.reduce_attempts = reduce_attempts
+        metrics.reduce_stats = self.cluster.simulate(
+            reduce_costs, job.name + ":reduce"
+        )
+        return self.dfs.write(output_name, reduce_results)
+
+    def _map_placements(self, input_name: str, num_costs: int):
+        """Block-home nodes per map attempt, for delay scheduling.
+
+        Retried attempts (num_costs > partitions) disable locality
+        accounting — attribution of attempts to blocks is ambiguous.
+        """
+        num_partitions = self.dfs.num_partitions(input_name)
+        if num_costs != num_partitions:
+            return None
+        return [self.dfs.node_of(input_name, i) for i in range(num_partitions)]
+
+    @staticmethod
+    def _combine(
+        job: MapReduceJob, pairs: Sequence[Tuple[Hashable, Any]]
+    ) -> List[Tuple[Hashable, Any]]:
+        """Map-side combining: group this task's pairs, re-emit."""
+        grouped: Dict[Hashable, List[Any]] = {}
+        for key, value in pairs:
+            grouped.setdefault(key, []).append(value)
+        combined: List[Tuple[Hashable, Any]] = []
+        assert job.combiner is not None
+        for key in sorted(grouped.keys(), key=repr):
+            combined.extend(job.combiner(key, grouped[key]))
+        return combined
+
+    # ------------------------------------------------------------------
+    def _run_tasks(
+        self,
+        stage_id: str,
+        task: Callable[[int], Tuple[Any, float]],
+        num_tasks: int,
+    ) -> Tuple[List[Any], int, List[float]]:
+        """Run one stage's tasks with retry; returns (results, attempts, costs).
+
+        ``costs`` has one entry per *attempt* (failed attempts occupied
+        a slot too), which is what the simulated scheduler charges.
+        """
+        attempts_total = 0
+        costs: List[float] = []
+
+        def attempt_task(index: int) -> Tuple[Any, float, int, List[float]]:
+            policy = self.injector.policy
+            local_costs: List[float] = []
+            for attempt in range(1, policy.max_attempts + 1):
+                try:
+                    self.injector.check(stage_id, index, attempt)
+                    result, cost = task(index)
+                    local_costs.append(cost)
+                    return result, cost, attempt, local_costs
+                except InjectedTaskFailure:
+                    # The dead attempt still burned a slot for roughly
+                    # the task's duration; charge it when the task
+                    # eventually succeeds (cost known then).
+                    local_costs.append(-1.0)
+                    continue
+            raise JobFailedError(
+                f"{stage_id} task {index} failed {policy.max_attempts} attempts"
+            )
+
+        if self.executor == "threads" and num_tasks > 1:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                outcomes = list(pool.map(attempt_task, range(num_tasks)))
+        else:
+            outcomes = [attempt_task(i) for i in range(num_tasks)]
+
+        results: List[Any] = []
+        for result, cost, attempts, local_costs in outcomes:
+            results.append(result)
+            attempts_total += attempts
+            # Failed attempts are charged at the successful attempt's cost.
+            costs.extend(cost if c < 0 else c for c in local_costs)
+        return results, attempts_total, costs

@@ -1,0 +1,83 @@
+"""Task-failure injection and retry policy.
+
+MapReduce's defining operational property is that "task failure
+recovery [is] managed by a master machine" (paper Sec. V-A).  The
+engine reproduces it: a :class:`FailureInjector` deterministically
+decides whether a given task *attempt* fails, and the engine re-runs
+failed attempts up to ``max_attempts``.  Determinism matters — the
+whole benchmark suite must be bit-reproducible — so the injector hashes
+``(seed, job, task, attempt)`` instead of consuming a shared RNG
+stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+
+class InjectedTaskFailure(RuntimeError):
+    """Raised inside a task attempt the injector chose to kill."""
+
+    def __init__(self, job_id: str, task_id: int, attempt: int) -> None:
+        super().__init__(
+            f"injected failure: job={job_id} task={task_id} attempt={attempt}"
+        )
+        self.job_id = job_id
+        self.task_id = task_id
+        self.attempt = attempt
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How unreliable the simulated cluster is.
+
+    Attributes:
+        failure_rate: probability that any single task attempt dies
+            (machine fault, preemption, bad disk).
+        max_attempts: attempts per task before the job is failed
+            (Hadoop's default is 4).
+        seed: determinism root.
+    """
+
+    failure_rate: float = 0.0
+    max_attempts: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError(
+                f"failure_rate must be in [0, 1), got {self.failure_rate}"
+            )
+        if self.max_attempts <= 0:
+            raise ValueError(
+                f"max_attempts must be positive, got {self.max_attempts}"
+            )
+
+
+class FailureInjector:
+    """Deterministic per-attempt failure decisions."""
+
+    def __init__(self, policy: FailurePolicy) -> None:
+        self.policy = policy
+
+    def should_fail(self, job_id: str, task_id: int, attempt: int) -> bool:
+        """Whether this specific attempt is killed.
+
+        The decision is a pure function of (policy seed, job, task,
+        attempt): re-running a job replays exactly the same faults.
+        """
+        if self.policy.failure_rate == 0.0:
+            return False
+        digest = hashlib.blake2b(
+            f"{self.policy.seed}:{job_id}:{task_id}:{attempt}".encode(),
+            digest_size=8,
+        ).digest()
+        (value,) = struct.unpack("<Q", digest)
+        return (value / 2**64) < self.policy.failure_rate
+
+    def check(self, job_id: str, task_id: int, attempt: int) -> None:
+        """Raise :class:`InjectedTaskFailure` if this attempt must die."""
+        if self.should_fail(job_id, task_id, attempt):
+            raise InjectedTaskFailure(job_id, task_id, attempt)

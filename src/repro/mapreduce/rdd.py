@@ -1,0 +1,450 @@
+"""A small Spark-like RDD layer on top of the MapReduce engine.
+
+The paper implements its MapReduce design "on Apache Spark [2]"
+(Sec. I, VI-A).  This module provides the corresponding programming
+model: an :class:`RDD` is an immutable, lazily-evaluated, partitioned
+collection described by a *lineage* of transformations.  Narrow
+transformations (``map`` / ``filter`` / ``flatMap`` / ``mapValues`` /
+``keyBy``) are fused into a single map-only engine job per chain; wide
+transformations (``groupByKey`` / ``reduceByKey`` / ``distinct`` /
+``join`` / ``sortBy``) each compile to one shuffled job.  ``cache()``
+pins the materialized dataset in the DFS so shared lineage prefixes
+run once.
+
+Example::
+
+    sc = EVSparkContext()
+    pairs = sc.parallelize(range(100)).map(lambda x: (x % 3, x))
+    sums = pairs.reduceByKey(lambda a, b: a + b).collect()
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.mapreduce.shuffle import RangePartitioner
+
+
+class _Node:
+    """A lineage node.  Subclasses define how to materialize."""
+
+    def __init__(self) -> None:
+        self.cached = False
+        self.cached_name: Optional[str] = None
+
+
+class _Source(_Node):
+    """Data already in the DFS."""
+
+    def __init__(self, dataset_name: str) -> None:
+        super().__init__()
+        self.dataset_name = dataset_name
+
+
+class _Narrow(_Node):
+    """Per-record transformation: record -> iterable of records."""
+
+    def __init__(self, parent: _Node, fn: Callable[[Any], Iterable[Any]]) -> None:
+        super().__init__()
+        self.parent = parent
+        self.fn = fn
+
+
+class _Shuffle(_Node):
+    """Wide transformation compiled to one shuffled engine job."""
+
+    def __init__(
+        self,
+        parent: _Node,
+        pair_fn: Callable[[Any], Iterable[Tuple[Hashable, Any]]],
+        reduce_fn: Callable[[Hashable, List[Any]], Iterable[Any]],
+        num_partitions: Optional[int],
+        combiner: Optional[Callable[[Hashable, List[Any]], Iterable[Tuple[Hashable, Any]]]] = None,
+        partitioner: Optional[Any] = None,
+        key_order: Optional[Callable[[Hashable], Any]] = None,
+        label: str = "shuffle",
+    ) -> None:
+        super().__init__()
+        self.parent = parent
+        self.pair_fn = pair_fn
+        self.reduce_fn = reduce_fn
+        self.num_partitions = num_partitions
+        self.combiner = combiner
+        self.partitioner = partitioner
+        self.key_order = key_order
+        self.label = label
+
+
+class _Union(_Node):
+    """Concatenation of parents' partitions (no job needed)."""
+
+    def __init__(self, parents: Sequence[_Node]) -> None:
+        super().__init__()
+        self.parents = list(parents)
+
+
+def _identity_iter(record: Any) -> Iterable[Any]:
+    yield record
+
+
+class RDD:
+    """An immutable distributed collection with Spark-style operators.
+
+    Construct via :class:`~repro.mapreduce.context.EVSparkContext`
+    (``parallelize`` / ``from_dataset``), not directly.
+    """
+
+    def __init__(self, context: "EVSparkContext", node: _Node) -> None:  # noqa: F821
+        self._ctx = context
+        self._node = node
+
+    # -- narrow transformations ------------------------------------------
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        """Apply ``fn`` to every record."""
+        return RDD(self._ctx, _Narrow(self._node, lambda r: (fn(r),)))
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
+        """Keep records where ``predicate`` is true."""
+        return RDD(
+            self._ctx,
+            _Narrow(self._node, lambda r: (r,) if predicate(r) else ()),
+        )
+
+    def flatMap(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        """Apply ``fn`` and flatten the results."""
+        return RDD(self._ctx, _Narrow(self._node, fn))
+
+    def keyBy(self, fn: Callable[[Any], Hashable]) -> "RDD":
+        """Turn records into ``(fn(record), record)`` pairs."""
+        return self.map(lambda r: (fn(r), r))
+
+    def mapValues(self, fn: Callable[[Any], Any]) -> "RDD":
+        """Apply ``fn`` to the value of each ``(key, value)`` pair."""
+        return self.map(lambda kv: (kv[0], fn(kv[1])))
+
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenate two RDDs (partitions are appended)."""
+        if other._ctx is not self._ctx:
+            raise ValueError("cannot union RDDs from different contexts")
+        return RDD(self._ctx, _Union([self._node, other._node]))
+
+    def cache(self) -> "RDD":
+        """Pin this RDD's materialization so downstream reuse is free."""
+        self._node.cached = True
+        return self
+
+    # -- wide transformations ---------------------------------------------
+    def groupByKey(self, num_partitions: Optional[int] = None) -> "RDD":
+        """``(k, v)`` pairs -> ``(k, [v, ...])`` per distinct key."""
+        return RDD(
+            self._ctx,
+            _Shuffle(
+                self._node,
+                pair_fn=_identity_iter,
+                reduce_fn=lambda k, vs: ((k, list(vs)),),
+                num_partitions=num_partitions,
+                label="groupByKey",
+            ),
+        )
+
+    def reduceByKey(
+        self,
+        fn: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        """Fold values per key with ``fn`` (map-side combined)."""
+
+        def fold(key: Hashable, values: List[Any]) -> Iterable[Tuple[Hashable, Any]]:
+            it = iter(values)
+            acc = next(it)
+            for value in it:
+                acc = fn(acc, value)
+            yield (key, acc)
+
+        return RDD(
+            self._ctx,
+            _Shuffle(
+                self._node,
+                pair_fn=_identity_iter,
+                reduce_fn=lambda k, vs: fold(k, vs),
+                num_partitions=num_partitions,
+                combiner=fold,
+                label="reduceByKey",
+            ),
+        )
+
+    def distinct(self, num_partitions: Optional[int] = None) -> "RDD":
+        """Remove duplicate records (records must be hashable)."""
+        return RDD(
+            self._ctx,
+            _Shuffle(
+                self._node,
+                pair_fn=lambda r: ((r, None),),
+                reduce_fn=lambda k, _vs: (k,),
+                num_partitions=num_partitions,
+                combiner=lambda k, _vs: ((k, None),),
+                label="distinct",
+            ),
+        )
+
+    def join(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
+        """Inner join of two pair RDDs: ``(k, (v_self, v_other))``."""
+        tagged_self = self.map(lambda kv: (kv[0], (0, kv[1])))
+        tagged_other = other.map(lambda kv: (kv[0], (1, kv[1])))
+
+        def emit(key: Hashable, values: List[Any]) -> Iterable[Any]:
+            left = [v for tag, v in values if tag == 0]
+            right = [v for tag, v in values if tag == 1]
+            for lv in left:
+                for rv in right:
+                    yield (key, (lv, rv))
+
+        return RDD(
+            self._ctx,
+            _Shuffle(
+                tagged_self.union(tagged_other)._node,
+                pair_fn=_identity_iter,
+                reduce_fn=emit,
+                num_partitions=num_partitions,
+                label="join",
+            ),
+        )
+
+    def cogroup(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
+        """Group two pair RDDs by key: ``(k, ([v_self...], [v_other...]))``.
+
+        Keys present on either side appear in the output (the other
+        side's list is empty) — the primitive joins are built from.
+        """
+        tagged_self = self.map(lambda kv: (kv[0], (0, kv[1])))
+        tagged_other = other.map(lambda kv: (kv[0], (1, kv[1])))
+
+        def emit(key: Hashable, values: List[Any]) -> Iterable[Any]:
+            left = [v for tag, v in values if tag == 0]
+            right = [v for tag, v in values if tag == 1]
+            yield (key, (left, right))
+
+        return RDD(
+            self._ctx,
+            _Shuffle(
+                tagged_self.union(tagged_other)._node,
+                pair_fn=_identity_iter,
+                reduce_fn=emit,
+                num_partitions=num_partitions,
+                label="cogroup",
+            ),
+        )
+
+    def leftOuterJoin(
+        self, other: "RDD", num_partitions: Optional[int] = None
+    ) -> "RDD":
+        """Left outer join: ``(k, (v_self, v_other_or_None))``."""
+
+        def expand(kv):
+            key, (left, right) = kv
+            for lv in left:
+                if right:
+                    for rv in right:
+                        yield (key, (lv, rv))
+                else:
+                    yield (key, (lv, None))
+
+        return self.cogroup(other, num_partitions).flatMap(expand)
+
+    def aggregateByKey(
+        self,
+        zero: Any,
+        seq_fn: Callable[[Any, Any], Any],
+        comb_fn: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        """Per-key aggregation with distinct in-partition / merge steps.
+
+        ``seq_fn`` folds a value into an accumulator (used map-side as
+        the combiner); ``comb_fn`` merges two accumulators (reduce
+        side).  ``zero`` must be immutable or cheaply re-creatable —
+        it is reused per key.
+        """
+
+        def combiner(key: Hashable, values: List[Any]) -> Iterable[Tuple[Hashable, Any]]:
+            acc = zero
+            for value in values:
+                acc = seq_fn(acc, value)
+            yield (key, ("acc", acc))
+
+        def reducer(key: Hashable, values: List[Any]) -> Iterable[Any]:
+            acc = zero
+            for value in values:
+                if isinstance(value, tuple) and len(value) == 2 and value[0] == "acc":
+                    acc = comb_fn(acc, value[1])
+                else:
+                    acc = seq_fn(acc, value)
+            yield (key, acc)
+
+        return RDD(
+            self._ctx,
+            _Shuffle(
+                self._node,
+                pair_fn=_identity_iter,
+                reduce_fn=reducer,
+                num_partitions=num_partitions,
+                combiner=combiner,
+                label="aggregateByKey",
+            ),
+        )
+
+    def sample(self, fraction: float, seed: int = 0) -> "RDD":
+        """Deterministic Bernoulli sample of the records.
+
+        Each record's keep/drop decision hashes ``(seed, repr(record))``
+        so the sample is stable across runs and partitionings.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        import hashlib as _hashlib
+        import struct as _struct
+
+        def keep(record: Any) -> bool:
+            digest = _hashlib.blake2b(
+                f"{seed}:{record!r}".encode("utf-8", errors="backslashreplace"),
+                digest_size=8,
+            ).digest()
+            (value,) = _struct.unpack("<Q", digest)
+            return (value / 2**64) < fraction
+
+        return self.filter(keep)
+
+    def zipWithIndex(self) -> "RDD":
+        """Pair each record with its global position: ``(record, i)``.
+
+        Materializes the parent (index assignment needs total order),
+        so use near the end of a pipeline.
+        """
+        records = self.collect()
+        return self._ctx.parallelize(
+            [(record, i) for i, record in enumerate(records)]
+        )
+
+    def sortBy(
+        self,
+        key_fn: Callable[[Any], Any],
+        num_partitions: Optional[int] = None,
+        sample_size: int = 256,
+    ) -> "RDD":
+        """Globally sort records by ``key_fn`` via range partitioning.
+
+        Samples keys to pick range boundaries (as Spark's
+        ``RangePartitioner`` does), shuffles each record to its range,
+        and sorts within each reduce task; concatenated partitions are
+        globally ordered.
+        """
+        num = num_partitions or self._ctx.default_partitions
+        sample = self.collect()  # boundary sampling needs a pass anyway
+        keys = sorted(key_fn(r) for r in sample[:sample_size])
+        if keys and num > 1:
+            step = max(1, len(keys) // num)
+            boundaries = keys[step - 1 :: step][: num - 1]
+        else:
+            boundaries = []
+        partitioner = RangePartitioner(boundaries) if boundaries else None
+
+        def emit_sorted(key: Hashable, values: List[Any]) -> Iterable[Any]:
+            for value in sorted(values, key=key_fn):
+                yield value
+
+        return RDD(
+            self._ctx,
+            _Shuffle(
+                self._node,
+                pair_fn=lambda r: ((key_fn(r), r),),
+                reduce_fn=lambda k, vs: iter(vs),
+                num_partitions=num,
+                partitioner=partitioner,
+                key_order=lambda k: k,
+                label="sortBy",
+            ),
+        )
+
+    # -- actions ------------------------------------------------------------
+    def collect(self) -> List[Any]:
+        """Materialize and return all records (partition order)."""
+        name = self._ctx.materialize(self._node)
+        return self._ctx.engine.dfs.read_all(name)
+
+    def count(self) -> int:
+        """Number of records."""
+        name = self._ctx.materialize(self._node)
+        return self._ctx.engine.dfs.handle(name).num_records
+
+    def take(self, n: int) -> List[Any]:
+        """The first ``n`` records in partition order."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        return self.collect()[:n]
+
+    def first(self) -> Any:
+        """The first record; raises on an empty RDD."""
+        records = self.take(1)
+        if not records:
+            raise ValueError("RDD is empty")
+        return records[0]
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        """Fold all records with ``fn``; raises on an empty RDD."""
+        records = self.collect()
+        if not records:
+            raise ValueError("cannot reduce an empty RDD")
+        it = iter(records)
+        acc = next(it)
+        for record in it:
+            acc = fn(acc, record)
+        return acc
+
+    def countByKey(self) -> Dict[Hashable, int]:
+        """Counts per key of a pair RDD."""
+        counts: Dict[Hashable, int] = {}
+        for key, _value in self.collect():
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def keys(self) -> "RDD":
+        """The keys of a pair RDD."""
+        return self.map(lambda kv: kv[0])
+
+    def values(self) -> "RDD":
+        """The values of a pair RDD."""
+        return self.map(lambda kv: kv[1])
+
+    def sum(self) -> Any:
+        """Sum of the records (0 for an empty RDD)."""
+        records = self.collect()
+        return sum(records) if records else 0
+
+    def min(self) -> Any:
+        """Smallest record; raises on an empty RDD."""
+        records = self.collect()
+        if not records:
+            raise ValueError("RDD is empty")
+        return min(records)
+
+    def max(self) -> Any:
+        """Largest record; raises on an empty RDD."""
+        records = self.collect()
+        if not records:
+            raise ValueError("RDD is empty")
+        return max(records)
+
+    def num_partitions(self) -> int:
+        """Partition count of the materialized dataset."""
+        name = self._ctx.materialize(self._node)
+        return self._ctx.engine.dfs.num_partitions(name)

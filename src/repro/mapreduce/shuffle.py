@@ -1,0 +1,93 @@
+"""Shuffle machinery: partitioners and the group-by-key exchange.
+
+"Then all the (key, value) pairs from all mappers are shuffled, sorted
+to put in order and grouped" (paper Sec. V-A).  The EV-Matching
+parallelization leans on exactly this: the EID set-splitting map step
+emits ``(eid, set_id)`` pairs and relies on the shuffle to bring every
+set id containing a given EID to one reducer (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+
+class Partitioner(abc.ABC):
+    """Maps a key to one of ``num_partitions`` reducers."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise ValueError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        self.num_partitions = num_partitions
+
+    @abc.abstractmethod
+    def partition(self, key: Hashable) -> int:
+        """The reducer index for ``key``, in ``[0, num_partitions)``."""
+
+
+class HashPartitioner(Partitioner):
+    """Stable hash partitioning (the MapReduce default).
+
+    Uses a simple polynomial hash over ``repr(key)`` rather than
+    built-in ``hash`` so partition assignment is stable across
+    processes and Python's hash randomization — reproducibility again.
+    """
+
+    def partition(self, key: Hashable) -> int:
+        text = repr(key)
+        value = 2166136261
+        for ch in text.encode("utf-8", errors="backslashreplace"):
+            value = (value ^ ch) * 16777619 % 2**32
+        return value % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Partition by sorted key ranges (for ordered outputs).
+
+    Built from an explicit boundary list: key goes to the first range
+    whose upper boundary is >= key.  Used by ``RDD.sortBy``.
+    """
+
+    def __init__(self, boundaries: Sequence[Any]) -> None:
+        super().__init__(len(boundaries) + 1)
+        self.boundaries = tuple(boundaries)
+
+    def partition(self, key: Hashable) -> int:
+        for i, bound in enumerate(self.boundaries):
+            if key <= bound:  # type: ignore[operator]
+                return i
+        return len(self.boundaries)
+
+
+def bucket_pairs(
+    pairs: Iterable[Tuple[Hashable, Any]],
+    partitioner: Partitioner,
+) -> List[List[Tuple[Hashable, Any]]]:
+    """One map task's shuffle write: split emitted pairs into buckets."""
+    buckets: List[List[Tuple[Hashable, Any]]] = [
+        [] for _ in range(partitioner.num_partitions)
+    ]
+    for key, value in pairs:
+        buckets[partitioner.partition(key)].append((key, value))
+    return buckets
+
+
+def merge_buckets(
+    bucket_lists: Sequence[Sequence[Sequence[Tuple[Hashable, Any]]]],
+    reducer_index: int,
+) -> Dict[Hashable, List[Any]]:
+    """One reduce task's shuffle read: gather and group its bucket.
+
+    Collects bucket ``reducer_index`` from every map task's output and
+    groups values by key.  Keys keep the deterministic order of first
+    appearance; the engine sorts them before reducing, completing the
+    "shuffled, sorted ... and grouped" contract.
+    """
+    grouped: Dict[Hashable, List[Any]] = {}
+    for buckets in bucket_lists:
+        for key, value in buckets[reducer_index]:
+            grouped.setdefault(key, []).append(value)
+    return grouped

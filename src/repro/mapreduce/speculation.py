@@ -1,0 +1,259 @@
+"""Stragglers, speculative execution and locality-aware placement.
+
+The plain :class:`~repro.mapreduce.cluster.SimulatedCluster` assumes a
+task's duration equals its cost.  Real clusters do not behave that way
+— "the main challenges are skew of spatial data (load imbalance)"
+(paper Sec. II) — so this module adds the two standard mitigations as
+an event-driven stage simulation:
+
+* **Skew** (:class:`SkewModel`): each task attempt's duration is its
+  cost times a deterministic lognormal factor, reproducing slow nodes,
+  contended disks and data skew.
+* **Speculative execution**: once the dispatch queue drains, idle
+  slots launch backup copies of the longest-remaining running tasks
+  (Hadoop/Spark's speculation, in the spirit of LATE); a task finishes
+  when its first copy does, and the loser's work is *wasted* — the
+  simulation reports how much.
+* **Delay scheduling for locality**: map tasks prefer a slot on the
+  node holding their input block; a task waits up to ``locality_wait``
+  simulated seconds for a local slot before settling for a remote one
+  and paying ``remote_read_penalty`` extra seconds (the Zaharia et al.
+  delay-scheduling policy, simplified to one wait level).
+
+Everything is deterministic given the seeds, like the rest of the
+substrate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import math
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SkewModel:
+    """Deterministic multiplicative duration noise.
+
+    Attributes:
+        sigma: lognormal shape; 0 disables skew (factor 1 for every
+            attempt).  0.3-0.6 covers typical cluster variability;
+            the heavy upper tail is what speculation exists for.
+        seed: determinism root.
+    """
+
+    sigma: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    def factor(self, stage_id: str, task_id: int, attempt: int) -> float:
+        """The duration multiplier for one attempt (pure function)."""
+        if self.sigma == 0.0:
+            return 1.0
+        digest = hashlib.blake2b(
+            f"{self.seed}:{stage_id}:{task_id}:{attempt}".encode(),
+            digest_size=8,
+        ).digest()
+        (raw,) = struct.unpack("<Q", digest)
+        # Box-Muller on two 32-bit halves of the digest.
+        u1 = ((raw & 0xFFFFFFFF) + 1) / 2**32
+        u2 = ((raw >> 32) + 1) / 2**32
+        z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        return math.exp(self.sigma * z - self.sigma**2 / 2.0)
+
+
+@dataclass(frozen=True)
+class StagePolicy:
+    """Scheduling policy for one simulated stage.
+
+    Attributes:
+        slots: worker slots in the cluster.
+        cores_per_node: slots per node (slot ``s`` lives on node
+            ``s // cores_per_node``); only relevant with locality.
+        task_overhead: fixed dispatch cost per attempt.
+        skew: the duration-noise model.
+        speculate: launch backup copies on idle slots once the queue
+            drains.
+        speculation_margin: a copy is only launched if its expected
+            duration beats the original's *remaining* time by this
+            factor (avoids hopeless copies).
+        locality_wait: how long a task waits for a slot on its data's
+            node before going remote (0 = no delay scheduling).
+        remote_read_penalty: extra seconds a non-local attempt pays.
+    """
+
+    slots: int = 56
+    cores_per_node: int = 4
+    task_overhead: float = 0.01
+    skew: SkewModel = SkewModel()
+    speculate: bool = False
+    speculation_margin: float = 0.8
+    locality_wait: float = 0.0
+    remote_read_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slots <= 0:
+            raise ValueError(f"slots must be positive, got {self.slots}")
+        if self.cores_per_node <= 0:
+            raise ValueError(
+                f"cores_per_node must be positive, got {self.cores_per_node}"
+            )
+        if self.task_overhead < 0 or self.locality_wait < 0 or self.remote_read_penalty < 0:
+            raise ValueError("overheads and penalties must be non-negative")
+        if not 0.0 < self.speculation_margin <= 1.0:
+            raise ValueError(
+                f"speculation_margin must be in (0, 1], got {self.speculation_margin}"
+            )
+
+    def node_of_slot(self, slot: int) -> int:
+        return slot // self.cores_per_node
+
+
+@dataclass
+class StageSimResult:
+    """Outcome of one simulated stage.
+
+    Attributes:
+        makespan: when the last task completed.
+        task_finish: effective completion time per task.
+        speculative_copies: backup attempts launched.
+        wasted_work: simulated seconds burned by losing copies.
+        local_tasks / remote_tasks: locality outcome counts (only
+            meaningful when placements were provided).
+    """
+
+    makespan: float
+    task_finish: List[float]
+    speculative_copies: int = 0
+    wasted_work: float = 0.0
+    local_tasks: int = 0
+    remote_tasks: int = 0
+
+
+def simulate_stage(
+    task_costs: Sequence[float],
+    policy: StagePolicy,
+    stage_id: str = "stage",
+    placements: Optional[Sequence[int]] = None,
+) -> StageSimResult:
+    """Event-driven simulation of one stage under ``policy``.
+
+    Args:
+        task_costs: base cost per task (seconds of one core).
+        policy: scheduling policy.
+        stage_id: seeds the skew factors (a retried stage re-rolls).
+        placements: optional node index per task (its input block's
+            home) enabling delay scheduling.
+
+    Returns:
+        The stage's :class:`StageSimResult`.
+    """
+    for i, cost in enumerate(task_costs):
+        if cost < 0:
+            raise ValueError(f"task {i} has negative cost {cost}")
+    if placements is not None and len(placements) != len(task_costs):
+        raise ValueError(
+            f"{len(placements)} placements for {len(task_costs)} tasks"
+        )
+    n = len(task_costs)
+    if n == 0:
+        return StageSimResult(makespan=0.0, task_finish=[])
+
+    # Slot free-times (min-heap of (time, slot)).
+    slot_heap: List[Tuple[float, int]] = [(0.0, s) for s in range(policy.slots)]
+    heapq.heapify(slot_heap)
+    result = StageSimResult(makespan=0.0, task_finish=[math.inf] * n)
+
+    def attempt_duration(task: int, attempt: int, local: bool) -> float:
+        duration = (
+            task_costs[task] * policy.skew.factor(stage_id, task, attempt)
+            + policy.task_overhead
+        )
+        if not local:
+            duration += policy.remote_read_penalty
+        return duration
+
+    # ---- dispatch phase: place every task once --------------------------
+    running: List[Tuple[float, int]] = []  # (finish_time, task)
+    for task in range(n):
+        free_time, slot = heapq.heappop(slot_heap)
+        local = True
+        if placements is not None and policy.remote_read_penalty > 0:
+            home = placements[task]
+            if policy.node_of_slot(slot) != home:
+                # Delay scheduling: is a local slot free soon enough?
+                local_slot = _earliest_local(slot_heap, policy, home)
+                if (
+                    local_slot is not None
+                    and local_slot[0] <= free_time + policy.locality_wait
+                ):
+                    heapq.heappush(slot_heap, (free_time, slot))
+                    slot_heap.remove(local_slot)
+                    heapq.heapify(slot_heap)
+                    free_time, slot = local_slot
+                else:
+                    local = False
+        if placements is not None:
+            if local:
+                result.local_tasks += 1
+            else:
+                result.remote_tasks += 1
+        duration = attempt_duration(task, 1, local)
+        finish = free_time + duration
+        heapq.heappush(slot_heap, (finish, slot))
+        running.append((finish, task))
+        result.task_finish[task] = finish
+
+    if not policy.speculate:
+        result.makespan = max(result.task_finish)
+        return result
+
+    # ---- speculation phase ------------------------------------------------
+    # Once the queue is empty, idle slots back up the worst stragglers.
+    running.sort(reverse=True)  # worst finish first
+    backed_up: set = set()
+    for finish, task in running:
+        free_time, slot = heapq.heappop(slot_heap)
+        heapq.heappush(slot_heap, (free_time, slot))
+        if task in backed_up:
+            continue
+        remaining = result.task_finish[task] - free_time
+        if remaining <= 0:
+            continue  # task done before any slot frees
+        copy_duration = attempt_duration(task, 2, True)
+        if copy_duration >= remaining * policy.speculation_margin:
+            continue  # the copy would not plausibly win
+        heapq.heappop(slot_heap)
+        copy_finish = free_time + copy_duration
+        original_finish = result.task_finish[task]
+        effective = min(original_finish, copy_finish)
+        result.task_finish[task] = effective
+        result.speculative_copies += 1
+        backed_up.add(task)
+        # The losing attempt's time past the winner is wasted work.
+        result.wasted_work += max(original_finish, copy_finish) - effective
+        heapq.heappush(slot_heap, (copy_finish, slot))
+
+    result.makespan = max(result.task_finish)
+    return result
+
+
+def _earliest_local(
+    slot_heap: Sequence[Tuple[float, int]],
+    policy: StagePolicy,
+    node: int,
+) -> Optional[Tuple[float, int]]:
+    """The earliest-free slot on ``node``, or None."""
+    best: Optional[Tuple[float, int]] = None
+    for free_time, slot in slot_heap:
+        if policy.node_of_slot(slot) != node:
+            continue
+        if best is None or free_time < best[0]:
+            best = (free_time, slot)
+    return best

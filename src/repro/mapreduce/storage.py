@@ -1,0 +1,129 @@
+"""In-memory stand-in for the distributed file system.
+
+"During the entire process, all data are stored in an underlying
+distributed file system" (paper Sec. V-A).  The engine reads its input
+from and writes its output to this store: named datasets, each a list
+of partitions (blocks), with round-robin block placement over the
+cluster's nodes so locality-aware scheduling and skew inspection are
+possible.
+
+Everything is in-process — the point is to reproduce the *interface
+and bookkeeping* the algorithms depend on (partitioned named datasets,
+block placement, immutability), not remote I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DatasetHandle:
+    """A reference to a stored dataset.
+
+    Attributes:
+        name: the dataset's key in the store.
+        num_partitions: how many blocks it has.
+        num_records: total records across blocks.
+    """
+
+    name: str
+    num_partitions: int
+    num_records: int
+
+
+class InMemoryDFS:
+    """Named, partitioned, immutable datasets with block placement."""
+
+    def __init__(self, num_nodes: int = 14) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self._datasets: Dict[str, Tuple[Tuple[Any, ...], ...]] = {}
+        self._placement: Dict[str, Tuple[int, ...]] = {}
+
+    def write(
+        self, name: str, partitions: Sequence[Sequence[Any]]
+    ) -> DatasetHandle:
+        """Store a dataset; blocks are placed round-robin over nodes.
+
+        Raises:
+            ValueError: if the name is already taken (datasets are
+                immutable; write to a new name, as MapReduce jobs do).
+        """
+        if name in self._datasets:
+            raise ValueError(f"dataset {name!r} already exists")
+        frozen = tuple(tuple(p) for p in partitions)
+        self._datasets[name] = frozen
+        self._placement[name] = tuple(
+            i % self.num_nodes for i in range(len(frozen))
+        )
+        return DatasetHandle(
+            name=name,
+            num_partitions=len(frozen),
+            num_records=sum(len(p) for p in frozen),
+        )
+
+    def write_records(
+        self, name: str, records: Sequence[Any], num_partitions: int
+    ) -> DatasetHandle:
+        """Store flat records split into ``num_partitions`` even blocks."""
+        if num_partitions <= 0:
+            raise ValueError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        partitions: List[List[Any]] = [[] for _ in range(num_partitions)]
+        for i, record in enumerate(records):
+            partitions[i % num_partitions].append(record)
+        return self.write(name, partitions)
+
+    def exists(self, name: str) -> bool:
+        return name in self._datasets
+
+    def delete(self, name: str) -> None:
+        """Remove a dataset (e.g. an iteration's intermediate output)."""
+        if name not in self._datasets:
+            raise KeyError(f"no dataset {name!r}")
+        del self._datasets[name]
+        del self._placement[name]
+
+    def handle(self, name: str) -> DatasetHandle:
+        partitions = self._partitions(name)
+        return DatasetHandle(
+            name=name,
+            num_partitions=len(partitions),
+            num_records=sum(len(p) for p in partitions),
+        )
+
+    def read_partition(self, name: str, index: int) -> Tuple[Any, ...]:
+        partitions = self._partitions(name)
+        if not 0 <= index < len(partitions):
+            raise IndexError(
+                f"dataset {name!r} has {len(partitions)} partitions, "
+                f"asked for {index}"
+            )
+        return partitions[index]
+
+    def read_all(self, name: str) -> List[Any]:
+        """All records, in partition order (a collect)."""
+        return [record for p in self._partitions(name) for record in p]
+
+    def node_of(self, name: str, partition: int) -> int:
+        """Which node hosts a block — for locality-aware scheduling."""
+        placement = self._placement.get(name)
+        if placement is None:
+            raise KeyError(f"no dataset {name!r}")
+        return placement[partition]
+
+    def num_partitions(self, name: str) -> int:
+        return len(self._partitions(name))
+
+    def datasets(self) -> Sequence[str]:
+        return tuple(sorted(self._datasets.keys()))
+
+    def _partitions(self, name: str) -> Tuple[Tuple[Any, ...], ...]:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise KeyError(f"no dataset {name!r}") from None

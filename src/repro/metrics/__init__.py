@@ -1,0 +1,26 @@
+"""Metrics: the two quantities the paper's evaluation reports.
+
+* **Time efficiency** (:mod:`repro.metrics.timing`): a deterministic
+  cost model for E-stage and V-stage work charged to a simulated clock,
+  so the Fig. 8/9 shapes are reproducible on any host, plus wall-clock
+  helpers for the real-execution benchmarks.
+* **Accuracy** (:mod:`repro.metrics.accuracy`): the paper's definition —
+  "an EID is correctly matched only when the majority of the VIDs chosen
+  from the scenarios for this EID is the right VID" (Sec. VI-B).
+"""
+
+from repro.metrics.calibration import CalibrationBucket, CalibrationReport, calibration_report
+from repro.metrics.timing import CostModel, SimulatedClock, StageTimes
+from repro.metrics.accuracy import AccuracyReport, accuracy_of, is_correct_match
+
+__all__ = [
+    "AccuracyReport",
+    "CalibrationBucket",
+    "CalibrationReport",
+    "calibration_report",
+    "CostModel",
+    "SimulatedClock",
+    "StageTimes",
+    "accuracy_of",
+    "is_correct_match",
+]

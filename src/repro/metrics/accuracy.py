@@ -1,0 +1,104 @@
+"""Matching-accuracy metric, exactly as the paper defines it.
+
+Sec. VI-B: "Matching accuracy is defined as the percentage of the
+correctly matched EIDs.  An EID is correctly matched only when the
+majority of the VIDs chosen from the scenarios for this EID is the
+right VID."
+
+The inputs are deliberately plain (per-EID lists of chosen
+:class:`~repro.sensing.scenarios.Detection` objects plus the ground
+truth map), so the same metric scores the set-splitting matcher, the
+EDP baseline and the MapReduce pipeline without knowing their result
+types.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.sensing.scenarios import Detection
+from repro.world.entities import EID, VID
+
+
+def is_correct_match(
+    chosen: Sequence[Detection],
+    true_vid: VID,
+) -> bool:
+    """Paper's per-EID criterion: strict majority of chosen VIDs is right.
+
+    An empty choice list (the matcher found no scenarios for the EID)
+    counts as incorrect.
+    """
+    if not chosen:
+        return False
+    votes = Counter(d.true_vid for d in chosen)
+    return votes.get(true_vid, 0) * 2 > len(chosen)
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Aggregate accuracy over one matching run.
+
+    Attributes:
+        total: number of EIDs the matcher was asked to match.
+        correct: how many met the majority criterion.
+        unmatched: EIDs for which the matcher produced no choices at
+            all (subset of the incorrect ones).
+    """
+
+    total: int
+    correct: int
+    unmatched: int
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction correct in ``[0, 1]``; 0 for an empty run."""
+        if self.total == 0:
+            return 0.0
+        return self.correct / self.total
+
+    @property
+    def percentage(self) -> float:
+        """Accuracy as the percentage the paper's tables print."""
+        return 100.0 * self.accuracy
+
+    def __str__(self) -> str:
+        return (
+            f"{self.correct}/{self.total} correct "
+            f"({self.percentage:.2f}%), {self.unmatched} unmatched"
+        )
+
+
+def accuracy_of(
+    chosen_per_eid: Mapping[EID, Sequence[Detection]],
+    truth: Mapping[EID, VID],
+    targets: Optional[Sequence[EID]] = None,
+) -> AccuracyReport:
+    """Score one run against ground truth.
+
+    Args:
+        chosen_per_eid: for each EID, the detections the V stage chose
+            (one per scenario in the EID's selected list).
+        truth: ground-truth EID -> VID map
+            (:meth:`~repro.world.population.Population.true_match_map`).
+        targets: the EIDs that were supposed to be matched.  Defaults to
+            the keys of ``chosen_per_eid``; passing the real target list
+            also penalizes EIDs the matcher silently dropped.
+
+    Raises:
+        KeyError: if a target has no ground-truth entry.
+    """
+    eids = list(targets) if targets is not None else sorted(chosen_per_eid.keys())
+    correct = 0
+    unmatched = 0
+    for eid in eids:
+        true_vid = truth[eid]
+        chosen = chosen_per_eid.get(eid, ())
+        if not chosen:
+            unmatched += 1
+            continue
+        if is_correct_match(chosen, true_vid):
+            correct += 1
+    return AccuracyReport(total=len(eids), correct=correct, unmatched=unmatched)

@@ -1,0 +1,131 @@
+"""Confidence calibration: does match agreement predict correctness?
+
+The matcher reports a ground-truth-free confidence per match — the
+*agreement* of its chosen detections (used by Algorithm 2's
+acceptability test).  For a deployed system the question is whether
+that number can be trusted for triage: if an operator only reviews
+matches below some agreement, what precision do the auto-accepted ones
+have?
+
+This module computes the standard reliability analysis over a scored
+run: per-agreement-bucket precision, expected calibration error, and
+the precision/coverage trade-off of an acceptance threshold.  Ground
+truth is consumed here (it is a metric), never by the matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Tuple
+
+from repro.core.vid_filtering import MatchResult
+from repro.metrics.accuracy import is_correct_match
+from repro.world.entities import EID, VID
+
+
+@dataclass(frozen=True)
+class CalibrationBucket:
+    """One agreement band of the reliability curve.
+
+    Attributes:
+        low / high: the band ``[low, high)`` (the last band includes 1.0).
+        count: matches whose agreement falls in the band.
+        precision: fraction of them that are correct (0 for an empty band).
+        mean_agreement: the band's average reported confidence.
+    """
+
+    low: float
+    high: float
+    count: int
+    precision: float
+    mean_agreement: float
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Reliability analysis of one scored matching run.
+
+    Attributes:
+        buckets: the reliability curve, ascending agreement.
+        expected_calibration_error: count-weighted mean absolute gap
+            between reported agreement and realized precision —
+            0 is perfectly calibrated.
+        total: matches analyzed.
+    """
+
+    buckets: Tuple[CalibrationBucket, ...]
+    expected_calibration_error: float
+    total: int
+
+    def precision_at_threshold(self, threshold: float) -> Tuple[float, float]:
+        """Precision and coverage of auto-accepting agreement >= threshold.
+
+        Returns:
+            ``(precision, coverage)``: correctness among accepted
+            matches, and the fraction of all matches accepted.
+            ``(0.0, 0.0)`` when nothing clears the threshold.
+        """
+        accepted = correct = 0
+        for bucket in self.buckets:
+            if bucket.mean_agreement >= threshold:
+                accepted += bucket.count
+                correct += round(bucket.precision * bucket.count)
+        if accepted == 0:
+            return 0.0, 0.0
+        return correct / accepted, accepted / self.total if self.total else 0.0
+
+
+def calibration_report(
+    results: Mapping[EID, MatchResult],
+    truth: Mapping[EID, VID],
+    num_buckets: int = 5,
+) -> CalibrationReport:
+    """Build the reliability curve for one run.
+
+    Args:
+        results: per-target match results (e.g. ``report.results``).
+        truth: ground-truth EID -> VID map.
+        num_buckets: bands the ``[0, 1]`` agreement range is split into.
+
+    Raises:
+        ValueError: on a non-positive bucket count.
+        KeyError: if a result's EID has no ground-truth entry.
+    """
+    if num_buckets <= 0:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    width = 1.0 / num_buckets
+    sums: List[float] = [0.0] * num_buckets
+    counts: List[int] = [0] * num_buckets
+    corrects: List[int] = [0] * num_buckets
+    total = 0
+    for eid, result in results.items():
+        true_vid = truth[eid]
+        index = min(int(result.agreement / width), num_buckets - 1)
+        counts[index] += 1
+        sums[index] += result.agreement
+        if is_correct_match(result.chosen, true_vid):
+            corrects[index] += 1
+        total += 1
+
+    buckets: List[CalibrationBucket] = []
+    ece = 0.0
+    for i in range(num_buckets):
+        count = counts[i]
+        precision = corrects[i] / count if count else 0.0
+        mean_agreement = sums[i] / count if count else (i + 0.5) * width
+        buckets.append(
+            CalibrationBucket(
+                low=i * width,
+                high=(i + 1) * width,
+                count=count,
+                precision=precision,
+                mean_agreement=mean_agreement,
+            )
+        )
+        if total and count:
+            ece += (count / total) * abs(mean_agreement - precision)
+    return CalibrationReport(
+        buckets=tuple(buckets),
+        expected_calibration_error=ece,
+        total=total,
+    )

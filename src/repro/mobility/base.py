@@ -1,0 +1,66 @@
+"""Common interface for mobility models.
+
+Every model advances one person's :class:`MobilityState` by a fixed
+timestep.  Models are stateless objects; all per-person state lives in
+the ``MobilityState`` so one model instance can drive an entire
+population, and so traces can be checkpointed trivially.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.world.geometry import BoundingBox, Point, Vector
+
+
+@dataclass
+class MobilityState:
+    """Kinematic state of one person.
+
+    Attributes:
+        position: current location.
+        velocity: current velocity vector in m/s.
+        extra: model-specific scratch (e.g. the random-waypoint model's
+            current destination and remaining pause time).
+    """
+
+    position: Point
+    velocity: Vector = Vector(0.0, 0.0)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def speed(self) -> float:
+        """Current speed in m/s."""
+        return self.velocity.magnitude
+
+
+class MobilityModel(abc.ABC):
+    """A discrete-time movement model over a bounded region."""
+
+    def __init__(self, region: BoundingBox) -> None:
+        self.region = region
+
+    @abc.abstractmethod
+    def initial_state(self, rng: np.random.Generator) -> MobilityState:
+        """Sample an initial state from the model's stationary placement."""
+
+    @abc.abstractmethod
+    def step(
+        self, state: MobilityState, dt: float, rng: np.random.Generator
+    ) -> MobilityState:
+        """Advance ``state`` by ``dt`` seconds, returning the new state.
+
+        Implementations must keep positions inside :attr:`region` and
+        must not mutate the input state.
+        """
+
+    def uniform_point(self, rng: np.random.Generator) -> Point:
+        """A point uniform over the region — shared placement helper."""
+        return Point(
+            float(rng.uniform(self.region.min_x, self.region.max_x)),
+            float(rng.uniform(self.region.min_y, self.region.max_y)),
+        )

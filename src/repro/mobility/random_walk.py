@@ -1,0 +1,111 @@
+"""Random walk (Brownian-style) mobility from Camp et al. [7].
+
+Each epoch the person picks a uniformly random direction and a speed in
+``[min_speed, max_speed]`` and holds them for ``epoch_duration``
+seconds, reflecting off the region boundary.  Included as an alternative
+substrate for sensitivity studies: random walk mixes people across cells
+much more slowly than random waypoint, which stresses the set-splitting
+algorithm with fewer distinguishing scenarios per unit time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel, MobilityState
+from repro.world.geometry import BoundingBox, Point, Vector
+
+
+@dataclass(frozen=True)
+class RandomWalkConfig:
+    """Parameters of the random-walk model."""
+
+    min_speed: float = 0.3
+    max_speed: float = 1.5
+    epoch_duration: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.min_speed < 0:
+            raise ValueError(f"min_speed must be non-negative, got {self.min_speed}")
+        if self.max_speed < self.min_speed:
+            raise ValueError(
+                f"max_speed {self.max_speed} < min_speed {self.min_speed}"
+            )
+        if self.epoch_duration <= 0:
+            raise ValueError(
+                f"epoch_duration must be positive, got {self.epoch_duration}"
+            )
+
+
+class RandomWalk(MobilityModel):
+    """Epoch-based random walk with boundary reflection."""
+
+    def __init__(
+        self,
+        region: BoundingBox,
+        config: Optional[RandomWalkConfig] = None,
+    ) -> None:
+        super().__init__(region)
+        self.config = config if config is not None else RandomWalkConfig()
+
+    def initial_state(self, rng: np.random.Generator) -> MobilityState:
+        state = MobilityState(position=self.uniform_point(rng))
+        self._begin_epoch(state, rng)
+        return state
+
+    def step(
+        self, state: MobilityState, dt: float, rng: np.random.Generator
+    ) -> MobilityState:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        new = MobilityState(
+            position=state.position,
+            velocity=state.velocity,
+            extra=dict(state.extra),
+        )
+        remaining = dt
+        while remaining > 1e-9:
+            epoch_left = new.extra.get("epoch_left", 0.0)
+            if epoch_left <= 1e-9:
+                self._begin_epoch(new, rng)
+                epoch_left = new.extra["epoch_left"]
+            consumed = min(epoch_left, remaining)
+            self._move(new, consumed)
+            new.extra["epoch_left"] = epoch_left - consumed
+            remaining -= consumed
+        return new
+
+    def _begin_epoch(self, state: MobilityState, rng: np.random.Generator) -> None:
+        cfg = self.config
+        angle = float(rng.uniform(0.0, 2.0 * math.pi))
+        speed = float(rng.uniform(cfg.min_speed, cfg.max_speed))
+        state.velocity = Vector.from_polar(speed, angle)
+        state.extra["epoch_left"] = cfg.epoch_duration
+
+    def _move(self, state: MobilityState, dt: float) -> None:
+        """Advance with specular reflection off the region walls (in place)."""
+        x = state.position.x + state.velocity.dx * dt
+        y = state.position.y + state.velocity.dy * dt
+        vx, vy = state.velocity.dx, state.velocity.dy
+        x, vx = _reflect(x, vx, self.region.min_x, self.region.max_x)
+        y, vy = _reflect(y, vy, self.region.min_y, self.region.max_y)
+        state.position = Point(x, y)
+        state.velocity = Vector(vx, vy)
+
+
+def _reflect(coord: float, velocity: float, low: float, high: float):
+    """Fold ``coord`` back into ``[low, high]``, flipping ``velocity`` per bounce."""
+    span = high - low
+    if span <= 0:
+        return low, 0.0
+    # Unfold into a 2*span-periodic sawtooth: walk the coordinate into
+    # [0, 2*span) relative to `low`, then mirror the upper half.
+    rel = (coord - low) % (2.0 * span)
+    if rel > span:
+        rel = 2.0 * span - rel
+        velocity = -velocity
+    return low + rel, velocity

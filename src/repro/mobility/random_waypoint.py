@@ -1,0 +1,178 @@
+"""Random waypoint mobility (Camp, Boleng & Davies [7]).
+
+The model the paper's evaluation uses (Sec. VI-A).  Each person repeats:
+
+1. pick a destination uniformly at random in the region;
+2. pick a trip speed uniformly in ``[min_speed, max_speed]``;
+3. travel to the destination in a straight line, optionally ramping
+   speed with bounded acceleration ("location, velocity and acceleration
+   change" per the paper);
+4. pause for a time uniform in ``[0, max_pause]``; go to 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel, MobilityState
+from repro.world.geometry import BoundingBox, Point, Vector
+
+
+@dataclass(frozen=True)
+class RandomWaypointConfig:
+    """Parameters of the random-waypoint model.
+
+    Attributes:
+        min_speed: slowest trip speed, m/s.  Kept strictly positive to
+            avoid the model's well-known speed-decay degeneracy at 0.
+        max_speed: fastest trip speed, m/s (1.4 m/s is typical walking).
+        max_pause: longest pause at a waypoint, seconds.
+        max_acceleration: bound on speed change per second when starting
+            a trip, m/s^2.  ``None`` makes speed changes instantaneous
+            (the textbook model).
+        arrival_tolerance: distance in metres at which the destination
+            counts as reached.
+    """
+
+    min_speed: float = 0.4
+    max_speed: float = 1.8
+    max_pause: float = 20.0
+    max_acceleration: Optional[float] = 0.8
+    arrival_tolerance: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_speed <= 0:
+            raise ValueError(f"min_speed must be positive, got {self.min_speed}")
+        if self.max_speed < self.min_speed:
+            raise ValueError(
+                f"max_speed {self.max_speed} < min_speed {self.min_speed}"
+            )
+        if self.max_pause < 0:
+            raise ValueError(f"max_pause must be non-negative, got {self.max_pause}")
+        if self.max_acceleration is not None and self.max_acceleration <= 0:
+            raise ValueError(
+                f"max_acceleration must be positive or None, got {self.max_acceleration}"
+            )
+        if self.arrival_tolerance <= 0:
+            raise ValueError(
+                f"arrival_tolerance must be positive, got {self.arrival_tolerance}"
+            )
+
+
+class RandomWaypoint(MobilityModel):
+    """Random-waypoint movement over a bounded region."""
+
+    def __init__(
+        self,
+        region: BoundingBox,
+        config: Optional[RandomWaypointConfig] = None,
+    ) -> None:
+        super().__init__(region)
+        self.config = config if config is not None else RandomWaypointConfig()
+
+    def initial_state(self, rng: np.random.Generator) -> MobilityState:
+        """Uniform placement, starting a fresh trip immediately."""
+        state = MobilityState(position=self.uniform_point(rng))
+        self._begin_trip(state, rng)
+        return state
+
+    def step(
+        self, state: MobilityState, dt: float, rng: np.random.Generator
+    ) -> MobilityState:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        new = MobilityState(
+            position=state.position,
+            velocity=state.velocity,
+            extra=dict(state.extra),
+        )
+        remaining = dt
+        # A single dt may span the end of a pause or an arrival, so we
+        # consume it in phases rather than assume one phase per tick.
+        while remaining > 1e-9:
+            pause_left = new.extra.get("pause_left", 0.0)
+            if pause_left > 0.0:
+                consumed = min(pause_left, remaining)
+                new.extra["pause_left"] = pause_left - consumed
+                remaining -= consumed
+                if new.extra["pause_left"] <= 1e-9:
+                    new.extra["pause_left"] = 0.0
+                    self._begin_trip(new, rng)
+                continue
+            remaining = self._advance_travel(new, remaining, rng)
+        return new
+
+    def _begin_trip(self, state: MobilityState, rng: np.random.Generator) -> None:
+        """Choose a new destination and trip speed for ``state`` (in place)."""
+        cfg = self.config
+        destination = self.uniform_point(rng)
+        trip_speed = float(rng.uniform(cfg.min_speed, cfg.max_speed))
+        state.extra["destination"] = destination
+        state.extra["trip_speed"] = trip_speed
+        state.extra["pause_left"] = 0.0
+        if cfg.max_acceleration is None:
+            state.velocity = self._heading(state.position, destination, trip_speed)
+
+    def _advance_travel(
+        self, state: MobilityState, dt: float, rng: np.random.Generator
+    ) -> float:
+        """Move toward the destination for up to ``dt`` seconds.
+
+        Returns the unconsumed part of ``dt`` (positive when the
+        destination is reached early and a pause begins).
+        """
+        cfg = self.config
+        destination: Point = state.extra["destination"]
+        trip_speed: float = state.extra["trip_speed"]
+        distance = state.position.distance_to(destination)
+        if distance <= cfg.arrival_tolerance:
+            self._arrive(state, rng)
+            return dt
+
+        if cfg.max_acceleration is None:
+            speed = trip_speed
+        else:
+            # Ramp current speed toward the trip speed within the
+            # acceleration bound; direction changes are instantaneous
+            # (people turn in place).
+            current = state.speed
+            delta = trip_speed - current
+            max_delta = cfg.max_acceleration * dt
+            speed = current + max(-max_delta, min(max_delta, delta))
+            speed = max(speed, 0.0)
+
+        travel = min(speed * dt, distance)
+        if distance > 0.0:
+            direction = state.position.vector_to(destination).normalized()
+        else:
+            direction = Vector(0.0, 0.0)
+        state.velocity = direction.scaled(speed)
+        state.position = self.region.clamp(
+            state.position.translate(direction.scaled(travel))
+        )
+        if speed * dt >= distance - 1e-12:
+            consumed = distance / speed if speed > 0 else dt
+            self._arrive(state, rng)
+            return max(dt - consumed, 0.0)
+        return 0.0
+
+    def _arrive(self, state: MobilityState, rng: np.random.Generator) -> None:
+        """Snap to the destination and start a pause (in place)."""
+        cfg = self.config
+        state.position = self.region.clamp(state.extra["destination"])
+        state.velocity = Vector(0.0, 0.0)
+        state.extra["pause_left"] = float(rng.uniform(0.0, cfg.max_pause))
+        if state.extra["pause_left"] <= 1e-9:
+            self._begin_trip(state, rng)
+
+    @staticmethod
+    def _heading(origin: Point, destination: Point, speed: float) -> Vector:
+        """Velocity of ``speed`` m/s pointing from ``origin`` to ``destination``."""
+        displacement = origin.vector_to(destination)
+        if displacement.magnitude == 0.0:
+            return Vector(0.0, 0.0)
+        return displacement.normalized().scaled(speed)

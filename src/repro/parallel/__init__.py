@@ -1,0 +1,30 @@
+"""Parallelized EV-Matching (paper Sec. V).
+
+* :mod:`repro.parallel.split_job` — EID set splitting as iterated
+  MapReduce jobs (Algorithm 3, Fig. 4): preprocess -> map -> reduce ->
+  merge per iteration, using the (key, value) shuffle to intersect EID
+  partitions with E-Scenarios.
+* :mod:`repro.parallel.filter_job` — VID filtering as two jobs: a
+  map-only feature-extraction fan-out over the distinct selected
+  V-Scenarios, then per-EID feature comparison with each EID's list on
+  one mapper (Sec. V-C).
+* :mod:`repro.parallel.edp_job` — the paper's fair-comparison EDP
+  adaptation: "assigning each mapper one EID matching task".
+* :mod:`repro.parallel.driver` — :class:`ParallelEVMatcher`, the
+  cluster-backed counterpart of :class:`repro.core.matcher.EVMatcher`,
+  reporting simulated stage makespans instead of idealized divisions.
+"""
+
+from repro.parallel.split_job import ParallelSetSplitter, ParallelSplitStats
+from repro.parallel.filter_job import ParallelVIDFilter
+from repro.parallel.edp_job import ParallelEDP
+from repro.parallel.driver import ParallelEVMatcher, ParallelMatchReport
+
+__all__ = [
+    "ParallelEDP",
+    "ParallelEVMatcher",
+    "ParallelMatchReport",
+    "ParallelSetSplitter",
+    "ParallelSplitStats",
+    "ParallelVIDFilter",
+]

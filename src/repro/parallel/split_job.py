@@ -1,0 +1,292 @@
+"""Parallel EID set splitting — Algorithm 3 / Fig. 4 of the paper.
+
+One iteration is a pair of MapReduce jobs over the union of the current
+EID partition and a batch of E-Scenarios:
+
+* **Preprocess** (driver): "randomly choose a timestamp and select all
+  the E-Scenarios with this timestamp", drop the ones containing none
+  of the EIDs still to be matched, and bundle them with the current
+  partition's sets (each set — partition or scenario — carries a
+  unique set id).
+* **Map**: for each set, "use the element of the EID set as the key and
+  the set ID as the value", emitting ``(eid, set_id)`` pairs.
+* **Reduce**: the shuffle delivers every set id containing a given EID
+  to one reducer, which emits ``(sorted set-id list, eid)`` — the EID's
+  *signature*.
+* **Merge** (second job): group EIDs by signature; each group is the
+  intersection of exactly those sets, i.e. one set of the refined
+  partition.
+
+The driver records which scenario ids appear in signatures that split a
+set, maintains the same per-target candidate/evidence bookkeeping as
+the serial :class:`~repro.core.set_splitting.SetSplitter` (so serial
+and parallel produce comparably-shaped evidence), and iterates until
+every target is distinguished or the scenario pool is exhausted.
+
+Vague attributes: Algorithm 3 is stated for the ideal setting.  This
+implementation applies the serial vague rule on the driver side — only
+inclusive sightings make a target eligible, and vague EIDs are never
+ruled out of candidate sets — while the signature jobs operate on the
+inclusive sets, so the MapReduce dataflow stays exactly the paper's.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.set_splitting import SplitConfig, SplitResult
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import JobMetrics, MapReduceJob
+from repro.metrics.timing import CostModel
+from repro.sensing.scenarios import ScenarioKey, ScenarioStore
+from repro.world.entities import EID
+
+# Set ids distinguish partition sets from scenario sets so the driver
+# can tell which signature components are recordable scenarios.
+PartitionSetId = Tuple[str, int]
+ScenarioSetId = Tuple[str, int, int]
+
+
+@dataclass
+class ParallelSplitStats:
+    """What the iterated jobs did (beyond the shared SplitResult)."""
+
+    iterations: int = 0
+    job_metrics: List[JobMetrics] = field(default_factory=list)
+    partition_sets: int = 1
+
+    @property
+    def simulated_time(self) -> float:
+        """Summed stage makespans of every job — the parallel E time."""
+        return sum(m.simulated_time for m in self.job_metrics)
+
+    @property
+    def total_pairs_shuffled(self) -> int:
+        return sum(m.pairs_shuffled for m in self.job_metrics)
+
+
+class ParallelSetSplitter:
+    """Algorithm 3 on the MapReduce engine."""
+
+    def __init__(
+        self,
+        store: ScenarioStore,
+        engine: MapReduceEngine,
+        config: Optional[SplitConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        num_input_partitions: int = 16,
+    ) -> None:
+        if num_input_partitions <= 0:
+            raise ValueError(
+                f"num_input_partitions must be positive, got {num_input_partitions}"
+            )
+        self.store = store
+        self.engine = engine
+        self.config = config if config is not None else SplitConfig()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.num_input_partitions = num_input_partitions
+        self._name_counter = itertools.count()
+
+    def run(
+        self,
+        targets: Sequence[EID],
+        universe: Optional[Sequence[EID]] = None,
+    ) -> Tuple[SplitResult, ParallelSplitStats]:
+        """Iterate map/reduce/merge until all ``targets`` stand alone."""
+        if not targets:
+            raise ValueError("targets must not be empty")
+        universe_set = (
+            frozenset(universe)
+            if universe is not None
+            else self._observed_universe()
+        )
+        missing = [t for t in targets if t not in universe_set]
+        if missing:
+            raise ValueError(
+                f"targets not in universe: {sorted(e.index for e in missing)}"
+            )
+
+        result = SplitResult(targets=tuple(targets))
+        stats = ParallelSplitStats()
+        candidates: Dict[EID, Set[EID]] = {t: set(universe_set) for t in targets}
+        for t in targets:
+            result.evidence[t] = []
+        active: Set[EID] = set(targets)
+
+        # Current partition: set id -> members.  Starts as {U_eid}.
+        partition: Dict[PartitionSetId, FrozenSet[EID]] = {
+            ("P", 0): frozenset(universe_set)
+        }
+        next_partition_id = 1
+
+        rng = np.random.default_rng(self.config.seed)
+        ticks = list(self.store.ticks)
+        rng.shuffle(ticks)  # type: ignore[arg-type]
+
+        for tick in ticks:
+            if not active:
+                break
+            batch = self._preprocess(tick, active, result)
+            if not batch:
+                continue
+            stats.iterations += 1
+            signatures = self._signature_job(partition, batch, stats)
+            partition, next_partition_id = self._merge_job(
+                signatures, partition, next_partition_id, stats
+            )
+            self._update_targets(batch, candidates, active, result)
+            stats.partition_sets = len(partition)
+
+        result.candidates = {t: frozenset(candidates[t]) for t in targets}
+        return result, stats
+
+    # ------------------------------------------------------------------
+    def _observed_universe(self) -> FrozenSet[EID]:
+        eids: Set[EID] = set()
+        for e_scenario in self.store.e_scenarios():
+            eids.update(e_scenario.eids)
+        if not eids:
+            raise ValueError("the scenario store contains no EIDs")
+        return frozenset(eids)
+
+    def _preprocess(
+        self,
+        tick: int,
+        active: Set[EID],
+        result: SplitResult,
+    ) -> List[Tuple[ScenarioSetId, FrozenSet[EID], FrozenSet[EID]]]:
+        """One iteration's scenario batch: this tick's scenarios that
+        contain at least one still-active target (inclusive)."""
+        batch = []
+        for key in self.store.keys_at_tick(tick):
+            result.scenarios_examined += 1
+            e_scenario = self.store.e_scenario(key)
+            if self.config.treat_vague_as_inclusive:
+                inclusive = e_scenario.inclusive | e_scenario.vague
+                vague: FrozenSet[EID] = frozenset()
+            else:
+                inclusive = e_scenario.inclusive
+                vague = e_scenario.vague
+            if inclusive & active:
+                set_id: ScenarioSetId = ("S", key.cell_id, key.tick)
+                batch.append((set_id, inclusive, vague))
+        return batch
+
+    def _signature_job(
+        self,
+        partition: Dict[PartitionSetId, FrozenSet[EID]],
+        batch: Sequence[Tuple[ScenarioSetId, FrozenSet[EID], FrozenSet[EID]]],
+        stats: ParallelSplitStats,
+    ) -> List[Tuple[Tuple, EID]]:
+        """Map + reduce of Algorithm 3: EIDs to their set-id signatures."""
+        records: List[Tuple[Tuple, FrozenSet[EID]]] = [
+            (set_id, members) for set_id, members in partition.items()
+        ]
+        records.extend((set_id, inclusive) for set_id, inclusive, _ in batch)
+        input_name = self._fresh("split-in")
+        self.engine.dfs.write_records(
+            input_name, records, min(self.num_input_partitions, len(records))
+        )
+
+        e_cost = self.cost_model.e_scenario_cost
+
+        def mapper(record):
+            set_id, members = record
+            for eid in members:
+                yield (eid, set_id)
+
+        def reducer(eid, set_ids):
+            yield (tuple(sorted(set_ids)), eid)
+
+        job = MapReduceJob(
+            name=self._fresh("split"),
+            mapper=mapper,
+            reducer=reducer,
+            num_reducers=self.num_input_partitions,
+            map_cost=lambda record: e_cost if record[0][0] == "S" else 0.0,
+        )
+        handle, metrics = self.engine.run(job, input_name, self._fresh("split-out"))
+        stats.job_metrics.append(metrics)
+        return self.engine.dfs.read_all(handle.name)
+
+    def _merge_job(
+        self,
+        signatures: Sequence[Tuple[Tuple, EID]],
+        partition: Dict[PartitionSetId, FrozenSet[EID]],
+        next_partition_id: int,
+        stats: ParallelSplitStats,
+    ) -> Tuple[Dict[PartitionSetId, FrozenSet[EID]], int]:
+        """Merge step: group EIDs by signature into the refined partition."""
+        input_name = self._fresh("merge-in")
+        self.engine.dfs.write_records(
+            input_name,
+            list(signatures),
+            min(self.num_input_partitions, max(len(signatures), 1)),
+        )
+
+        def mapper(record):
+            signature, eid = record
+            yield (signature, eid)
+
+        def reducer(signature, eids):
+            yield (signature, frozenset(eids))
+
+        job = MapReduceJob(
+            name=self._fresh("merge"),
+            mapper=mapper,
+            reducer=reducer,
+            num_reducers=self.num_input_partitions,
+        )
+        handle, metrics = self.engine.run(job, input_name, self._fresh("merge-out"))
+        stats.job_metrics.append(metrics)
+
+        new_partition: Dict[PartitionSetId, FrozenSet[EID]] = {}
+        next_id = next_partition_id
+        for _signature, members in self.engine.dfs.read_all(handle.name):
+            new_partition[("P", next_id)] = members
+            next_id += 1
+        return new_partition, next_id
+
+    def _update_targets(
+        self,
+        batch: Sequence[Tuple[ScenarioSetId, FrozenSet[EID], FrozenSet[EID]]],
+        candidates: Dict[EID, Set[EID]],
+        active: Set[EID],
+        result: SplitResult,
+    ) -> None:
+        """Apply the serial candidate/evidence rules for this batch.
+
+        Mirrors :meth:`SetSplitter._apply_scenario` so parallel and
+        serial evidence have the same shape (strict shrink + the
+        ``min_gap_ticks`` diversity rule); the scenario is recorded if
+        it helped any target.
+        """
+        gap = self.config.min_gap_ticks
+        for set_id, inclusive, vague in batch:
+            key = ScenarioKey(cell_id=set_id[1], tick=set_id[2])
+            allowed = inclusive | vague
+            helped = False
+            for target in inclusive:
+                if target not in active:
+                    continue
+                if candidates[target] <= allowed:
+                    continue
+                if gap and any(
+                    prior.cell_id == key.cell_id and abs(prior.tick - key.tick) < gap
+                    for prior in result.evidence[target]
+                ):
+                    continue
+                candidates[target] &= allowed
+                result.evidence[target].append(key)
+                helped = True
+                if len(candidates[target]) == 1:
+                    active.discard(target)
+            if helped:
+                result.recorded.append(key)
+
+    def _fresh(self, prefix: str) -> str:
+        return f"{prefix}-{next(self._name_counter)}"

@@ -1,0 +1,137 @@
+"""Scenario-store statistics: the dataset profile behind the figures.
+
+The paper's evaluation axes — density, missing rates, scenario counts —
+are all properties of the scenario store.  This module computes them
+from an actual store, so experiments can report the *realized* workload
+(not just the configured one) and operators can sanity-check a
+deployment's data before matching.
+
+Used by the CLI's ``inspect`` command and the benchmark harness's
+logging; pure functions over :class:`~repro.sensing.scenarios.ScenarioStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sensing.scenarios import ScenarioStore
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate profile of one scenario store.
+
+    Attributes:
+        num_scenarios: EV-Scenarios in the store.
+        num_ticks: sampling instants covered.
+        num_cells: distinct cells that produced scenarios.
+        distinct_eids: EIDs observed anywhere (inclusive or vague).
+        total_detections: V-side figures across all scenarios.
+        mean_eids_per_scenario: the realized *density* axis.
+        max_eids_per_scenario: the worst crowd one scenario holds.
+        vague_fraction: share of E-sightings marked vague.
+        ev_balance: mean ratio of detections to inclusive EIDs per
+            scenario (1.0 = perfectly consistent E and V sides;
+            above 1 = extra visual figures, e.g. device-less people;
+            below 1 = missed detections).
+    """
+
+    num_scenarios: int
+    num_ticks: int
+    num_cells: int
+    distinct_eids: int
+    total_detections: int
+    mean_eids_per_scenario: float
+    max_eids_per_scenario: int
+    vague_fraction: float
+    ev_balance: float
+
+
+def store_stats(store: ScenarioStore) -> StoreStats:
+    """Compute the :class:`StoreStats` profile of ``store``."""
+    eids = set()
+    cells = set()
+    total_inclusive = 0
+    total_vague = 0
+    total_detections = 0
+    max_eids = 0
+    balance_terms: List[float] = []
+    for key in store.keys:
+        scenario = store.get(key)
+        cells.add(key.cell_id)
+        eids.update(scenario.e.eids)
+        inclusive = len(scenario.e.inclusive)
+        vague = len(scenario.e.vague)
+        detections = len(scenario.v)
+        total_inclusive += inclusive
+        total_vague += vague
+        total_detections += detections
+        max_eids = max(max_eids, inclusive + vague)
+        if inclusive > 0:
+            balance_terms.append(detections / inclusive)
+    num = len(store)
+    sightings = total_inclusive + total_vague
+    return StoreStats(
+        num_scenarios=num,
+        num_ticks=len(store.ticks),
+        num_cells=len(cells),
+        distinct_eids=len(eids),
+        total_detections=total_detections,
+        mean_eids_per_scenario=(sightings / num) if num else 0.0,
+        max_eids_per_scenario=max_eids,
+        vague_fraction=(total_vague / sightings) if sightings else 0.0,
+        ev_balance=(sum(balance_terms) / len(balance_terms)) if balance_terms else 0.0,
+    )
+
+
+def occupancy_by_cell(store: ScenarioStore) -> Dict[int, float]:
+    """Mean inclusive-EID count per cell — the spatial load profile.
+
+    Non-uniform values reveal hotspot worlds and skewed deployments,
+    the regime where per-scenario V-stage task costs diverge.
+    """
+    totals: Dict[int, int] = {}
+    counts: Dict[int, int] = {}
+    for key in store.keys:
+        scenario = store.e_scenario(key)
+        totals[key.cell_id] = totals.get(key.cell_id, 0) + len(scenario.inclusive)
+        counts[key.cell_id] = counts.get(key.cell_id, 0) + 1
+    return {
+        cell: totals[cell] / counts[cell] for cell in sorted(totals.keys())
+    }
+
+
+def occupancy_over_time(store: ScenarioStore) -> List[Tuple[int, int]]:
+    """Total inclusive sightings per tick, tick-ordered.
+
+    A flat series means a stationary crowd; dips reveal sensing
+    outages.
+    """
+    series: Dict[int, int] = {}
+    for key in store.keys:
+        scenario = store.e_scenario(key)
+        series[key.tick] = series.get(key.tick, 0) + len(scenario.inclusive)
+    return sorted(series.items())
+
+
+def co_occurrence_histogram(store: ScenarioStore, bins: int = 8) -> List[Tuple[str, int]]:
+    """Histogram of per-scenario crowd sizes (inclusive EIDs).
+
+    The distribution the set splitter works against: heavy upper tails
+    mean slow candidate shrinkage and crowded V-scenarios.
+    """
+    if bins <= 0:
+        raise ValueError(f"bins must be positive, got {bins}")
+    sizes = [len(store.e_scenario(k).inclusive) for k in store.keys]
+    if not sizes:
+        return []
+    top = max(sizes)
+    width = max(1, (top + bins) // bins)
+    histogram = [0] * bins
+    for size in sizes:
+        histogram[min(size // width, bins - 1)] += 1
+    return [
+        (f"{i * width}-{(i + 1) * width - 1}", count)
+        for i, count in enumerate(histogram)
+    ]

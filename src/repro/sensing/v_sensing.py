@@ -1,0 +1,94 @@
+"""V-sensing model: how cameras observe people.
+
+Models the visual side of Sec. IV-C's practical settings:
+
+* **Missing VID** — "due to occlusion and miss detection, we may fail
+  to extract the VIDs corresponding to a EID from some V-Scenarios."
+  Each person present in a cell is detected with probability
+  ``1 - miss_rate``; Fig. 11 sweeps the miss rate from 2% to 10%.
+* **Feature noise** — each successful detection yields a noisy
+  appearance feature from the population's
+  :class:`~repro.world.features.AppearanceModel`, standing in for
+  CV feature extraction from CUHK02-style images.
+
+Unlike E sightings, visual detections never drift across cells: a
+camera only films its own field of view, so attribution is exact —
+which is why the paper's vague-zone machinery lives on the E side only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.sensing.scenarios import Detection
+from repro.world.entities import VID
+from repro.world.features import AppearanceModel
+
+
+@dataclass(frozen=True)
+class VSensingConfig:
+    """Visual capture model parameters.
+
+    Attributes:
+        miss_rate: probability that a person present in a scenario is
+            not detected (occlusion / detector miss).
+    """
+
+    miss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_rate <= 1.0:
+            raise ValueError(f"miss_rate must be in [0, 1], got {self.miss_rate}")
+
+
+class VSensingModel:
+    """Turns the people present in a cell into appearance detections."""
+
+    def __init__(
+        self,
+        appearance: AppearanceModel,
+        config: Optional[VSensingConfig] = None,
+    ) -> None:
+        self.appearance = appearance
+        self.config = config if config is not None else VSensingConfig()
+        self._next_id = 0
+
+    def sense(
+        self,
+        present_vids: Iterable[VID],
+        rng: np.random.Generator,
+    ) -> List[Detection]:
+        """Detect the people present in one scenario.
+
+        Args:
+            present_vids: ground-truth visual identities in the cell.
+            rng: randomness source for misses and feature noise.
+
+        Returns:
+            One :class:`Detection` per successfully-detected person, in
+            deterministic (VID-index) order, each with a fresh globally
+            unique ``detection_id`` and a noisy feature vector.
+        """
+        cfg = self.config
+        detections: List[Detection] = []
+        for vid in sorted(present_vids):
+            if cfg.miss_rate > 0.0 and rng.random() < cfg.miss_rate:
+                continue
+            feature = self.appearance.observe(vid, rng)
+            detections.append(
+                Detection(
+                    detection_id=self._next_id,
+                    feature=feature,
+                    true_vid=vid,
+                )
+            )
+            self._next_id += 1
+        return detections
+
+    @property
+    def detections_issued(self) -> int:
+        """How many detections this model has produced so far."""
+        return self._next_id

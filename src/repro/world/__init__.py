@@ -1,0 +1,37 @@
+"""Synthetic world substrate: geometry, cell decomposition and population.
+
+This package models the physical side of the paper's evaluation setup
+(Sec. VI-A): a bounded planar region (1000 m x 1000 m in the paper)
+partitioned into *cells* (the paper's "scenarios"), populated by human
+objects each carrying an electronic identity (EID, a WiFi MAC address)
+and exhibiting a visual identity (VID, an appearance feature vector that
+stands in for the CUHK02 person images used by the authors).
+"""
+
+from repro.world.geometry import BoundingBox, Point, Vector
+from repro.world.cells import (
+    Cell,
+    CellGrid,
+    HexCellGrid,
+    ZoneKind,
+)
+from repro.world.entities import EID, VID, Person
+from repro.world.features import AppearanceModel, FeatureSpace
+from repro.world.population import Population, PopulationConfig
+
+__all__ = [
+    "AppearanceModel",
+    "BoundingBox",
+    "Cell",
+    "CellGrid",
+    "EID",
+    "FeatureSpace",
+    "HexCellGrid",
+    "Person",
+    "Point",
+    "Population",
+    "PopulationConfig",
+    "Vector",
+    "VID",
+    "ZoneKind",
+]

@@ -1,0 +1,340 @@
+"""Cell decomposition of the surveillance region.
+
+The paper divides the whole spatial region into smaller regions called
+*scenarios* — "a hexagonal cell if we generate the view of the whole
+region by combining the views of all cameras and divide it uniformly"
+(Sec. IV-A, Fig. 1).  Each cell is the footprint of one EV-Scenario
+stream: at any instant, the EIDs and VIDs located inside the cell form
+that cell's E-Scenario and V-Scenario.
+
+For the practical setting (Sec. IV-C, Fig. 2) every cell is split into
+three zones:
+
+* **inclusive zone** — the interior far from the border; identities here
+  are confidently inside the cell;
+* **vague zone** — a band of configurable width along the border;
+  identities here are included but flagged vague;
+* **exclusive zone** — everything outside the cell.
+
+Two decompositions are provided: a rectangular :class:`CellGrid`
+(the default used by the benchmarks) and a :class:`HexCellGrid`
+matching the hexagonal-cell illustration in the paper's Fig. 1.  Both
+share the :class:`Cell` abstraction, so the sensing and matching layers
+are agnostic to the tiling.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.world.geometry import BoundingBox, Point
+
+
+class ZoneKind(enum.Enum):
+    """Which zone of a cell a location falls into (paper Fig. 2)."""
+
+    INCLUSIVE = "inclusive"
+    VAGUE = "vague"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One scenario region.
+
+    Attributes:
+        cell_id: dense integer id, unique within its grid.
+        center: the geometric center of the cell.
+        bounds: the cell's bounding box (exact for grid cells, the
+            circumscribing box for hex cells).
+    """
+
+    cell_id: int
+    center: Point
+    bounds: BoundingBox
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell({self.cell_id} @ {self.center.x:.0f},{self.center.y:.0f})"
+
+
+class CellGrid:
+    """Uniform rectangular tiling of a square region into ``n x n`` cells.
+
+    Args:
+        region: the whole surveillance region.
+        cells_per_side: number of cells along each axis.
+        vague_width: width in metres of the vague band inside each cell
+            border.  ``0`` disables vague zones (the ideal setting).
+
+    The grid offers O(1) point-to-cell lookup, which the scenario builder
+    performs once per (person, tick).
+    """
+
+    def __init__(
+        self,
+        region: BoundingBox,
+        cells_per_side: int,
+        vague_width: float = 0.0,
+    ) -> None:
+        if cells_per_side <= 0:
+            raise ValueError(f"cells_per_side must be positive, got {cells_per_side}")
+        if vague_width < 0:
+            raise ValueError(f"vague_width must be non-negative, got {vague_width}")
+        cell_w = region.width / cells_per_side
+        cell_h = region.height / cells_per_side
+        if 2 * vague_width >= min(cell_w, cell_h):
+            raise ValueError(
+                f"vague_width {vague_width} m leaves no inclusive zone in "
+                f"{cell_w:.1f} x {cell_h:.1f} m cells"
+            )
+        self.region = region
+        self.cells_per_side = cells_per_side
+        self.vague_width = vague_width
+        self._cell_width = cell_w
+        self._cell_height = cell_h
+        self._cells: List[Cell] = []
+        for row in range(cells_per_side):
+            for col in range(cells_per_side):
+                bounds = BoundingBox(
+                    region.min_x + col * cell_w,
+                    region.min_y + row * cell_h,
+                    region.min_x + (col + 1) * cell_w,
+                    region.min_y + (row + 1) * cell_h,
+                )
+                self._cells.append(
+                    Cell(cell_id=row * cells_per_side + col,
+                         center=bounds.center,
+                         bounds=bounds)
+                )
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cells(self) -> Sequence[Cell]:
+        return tuple(self._cells)
+
+    def cell(self, cell_id: int) -> Cell:
+        """Look up a cell by id."""
+        if not 0 <= cell_id < len(self._cells):
+            raise KeyError(f"no cell with id {cell_id}")
+        return self._cells[cell_id]
+
+    def locate(self, point: Point) -> Cell:
+        """Return the cell containing ``point``.
+
+        Points outside the region are clamped to the nearest cell, which
+        mirrors how a physical deployment attributes boundary sightings
+        to the edge camera.
+        """
+        col = int((point.x - self.region.min_x) / self._cell_width)
+        row = int((point.y - self.region.min_y) / self._cell_height)
+        col = min(max(col, 0), self.cells_per_side - 1)
+        row = min(max(row, 0), self.cells_per_side - 1)
+        return self._cells[row * self.cells_per_side + col]
+
+    def classify(self, point: Point, cell: Optional[Cell] = None) -> Tuple[Cell, ZoneKind]:
+        """Return ``(cell, zone)`` for a location.
+
+        With ``vague_width == 0`` every in-cell point is INCLUSIVE, which
+        is exactly the paper's ideal setting.  Otherwise points within
+        ``vague_width`` of the cell border are VAGUE.  When ``cell`` is
+        provided the classification is relative to that cell (a point
+        outside it is EXCLUSIVE); otherwise the containing cell is used.
+        """
+        if cell is None:
+            cell = self.locate(point)
+        if not cell.bounds.contains(point):
+            return cell, ZoneKind.EXCLUSIVE
+        if self.vague_width == 0.0:
+            return cell, ZoneKind.INCLUSIVE
+        if cell.bounds.distance_to_border(point) < self.vague_width:
+            return cell, ZoneKind.VAGUE
+        return cell, ZoneKind.INCLUSIVE
+
+    def neighbors(self, cell: Cell) -> Iterator[Cell]:
+        """Yield the up-to-8 cells adjacent to ``cell`` (Moore neighborhood).
+
+        Drifting EIDs land in neighbor cells (Sec. IV-C.1), so the
+        sensing model and a couple of tests need adjacency.
+        """
+        row, col = divmod(cell.cell_id, self.cells_per_side)
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                if dr == 0 and dc == 0:
+                    continue
+                nr, nc = row + dr, col + dc
+                if 0 <= nr < self.cells_per_side and 0 <= nc < self.cells_per_side:
+                    yield self._cells[nr * self.cells_per_side + nc]
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+
+class HexCellGrid:
+    """Pointy-top hexagonal tiling of the region (paper Fig. 1).
+
+    Hexes are laid out in axial coordinates with the given circumradius.
+    The API mirrors :class:`CellGrid` (``locate`` / ``classify`` /
+    ``cells``) so either tiling can back the scenario builder.
+
+    Args:
+        region: the region to cover; hexes are generated so their union
+            covers all of it.
+        hex_radius: circumradius (center-to-corner distance) in metres.
+        vague_width: width of the vague band inside the hex border.
+    """
+
+    def __init__(
+        self,
+        region: BoundingBox,
+        hex_radius: float,
+        vague_width: float = 0.0,
+    ) -> None:
+        if hex_radius <= 0:
+            raise ValueError(f"hex_radius must be positive, got {hex_radius}")
+        if vague_width < 0:
+            raise ValueError(f"vague_width must be non-negative, got {vague_width}")
+        inradius = hex_radius * math.sqrt(3) / 2.0
+        if vague_width >= inradius:
+            raise ValueError(
+                f"vague_width {vague_width} m leaves no inclusive zone in hexes "
+                f"with inradius {inradius:.1f} m"
+            )
+        self.region = region
+        self.hex_radius = hex_radius
+        self.vague_width = vague_width
+        self._inradius = inradius
+        self._cells: List[Cell] = []
+        self._by_axial: Dict[Tuple[int, int], Cell] = {}
+        self._axial_of: Dict[int, Tuple[int, int]] = {}
+        self._build()
+
+    # Axial <-> world conversion for pointy-top hexes.
+    def _axial_to_center(self, q: int, r: int) -> Point:
+        x = self.region.min_x + self.hex_radius * math.sqrt(3) * (q + r / 2.0)
+        y = self.region.min_y + self.hex_radius * 1.5 * r
+        return Point(x, y)
+
+    def _point_to_axial(self, point: Point) -> Tuple[int, int]:
+        px = point.x - self.region.min_x
+        py = point.y - self.region.min_y
+        qf = (math.sqrt(3) / 3.0 * px - 1.0 / 3.0 * py) / self.hex_radius
+        rf = (2.0 / 3.0 * py) / self.hex_radius
+        return _axial_round(qf, rf)
+
+    def _build(self) -> None:
+        # Generate enough axial rows/cols to cover the region plus one
+        # ring of slack so border points always land on a real hex.
+        r_max = int(self.region.height / (self.hex_radius * 1.5)) + 2
+        q_max = int(self.region.width / (self.hex_radius * math.sqrt(3))) + 2
+        next_id = 0
+        for r in range(-1, r_max + 1):
+            q_offset = -(r // 2)
+            for q in range(q_offset - 1, q_offset + q_max + 1):
+                center = self._axial_to_center(q, r)
+                bounds = BoundingBox(
+                    center.x - self.hex_radius,
+                    center.y - self.hex_radius,
+                    center.x + self.hex_radius,
+                    center.y + self.hex_radius,
+                )
+                cell = Cell(cell_id=next_id, center=center, bounds=bounds)
+                self._cells.append(cell)
+                self._by_axial[(q, r)] = cell
+                self._axial_of[next_id] = (q, r)
+                next_id += 1
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cells(self) -> Sequence[Cell]:
+        return tuple(self._cells)
+
+    def cell(self, cell_id: int) -> Cell:
+        if not 0 <= cell_id < len(self._cells):
+            raise KeyError(f"no cell with id {cell_id}")
+        return self._cells[cell_id]
+
+    def locate(self, point: Point) -> Cell:
+        """Return the hex whose center is nearest ``point``."""
+        axial = self._point_to_axial(point)
+        cell = self._by_axial.get(axial)
+        if cell is None:
+            # Point fell outside the generated cover; snap to the nearest
+            # existing hex center (rare, only for far-out-of-region points).
+            cell = min(self._cells, key=lambda c: c.center.distance_to(point))
+        return cell
+
+    def classify(self, point: Point, cell: Optional[Cell] = None) -> Tuple[Cell, ZoneKind]:
+        """Return ``(cell, zone)`` for a location, hex-aware.
+
+        Distance to the hex border is computed exactly (minimum over the
+        three edge-normal projections), so the vague band has uniform
+        width along all six edges.
+        """
+        if cell is None:
+            cell = self.locate(point)
+        border_dist = self._distance_to_hex_border(point, cell.center)
+        if border_dist < 0:
+            return cell, ZoneKind.EXCLUSIVE
+        if self.vague_width == 0.0:
+            return cell, ZoneKind.INCLUSIVE
+        if border_dist < self.vague_width:
+            return cell, ZoneKind.VAGUE
+        return cell, ZoneKind.INCLUSIVE
+
+    def _distance_to_hex_border(self, point: Point, center: Point) -> float:
+        """Signed distance from ``point`` to the hex border (positive inside)."""
+        dx = point.x - center.x
+        dy = point.y - center.y
+        # For a pointy-top hex the three families of edges have outward
+        # normals at 90, 210 and 330 degrees (and their opposites).
+        best = math.inf
+        for angle in (math.pi / 2.0, math.pi * 7.0 / 6.0, math.pi * 11.0 / 6.0):
+            proj = abs(dx * math.cos(angle) + dy * math.sin(angle))
+            best = min(best, self._inradius - proj)
+        return best
+
+    def neighbors(self, cell: Cell) -> Iterator[Cell]:
+        """Yield the up-to-6 hexes sharing an edge with ``cell``."""
+        q, r = self._axial_of[cell.cell_id]
+        for dq, dr in ((1, 0), (-1, 0), (0, 1), (0, -1), (1, -1), (-1, 1)):
+            neighbor = self._by_axial.get((q + dq, r + dr))
+            if neighbor is not None:
+                yield neighbor
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+
+def _axial_round(qf: float, rf: float) -> Tuple[int, int]:
+    """Round fractional axial coordinates to the containing hex.
+
+    Standard cube-coordinate rounding: round all three cube coords and
+    fix the one with the largest rounding error so they still sum to 0.
+    """
+    sf = -qf - rf
+    q = round(qf)
+    r = round(rf)
+    s = round(sf)
+    dq = abs(q - qf)
+    dr = abs(r - rf)
+    ds = abs(s - sf)
+    if dq > dr and dq > ds:
+        q = -r - s
+    elif dr > ds:
+        r = -q - s
+    return int(q), int(r)

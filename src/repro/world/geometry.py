@@ -1,0 +1,220 @@
+"""Planar geometry primitives for the surveillance region.
+
+The paper's evaluation distributes human objects across a
+1000 m x 1000 m spatial region (Sec. VI-A).  Everything downstream —
+mobility, cell decomposition, vague zones — is built on the small set of
+primitives in this module: :class:`Point`, :class:`Vector` and
+:class:`BoundingBox`.
+
+The primitives are deliberately plain (frozen dataclasses over floats)
+so that millions of them can be created cheaply during trace generation
+and so that they hash/compare by value, which the scenario-construction
+code relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """A location in the plane, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 distance to ``other`` in metres."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translate(self, vector: "Vector") -> "Point":
+        """Return the point displaced by ``vector``."""
+        return Point(self.x + vector.dx, self.y + vector.dy)
+
+    def vector_to(self, other: "Point") -> "Vector":
+        """Return the displacement vector from ``self`` to ``other``."""
+        return Vector(other.x - self.x, other.y - self.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint of the segment ``self``-``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` for interop with numpy-based code."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Vector:
+    """A displacement in the plane, in metres."""
+
+    dx: float
+    dy: float
+
+    @classmethod
+    def from_polar(cls, magnitude: float, angle: float) -> "Vector":
+        """Build a vector from ``magnitude`` metres at ``angle`` radians."""
+        return cls(magnitude * math.cos(angle), magnitude * math.sin(angle))
+
+    @property
+    def magnitude(self) -> float:
+        """Euclidean length of the vector."""
+        return math.hypot(self.dx, self.dy)
+
+    @property
+    def angle(self) -> float:
+        """Direction of the vector in radians, in ``(-pi, pi]``."""
+        return math.atan2(self.dy, self.dx)
+
+    def scaled(self, factor: float) -> "Vector":
+        """Return the vector multiplied by ``factor``."""
+        return Vector(self.dx * factor, self.dy * factor)
+
+    def normalized(self) -> "Vector":
+        """Return the unit vector in the same direction.
+
+        Raises:
+            ValueError: if the vector has zero length.
+        """
+        mag = self.magnitude
+        if mag == 0.0:
+            raise ValueError("cannot normalize a zero-length vector")
+        return self.scaled(1.0 / mag)
+
+    def __add__(self, other: "Vector") -> "Vector":
+        return Vector(self.dx + other.dx, self.dy + other.dy)
+
+    def __sub__(self, other: "Vector") -> "Vector":
+        return Vector(self.dx - other.dx, self.dy - other.dy)
+
+    def __neg__(self) -> "Vector":
+        return Vector(-self.dx, -self.dy)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Used both as the whole surveillance region and as the footprint of
+    one rectangular cell.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) to "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def square(cls, side: float, origin: Point = Point(0.0, 0.0)) -> "BoundingBox":
+        """A square box of the given ``side`` anchored at ``origin``."""
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        return cls(origin.x, origin.y, origin.x + side, origin.y + side)
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the box (inclusive of edges)."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the nearest location inside the box."""
+        return Point(
+            min(max(point.x, self.min_x), self.max_x),
+            min(max(point.y, self.min_y), self.max_y),
+        )
+
+    def distance_to_border(self, point: Point) -> float:
+        """Distance from an *interior* point to the nearest edge.
+
+        For points outside the box the returned value is negative and its
+        absolute value is the L-infinity distance to the box, which is the
+        convention the vague-zone classifier relies on: positive means
+        safely inside, negative means outside.
+        """
+        dx = min(point.x - self.min_x, self.max_x - point.x)
+        dy = min(point.y - self.min_y, self.max_y - point.y)
+        return min(dx, dy)
+
+    def shrunk(self, margin: float) -> "BoundingBox":
+        """Return the box shrunk inward by ``margin`` on every side.
+
+        Raises:
+            ValueError: if the margin would invert the box.
+        """
+        if 2 * margin > min(self.width, self.height):
+            raise ValueError(
+                f"margin {margin} too large for box of size "
+                f"{self.width} x {self.height}"
+            )
+        return BoundingBox(
+            self.min_x + margin,
+            self.min_y + margin,
+            self.max_x - margin,
+            self.max_y - margin,
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Return the box grown outward by ``margin`` on every side."""
+        if margin < 0:
+            return self.shrunk(-margin)
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether the two boxes overlap (touching edges count)."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def corners(self) -> Iterator[Point]:
+        """Yield the four corners counter-clockwise from ``(min_x, min_y)``."""
+        yield Point(self.min_x, self.min_y)
+        yield Point(self.max_x, self.min_y)
+        yield Point(self.max_x, self.max_y)
+        yield Point(self.min_x, self.max_y)
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty clamp interval [{low}, {high}]")
+    return min(max(value, low), high)

@@ -1,0 +1,150 @@
+"""Population generator: people with linked EIDs and VIDs.
+
+Reproduces the paper's database setup (Sec. VI-A): "a database with 1000
+human objects each associated with an EID and a VID", where VIDs are
+CUHK02 snapshots (here: latent appearance vectors) and EIDs are WiFi MAC
+addresses.
+
+The practical setting's *missing EID* case — "some people do not carry
+any electronic device" (Sec. IV-C.1) — is modelled at generation time by
+``device_carry_rate``: a person without a device has ``eid=None`` and
+appears only on the visual side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.world.entities import EID, Person, VID
+from repro.world.features import AppearanceModel, FeatureSpace
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Configuration for synthesizing a population.
+
+    Attributes:
+        num_people: total human objects (paper default: 1000).
+        device_carry_rate: probability each person carries a device and
+            therefore has an EID.  1.0 reproduces the ideal setting;
+            lower values reproduce the EID-missing practical setting
+            (Fig. 10 sweeps the complement of this).
+        multi_device_rate: probability a device-carrying person carries
+            a *second* device (violating the paper's one-phone
+            assumption).  Extra EIDs get indices above ``num_people``.
+        feature_space: appearance feature geometry; ``None`` uses the
+            calibrated defaults.
+        seed: master seed for both identities and appearance latents.
+    """
+
+    num_people: int = 1000
+    device_carry_rate: float = 1.0
+    multi_device_rate: float = 0.0
+    feature_space: Optional[FeatureSpace] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_people <= 0:
+            raise ValueError(f"num_people must be positive, got {self.num_people}")
+        if not 0.0 <= self.device_carry_rate <= 1.0:
+            raise ValueError(
+                f"device_carry_rate must be in [0, 1], got {self.device_carry_rate}"
+            )
+        if not 0.0 <= self.multi_device_rate <= 1.0:
+            raise ValueError(
+                f"multi_device_rate must be in [0, 1], got {self.multi_device_rate}"
+            )
+
+
+class Population:
+    """The synthesized set of people plus their appearance model.
+
+    Exposes ground-truth lookups used only by the accuracy metric and
+    by the sensing layer (never by the matching algorithms themselves).
+    """
+
+    def __init__(self, config: PopulationConfig) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.appearance = AppearanceModel(
+            num_vids=config.num_people,
+            space=config.feature_space,
+            seed=config.seed,
+        )
+        people: List[Person] = []
+        next_extra = config.num_people  # extra devices' EID indices
+        for pid in range(config.num_people):
+            carries = (
+                config.device_carry_rate >= 1.0
+                or rng.random() < config.device_carry_rate
+            )
+            eid = EID(pid) if carries else None
+            extra: tuple = ()
+            if (
+                eid is not None
+                and config.multi_device_rate > 0.0
+                and rng.random() < config.multi_device_rate
+            ):
+                extra = (EID(next_extra),)
+                next_extra += 1
+            people.append(
+                Person(person_id=pid, eid=eid, vid=VID(pid), extra_eids=extra)
+            )
+        self._people = people
+        self._by_eid: Dict[EID, Person] = {}
+        for p in people:
+            for e in p.all_eids:
+                self._by_eid[e] = p
+        self._by_vid: Dict[VID, Person] = {p.vid: p for p in people}
+
+    @property
+    def people(self) -> Sequence[Person]:
+        return tuple(self._people)
+
+    @property
+    def num_people(self) -> int:
+        return len(self._people)
+
+    @property
+    def eids(self) -> Sequence[EID]:
+        """All EIDs in the database, sorted by index."""
+        return tuple(sorted(self._by_eid.keys()))
+
+    @property
+    def vids(self) -> Sequence[VID]:
+        """All VIDs in the database, sorted by index."""
+        return tuple(sorted(self._by_vid.keys()))
+
+    def person(self, person_id: int) -> Person:
+        if not 0 <= person_id < len(self._people):
+            raise KeyError(f"no person with id {person_id}")
+        return self._people[person_id]
+
+    def person_of_eid(self, eid: EID) -> Person:
+        """Ground-truth owner of ``eid``."""
+        try:
+            return self._by_eid[eid]
+        except KeyError:
+            raise KeyError(f"unknown {eid}") from None
+
+    def person_of_vid(self, vid: VID) -> Person:
+        """Ground-truth owner of ``vid``."""
+        try:
+            return self._by_vid[vid]
+        except KeyError:
+            raise KeyError(f"unknown {vid}") from None
+
+    def true_vid_of(self, eid: EID) -> VID:
+        """The VID the matcher *should* pair with ``eid`` (ground truth)."""
+        return self.person_of_eid(eid).vid
+
+    def true_match_map(self) -> Dict[EID, VID]:
+        """Full ground-truth EID -> VID map, for the accuracy metric.
+
+        Covers every device: a multi-device person appears once per
+        EID, all mapping to the same VID.
+        """
+        return {e: p.vid for p in self._people for e in p.all_eids}

@@ -1,0 +1,120 @@
+"""ASCII rendering of the world: occupancy heatmaps and trajectories.
+
+Terminal-friendly visualizations for examples, the CLI's ``inspect``
+command and debugging — no plotting dependency required.  Rendering is
+intentionally lossy (a grid of glyph buckets); the numbers live in
+:mod:`repro.sensing.stats`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.world.geometry import BoundingBox, Point
+
+#: Glyphs from empty to packed.
+_RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(
+    values: Mapping[int, float],
+    cells_per_side: int,
+    width: int = 2,
+) -> str:
+    """Render per-cell values as a ``cells_per_side``-square heatmap.
+
+    Cell ids follow :class:`~repro.world.cells.CellGrid`'s layout
+    (row-major from the bottom-left), so row 0 is printed last.
+
+    Args:
+        values: value per cell id; missing cells render as empty.
+        cells_per_side: the grid's side length.
+        width: character columns per cell.
+
+    Returns:
+        A multi-line string, highest row first.
+    """
+    if cells_per_side <= 0:
+        raise ValueError(f"cells_per_side must be positive, got {cells_per_side}")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    top = max(values.values(), default=0.0)
+    lines = []
+    for row in range(cells_per_side - 1, -1, -1):
+        glyphs = []
+        for col in range(cells_per_side):
+            value = values.get(row * cells_per_side + col, 0.0)
+            level = 0
+            if top > 0:
+                level = min(int(value / top * (len(_RAMP) - 1) + 0.5), len(_RAMP) - 1)
+            glyphs.append(_RAMP[level] * width)
+        lines.append("".join(glyphs))
+    return "\n".join(lines)
+
+
+def render_points(
+    points: Sequence[Point],
+    region: BoundingBox,
+    rows: int = 16,
+    cols: int = 32,
+    marks: Optional[Sequence[Point]] = None,
+) -> str:
+    """Render point density over a region, with optional ``marks``.
+
+    Points bucket into a ``rows x cols`` character raster using the
+    density ramp; marks (e.g. hotspot centers) print as ``X`` on top.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    counts: Dict[int, int] = {}
+
+    def bucket(point: Point) -> Optional[int]:
+        if not region.contains(point):
+            return None
+        col = min(int((point.x - region.min_x) / region.width * cols), cols - 1)
+        row = min(int((point.y - region.min_y) / region.height * rows), rows - 1)
+        return row * cols + col
+
+    for point in points:
+        b = bucket(point)
+        if b is not None:
+            counts[b] = counts.get(b, 0) + 1
+    top = max(counts.values(), default=0)
+    raster = []
+    for row in range(rows - 1, -1, -1):
+        line = []
+        for col in range(cols):
+            count = counts.get(row * cols + col, 0)
+            level = 0
+            if top > 0:
+                level = min(int(count / top * (len(_RAMP) - 1) + 0.5), len(_RAMP) - 1)
+            line.append(_RAMP[level])
+        raster.append(line)
+    for mark in marks or ():
+        b = bucket(mark)
+        if b is not None:
+            raster[rows - 1 - b // cols][b % cols] = "X"
+    return "\n".join("".join(line) for line in raster)
+
+
+def render_sparkline(series: Sequence[float], width: int = 60) -> str:
+    """One-line sparkline of a numeric series (resampled to ``width``)."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    blocks = "▁▂▃▄▅▆▇█"
+    if not series:
+        return ""
+    # Resample by simple bucketing.
+    step = max(1, len(series) // width)
+    sampled = [
+        sum(series[i : i + step]) / len(series[i : i + step])
+        for i in range(0, len(series), step)
+    ][:width]
+    low, high = min(sampled), max(sampled)
+    span = high - low
+    if span == 0:
+        return blocks[0] * len(sampled)
+    return "".join(
+        blocks[min(int((v - low) / span * (len(blocks) - 1) + 0.5), len(blocks) - 1)]
+        for v in sampled
+    )

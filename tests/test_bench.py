@@ -1,0 +1,80 @@
+"""Smoke tests for the benchmark harness (experiment functions + rendering).
+
+The experiments run at the ``smoke`` scale here; the full sweeps live in
+``benchmarks/`` where pytest-benchmark times them.
+"""
+
+import pytest
+
+from repro.bench import experiments, render_rows
+from repro.bench import datasets as ds_mod
+
+
+@pytest.fixture(autouse=True)
+def smoke_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+    ds_mod.dataset.cache_clear()
+    yield
+    ds_mod.dataset.cache_clear()
+
+
+class TestScaleKnob:
+    def test_scale_values(self, monkeypatch):
+        assert ds_mod.scale() == "smoke"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert ds_mod.scale() == "paper"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            ds_mod.scale()
+
+    def test_axes_shrink_in_smoke(self):
+        assert len(ds_mod.matched_eids_axis()) == 2
+        assert len(ds_mod.table_axis()) == 1
+
+    def test_default_config_smoke_is_small(self):
+        config = ds_mod.default_config()
+        assert config.num_people <= 300
+
+    def test_dataset_cached(self):
+        config = ds_mod.default_config()
+        assert ds_mod.dataset(config) is ds_mod.dataset(config)
+
+
+class TestExperimentFunctions:
+    def test_fig5(self):
+        columns, rows = experiments.fig5_scenarios_vs_eids()
+        assert rows and set(columns) <= set(rows[0].keys()) | set(columns)
+        for row in rows:
+            assert row["ss_selected"] > 0
+
+    def test_fig7(self):
+        _columns, rows = experiments.fig7_scenarios_per_eid()
+        for row in rows:
+            assert row["ss_per_eid"] > 0
+            assert row["edp_per_eid"] > 0
+
+    def test_table1(self):
+        _columns, rows = experiments.table1_accuracy_vs_eids()
+        for row in rows:
+            assert 0 <= row["ss_acc_pct"] <= 100
+            assert 0 <= row["edp_acc_pct"] <= 100
+
+    def test_fig8_time_structure(self):
+        _columns, rows = experiments.fig8_time_vs_eids()
+        for row in rows:
+            assert row["ss_total_s"] == pytest.approx(
+                row["ss_e_s"] + row["ss_v_s"], abs=0.2
+            )
+
+
+class TestRendering:
+    def test_render_rows(self):
+        text = render_rows(
+            "Demo", ("a", "b"), [{"a": 1, "b": 2.5}, {"a": 10, "b": None}]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "== Demo =="
+        assert "2.50" in text and "-" in lines[-1]
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_rows("Empty", ("a",), [])

@@ -1,0 +1,105 @@
+"""Tests for confidence calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.matcher import EVMatcher
+from repro.core.vid_filtering import MatchResult
+from repro.metrics.calibration import calibration_report
+from repro.sensing.scenarios import Detection
+from repro.world.entities import EID, VID
+
+
+def result(eid_index, agreement, chosen_vid, k=3, correct_votes=None):
+    """A synthetic MatchResult with a controllable majority."""
+    votes = correct_votes if correct_votes is not None else k
+    chosen = tuple(
+        Detection(
+            detection_id=eid_index * 100 + i,
+            feature=np.zeros(2),
+            true_vid=VID(chosen_vid if i < votes else 10_000 + i),
+        )
+        for i in range(k)
+    )
+    return MatchResult(
+        eid=EID(eid_index),
+        scenario_keys=(),
+        chosen=chosen,
+        scores=(1.0,) * k,
+        agreement=agreement,
+    )
+
+
+class TestCalibrationReport:
+    def test_perfectly_calibrated(self):
+        # agreement 1.0 matches are all correct; agreement 0.0 all wrong.
+        results = {}
+        truth = {}
+        for i in range(10):
+            results[EID(i)] = result(i, 1.0, chosen_vid=i)
+            truth[EID(i)] = VID(i)
+        for i in range(10, 20):
+            results[EID(i)] = result(i, 0.05, chosen_vid=999, correct_votes=0)
+            truth[EID(i)] = VID(i)
+        report = calibration_report(results, truth, num_buckets=4)
+        assert report.total == 20
+        assert report.expected_calibration_error < 0.1
+        top = report.buckets[-1]
+        assert top.count == 10 and top.precision == 1.0
+        bottom = report.buckets[0]
+        assert bottom.count == 10 and bottom.precision == 0.0
+
+    def test_miscalibration_detected(self):
+        # Confident but always wrong: ECE near 1.
+        results = {
+            EID(i): result(i, 0.95, chosen_vid=999, correct_votes=0)
+            for i in range(8)
+        }
+        truth = {EID(i): VID(i) for i in range(8)}
+        report = calibration_report(results, truth)
+        assert report.expected_calibration_error > 0.8
+
+    def test_threshold_tradeoff(self):
+        results = {}
+        truth = {}
+        for i in range(6):
+            results[EID(i)] = result(i, 0.95, chosen_vid=i)
+            truth[EID(i)] = VID(i)
+        for i in range(6, 10):
+            results[EID(i)] = result(i, 0.30, chosen_vid=999, correct_votes=0)
+            truth[EID(i)] = VID(i)
+        report = calibration_report(results, truth)
+        precision, coverage = report.precision_at_threshold(0.8)
+        assert precision == 1.0
+        assert coverage == pytest.approx(0.6)
+        precision_all, coverage_all = report.precision_at_threshold(0.0)
+        assert coverage_all == 1.0
+        assert precision_all == pytest.approx(0.6)
+
+    def test_empty_threshold(self):
+        results = {EID(0): result(0, 0.2, chosen_vid=0)}
+        truth = {EID(0): VID(0)}
+        report = calibration_report(results, truth)
+        assert report.precision_at_threshold(0.99) == (0.0, 0.0)
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            calibration_report({}, {}, num_buckets=0)
+
+    def test_on_real_run_agreement_is_informative(self, ideal_dataset):
+        """On a real run, high-agreement matches must be at least as
+        precise as low-agreement ones — the property triage relies on."""
+        matcher = EVMatcher(ideal_dataset.store)
+        targets = list(ideal_dataset.sample_targets(60, seed=3))
+        report = matcher.match(targets)
+        calibration = calibration_report(
+            report.results, ideal_dataset.truth, num_buckets=4
+        )
+        occupied = [b for b in calibration.buckets if b.count > 2]
+        if len(occupied) >= 2:
+            # Small-sample noise allows slight inversions; triage only
+            # needs the top band not to be materially worse.
+            assert occupied[-1].precision >= occupied[0].precision - 0.1
+        precision, coverage = calibration.precision_at_threshold(0.75)
+        assert precision >= 0.85
+        assert coverage > 0.5

@@ -1,0 +1,172 @@
+"""Tests for the grid and hex cell decompositions and vague zones."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.world.cells import Cell, CellGrid, HexCellGrid, ZoneKind
+from repro.world.geometry import BoundingBox, Point
+
+REGION = BoundingBox.square(1000.0)
+
+in_region = st.builds(
+    Point,
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+)
+
+
+class TestCellGrid:
+    def test_cell_count(self):
+        assert CellGrid(REGION, 5).num_cells == 25
+        assert len(CellGrid(REGION, 3)) == 9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CellGrid(REGION, 0)
+        with pytest.raises(ValueError):
+            CellGrid(REGION, 5, vague_width=-1.0)
+        with pytest.raises(ValueError, match="inclusive zone"):
+            CellGrid(REGION, 5, vague_width=100.0)  # 200 m cells
+
+    def test_locate_centers(self):
+        grid = CellGrid(REGION, 5)
+        for cell in grid:
+            assert grid.locate(cell.center) is cell
+
+    def test_locate_clamps_outside_points(self):
+        grid = CellGrid(REGION, 4)
+        assert grid.locate(Point(-50, -50)).cell_id == grid.locate(Point(0, 0)).cell_id
+        far = grid.locate(Point(2000, 2000))
+        assert far.cell_id == grid.num_cells - 1
+
+    def test_cell_lookup_by_id(self):
+        grid = CellGrid(REGION, 3)
+        assert grid.cell(4).cell_id == 4
+        with pytest.raises(KeyError):
+            grid.cell(9)
+
+    def test_classify_ideal_always_inclusive(self):
+        grid = CellGrid(REGION, 5)
+        cell, zone = grid.classify(Point(500, 500))
+        assert zone is ZoneKind.INCLUSIVE
+        assert cell.bounds.contains(Point(500, 500))
+
+    def test_classify_vague_near_border(self):
+        grid = CellGrid(REGION, 5, vague_width=20.0)  # cells 200 m
+        # 5 m from a cell border -> vague
+        _cell, zone = grid.classify(Point(205.0, 100.0))
+        assert zone is ZoneKind.VAGUE
+        # deep inside -> inclusive
+        _cell, zone = grid.classify(Point(100.0, 100.0))
+        assert zone is ZoneKind.INCLUSIVE
+
+    def test_classify_relative_to_other_cell_exclusive(self):
+        grid = CellGrid(REGION, 5, vague_width=20.0)
+        other = grid.cell(0)
+        _cell, zone = grid.classify(Point(900, 900), cell=other)
+        assert zone is ZoneKind.EXCLUSIVE
+
+    def test_neighbors_interior(self):
+        grid = CellGrid(REGION, 5)
+        center = grid.locate(Point(500, 500))
+        assert len(list(grid.neighbors(center))) == 8
+
+    def test_neighbors_corner(self):
+        grid = CellGrid(REGION, 5)
+        corner = grid.locate(Point(1, 1))
+        assert len(list(grid.neighbors(corner))) == 3
+
+    def test_cells_cover_region_disjointly(self):
+        grid = CellGrid(REGION, 4)
+        total_area = sum(c.bounds.area for c in grid)
+        assert total_area == pytest.approx(REGION.area)
+
+    @given(in_region)
+    def test_locate_contains_point(self, point):
+        grid = CellGrid(REGION, 5)
+        cell = grid.locate(point)
+        assert cell.bounds.contains(point)
+
+    @given(in_region)
+    def test_classify_matches_locate(self, point):
+        grid = CellGrid(REGION, 5, vague_width=15.0)
+        cell, zone = grid.classify(point)
+        assert cell is grid.locate(point)
+        assert zone in (ZoneKind.INCLUSIVE, ZoneKind.VAGUE)
+
+    @given(in_region)
+    def test_vague_iff_near_border(self, point):
+        width = 25.0
+        grid = CellGrid(REGION, 5, vague_width=width)
+        cell, zone = grid.classify(point)
+        near_border = cell.bounds.distance_to_border(point) < width
+        assert (zone is ZoneKind.VAGUE) == near_border
+
+
+class TestHexCellGrid:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HexCellGrid(REGION, 0.0)
+        with pytest.raises(ValueError):
+            HexCellGrid(REGION, 100.0, vague_width=-1.0)
+        with pytest.raises(ValueError, match="inclusive zone"):
+            HexCellGrid(REGION, 100.0, vague_width=90.0)
+
+    def test_locate_centers(self):
+        grid = HexCellGrid(REGION, 120.0)
+        for cell in grid.cells[:20]:
+            assert grid.locate(cell.center) is cell
+
+    def test_cover_includes_whole_region(self):
+        grid = HexCellGrid(REGION, 150.0)
+        for point in (Point(0, 0), Point(999, 999), Point(500, 0), Point(0, 500)):
+            cell = grid.locate(point)
+            # the located hex center is within one circumradius of the point
+            assert cell.center.distance_to(point) <= 150.0 + 1e-6
+
+    def test_classify_center_inclusive(self):
+        grid = HexCellGrid(REGION, 120.0, vague_width=20.0)
+        cell = grid.locate(Point(500, 500))
+        got, zone = grid.classify(cell.center)
+        assert got is cell
+        assert zone is ZoneKind.INCLUSIVE
+
+    def test_classify_exclusive_for_far_cell(self):
+        grid = HexCellGrid(REGION, 120.0, vague_width=20.0)
+        far = grid.locate(Point(900, 900))
+        _got, zone = grid.classify(Point(100, 100), cell=far)
+        assert zone is ZoneKind.EXCLUSIVE
+
+    def test_neighbors_are_adjacent(self):
+        grid = HexCellGrid(REGION, 120.0)
+        cell = grid.locate(Point(500, 500))
+        neighbors = list(grid.neighbors(cell))
+        assert 1 <= len(neighbors) <= 6
+        for n in neighbors:
+            # center spacing of adjacent pointy-top hexes is sqrt(3)*R
+            assert n.center.distance_to(cell.center) == pytest.approx(
+                120.0 * 3**0.5, rel=1e-6
+            )
+
+    @given(in_region)
+    def test_locate_is_nearest_center(self, point):
+        grid = HexCellGrid(REGION, 140.0)
+        located = grid.locate(point)
+        best = min(grid.cells, key=lambda c: c.center.distance_to(point))
+        assert located.center.distance_to(point) == pytest.approx(
+            best.center.distance_to(point), abs=1e-6
+        )
+
+    @given(in_region)
+    def test_vague_band_width(self, point):
+        width = 25.0
+        grid = HexCellGrid(REGION, 140.0, vague_width=width)
+        cell = grid.locate(point)
+        _got, zone = grid.classify(point, cell=cell)
+        border = grid._distance_to_hex_border(point, cell.center)
+        if border < 0:
+            assert zone is ZoneKind.EXCLUSIVE
+        elif border < width:
+            assert zone is ZoneKind.VAGUE
+        else:
+            assert zone is ZoneKind.INCLUSIVE

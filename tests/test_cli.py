@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiment, run_match
+
+
+class TestParser:
+    def test_match_defaults(self):
+        args = build_parser().parse_args(["match"])
+        assert args.command == "match"
+        assert args.algorithm == "both"
+        assert args.people == 400
+
+    def test_experiment_parsing(self):
+        args = build_parser().parse_args(["experiment", "fig5"])
+        assert args.command == "experiment"
+        assert args.name == "fig5"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRunExperiment:
+    def test_list(self):
+        out = io.StringIO()
+        assert run_experiment("list", out=out) == 0
+        text = out.getvalue()
+        for name in EXPERIMENTS:
+            assert name in text
+
+    def test_unknown_experiment(self):
+        assert run_experiment("fig99") == 2
+
+    def test_registry_complete(self):
+        # All nine tables/figures of the paper are runnable from the CLI.
+        assert set(EXPERIMENTS) == {
+            "fig5", "fig6", "fig7", "fig8", "fig9",
+            "table1", "table2", "fig10", "fig11",
+        }
+
+
+class TestRunMatch:
+    def test_small_match_runs(self):
+        out = io.StringIO()
+        args = build_parser().parse_args(
+            [
+                "match",
+                "--people", "60",
+                "--cells", "2",
+                "--targets", "15",
+                "--duration", "300",
+                "--algorithm", "ss",
+            ]
+        )
+        assert run_match(args, out=out) == 0
+        text = out.getvalue()
+        assert "ss" in text and "accuracy_pct" in text
+
+    def test_main_dispatch(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        captured = capsys.readouterr()
+        assert "fig5" in captured.out
+
+
+class TestBuildAndInvestigate:
+    def test_build_then_match_from_dataset(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "world.npz")
+        assert main(
+            ["build", "--out", out, "--people", "50", "--cells", "2",
+             "--duration", "200"]
+        ) == 0
+        assert main(
+            ["match", "--dataset", out, "--targets", "10", "--algorithm", "ss"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "saved" in captured and "accuracy_pct" in captured
+
+    def test_investigate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "world.npz")
+        main(["build", "--out", out, "--people", "40", "--cells", "2",
+              "--duration", "200"])
+        assert main(["investigate", "--dataset", out, "--suspect", "1"]) == 0
+        captured = capsys.readouterr().out
+        assert "profile of" in captured
+
+    def test_investigate_unknown_suspect(self, tmp_path):
+        from repro.cli import main
+
+        out = str(tmp_path / "world.npz")
+        main(["build", "--out", out, "--people", "20", "--cells", "2",
+              "--duration", "150"])
+        assert main(["investigate", "--dataset", out, "--suspect", "9999"]) == 2

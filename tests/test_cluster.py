@@ -1,0 +1,98 @@
+"""Tests for the simulated cluster's list scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster, TaskStats
+
+
+class TestClusterConfig:
+    def test_paper_defaults(self):
+        config = ClusterConfig()
+        assert config.num_nodes == 14
+        assert config.cores_per_node == 4
+        assert config.total_slots == 56
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"cores_per_node": 0},
+            {"task_overhead": -0.1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterConfig(**kwargs)
+
+
+class TestSchedule:
+    def cluster(self, nodes=2, cores=2, overhead=0.0):
+        return SimulatedCluster(
+            ClusterConfig(num_nodes=nodes, cores_per_node=cores, task_overhead=overhead)
+        )
+
+    def test_empty_stage(self):
+        stats = self.cluster().schedule([])
+        assert stats.num_tasks == 0
+        assert stats.makespan == 0.0
+        assert stats.slot_utilization == 1.0
+
+    def test_single_task(self):
+        stats = self.cluster().schedule([5.0])
+        assert stats.makespan == pytest.approx(5.0)
+        assert stats.serial_cost == pytest.approx(5.0)
+
+    def test_perfectly_parallel(self):
+        stats = self.cluster(nodes=2, cores=2).schedule([1.0] * 4)
+        assert stats.makespan == pytest.approx(1.0)
+        assert stats.slot_utilization == pytest.approx(1.0)
+
+    def test_two_waves(self):
+        stats = self.cluster(nodes=2, cores=2).schedule([1.0] * 8)
+        assert stats.makespan == pytest.approx(2.0)
+
+    def test_straggler_dominates(self):
+        stats = self.cluster(nodes=2, cores=2).schedule([10.0, 0.1, 0.1, 0.1])
+        assert stats.makespan == pytest.approx(10.0)
+        assert stats.slot_utilization < 0.5
+
+    def test_overhead_charged_per_task(self):
+        stats = self.cluster(nodes=1, cores=1, overhead=0.5).schedule([1.0, 1.0])
+        assert stats.makespan == pytest.approx(3.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            self.cluster().schedule([1.0, -2.0])
+
+    def test_speedup(self):
+        cluster = self.cluster(nodes=2, cores=2)
+        assert cluster.speedup([1.0] * 4) == pytest.approx(4.0)
+        assert cluster.speedup([]) == pytest.approx(4.0)
+
+    def test_per_slot_busy_sums_to_serial(self):
+        cluster = self.cluster(nodes=2, cores=2)
+        costs = [3.0, 1.0, 4.0, 1.0, 5.0]
+        stats = cluster.schedule(costs)
+        assert sum(stats.per_slot_busy) == pytest.approx(stats.serial_cost)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, costs):
+        """List scheduling invariants: makespan is at least both the
+        critical task and the perfectly-balanced load, and at most the
+        serial cost; utilization is in (0, 1]."""
+        cluster = self.cluster(nodes=2, cores=3)
+        stats = cluster.schedule(costs)
+        slots = 6
+        lower = max(max(costs), sum(costs) / slots)
+        assert stats.makespan >= lower - 1e-9
+        assert stats.makespan <= sum(costs) + 1e-9
+        if stats.makespan > 0:
+            assert 0.0 < stats.slot_utilization <= 1.0 + 1e-9

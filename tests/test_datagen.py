@@ -1,0 +1,169 @@
+"""Tests for experiment configuration and dataset assembly."""
+
+import pytest
+
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import build_dataset
+
+
+class TestExperimentConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_people": 0},
+            {"region_side": 0.0},
+            {"cells_per_side": 0},
+            {"duration": 0.0},
+            {"sample_dt": 0.0},
+            {"warmup": -1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+    def test_density(self):
+        config = ExperimentConfig(num_people=1000, cells_per_side=5)
+        assert config.num_cells == 25
+        assert config.density == pytest.approx(40.0)
+
+    def test_num_ticks(self):
+        config = ExperimentConfig(duration=100.0, sample_dt=10.0)
+        assert config.num_ticks == 11
+
+    def test_with_density(self):
+        config = ExperimentConfig(num_people=1000)
+        denser = config.with_density(250.0)
+        assert denser.cells_per_side == 2
+        assert denser.num_people == 1000
+        with pytest.raises(ValueError):
+            config.with_density(0.0)
+
+    def test_subconfig_propagation(self):
+        config = ExperimentConfig(
+            device_carry_rate=0.8,
+            e_drift_sigma=5.0,
+            e_miss_rate=0.1,
+            v_miss_rate=0.2,
+            window_ticks=3,
+            feature_dimension=16,
+            feature_noise=0.3,
+        )
+        assert config.population_config().device_carry_rate == 0.8
+        assert config.population_config().feature_space.dimension == 16
+        assert config.e_sensing_config().drift_sigma == 5.0
+        assert config.e_sensing_config().miss_rate == 0.1
+        assert config.v_sensing_config().miss_rate == 0.2
+        assert config.builder_config().window_ticks == 3
+
+    def test_hashable_for_caching(self):
+        a = ExperimentConfig()
+        b = ExperimentConfig()
+        assert hash(a) == hash(b)
+        assert a == b
+
+
+class TestBuildDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return build_dataset(
+            ExperimentConfig(
+                num_people=30,
+                cells_per_side=2,
+                duration=200.0,
+                sample_dt=10.0,
+                warmup=0.0,
+                seed=1,
+            )
+        )
+
+    def test_shapes(self, dataset):
+        assert dataset.population.num_people == 30
+        assert dataset.grid.num_cells == 4
+        assert dataset.traces.num_ticks == 21
+        assert len(dataset.store) > 0
+
+    def test_truth_map(self, dataset):
+        truth = dataset.truth
+        assert len(truth) == 30
+        for eid, vid in truth.items():
+            assert eid.index == vid.index  # construction invariant
+
+    def test_sample_targets(self, dataset):
+        targets = dataset.sample_targets(10, seed=3)
+        assert len(targets) == 10
+        assert len(set(targets)) == 10
+        assert dataset.sample_targets(10, seed=3) == targets
+        assert dataset.sample_targets(10, seed=4) != targets
+
+    def test_sample_too_many_targets(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.sample_targets(31)
+
+    def test_deterministic_build(self):
+        config = ExperimentConfig(
+            num_people=10, cells_per_side=2, duration=100.0, warmup=0.0, seed=9
+        )
+        a = build_dataset(config)
+        b = build_dataset(config)
+        assert a.store.keys == b.store.keys
+        for key in a.store.keys:
+            assert a.store.e_scenario(key).inclusive == b.store.e_scenario(key).inclusive
+
+    def test_device_carry_rate_respected(self):
+        dataset = build_dataset(
+            ExperimentConfig(
+                num_people=100,
+                cells_per_side=2,
+                duration=100.0,
+                warmup=0.0,
+                device_carry_rate=0.5,
+                seed=2,
+            )
+        )
+        assert 25 < len(dataset.eids) < 75
+
+
+class TestCellShapeAndMobility:
+    def test_invalid_cell_shape(self):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            ExperimentConfig(cell_shape="triangle")
+        with _pytest.raises(ValueError):
+            ExperimentConfig(hex_radius=0.0)
+        with _pytest.raises(ValueError):
+            ExperimentConfig(mobility_model="teleport")
+
+    def test_hex_dataset_builds_and_matches(self):
+        from repro.core.matcher import EVMatcher
+        from repro.world.cells import HexCellGrid
+
+        dataset = build_dataset(
+            ExperimentConfig(
+                num_people=60,
+                cell_shape="hex",
+                hex_radius=120.0,
+                region_side=400.0,
+                duration=300.0,
+                warmup=50.0,
+                seed=5,
+            )
+        )
+        assert isinstance(dataset.grid, HexCellGrid)
+        report = EVMatcher(dataset.store).match(list(dataset.sample_targets(15, seed=1)))
+        assert report.score(dataset.truth).accuracy >= 0.6
+
+    def test_alternative_mobility_models_build(self):
+        for model in ("random_walk", "gauss_markov"):
+            dataset = build_dataset(
+                ExperimentConfig(
+                    num_people=20,
+                    cells_per_side=2,
+                    region_side=300.0,
+                    duration=200.0,
+                    warmup=0.0,
+                    mobility_model=model,
+                    seed=6,
+                )
+            )
+            assert len(dataset.store) > 0

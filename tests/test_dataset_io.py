@@ -1,0 +1,93 @@
+"""Tests for dataset persistence (save/load round trip)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matcher import EVMatcher
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import build_dataset
+from repro.datagen.io import FORMAT_VERSION, load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(
+        ExperimentConfig(
+            num_people=50,
+            cells_per_side=2,
+            duration=200.0,
+            warmup=0.0,
+            vague_width=20.0,
+            e_drift_sigma=5.0,
+            v_miss_rate=0.1,
+            seed=13,
+        )
+    )
+
+
+class TestRoundTrip:
+    def test_suffix_enforced(self, dataset, tmp_path):
+        written = save_dataset(dataset, tmp_path / "world")
+        assert written.suffix == ".npz"
+        assert written.exists()
+
+    def test_store_identical(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "world.npz")
+        loaded = load_dataset(path)
+        assert loaded.store.keys == dataset.store.keys
+        for key in dataset.store.keys:
+            original = dataset.store.get(key)
+            restored = loaded.store.get(key)
+            assert restored.e.inclusive == original.e.inclusive
+            assert restored.e.vague == original.e.vague
+            assert [d.detection_id for d in restored.v.detections] == [
+                d.detection_id for d in original.v.detections
+            ]
+            assert [d.true_vid for d in restored.v.detections] == [
+                d.true_vid for d in original.v.detections
+            ]
+        np.testing.assert_allclose(
+            loaded.store.get(dataset.store.keys[0]).v.feature_matrix(),
+            dataset.store.get(dataset.store.keys[0]).v.feature_matrix(),
+        )
+
+    def test_config_and_truth_identical(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "world.npz")
+        loaded = load_dataset(path)
+        assert loaded.config == dataset.config
+        assert loaded.truth == dataset.truth
+        assert loaded.traces is None
+
+    def test_matching_results_identical(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "world.npz")
+        loaded = load_dataset(path)
+        targets = list(dataset.sample_targets(15, seed=2))
+        original = EVMatcher(dataset.store).match(targets)
+        restored = EVMatcher(loaded.store).match(targets)
+        assert original.predictions() == restored.predictions()
+
+    def test_version_check(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "world.npz")
+        data = dict(np.load(path, allow_pickle=False))
+        data["version"] = np.int64(FORMAT_VERSION + 1)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="format version"):
+            load_dataset(path)
+
+    def test_hex_dataset_roundtrip(self, tmp_path):
+        from repro.world.cells import HexCellGrid
+
+        dataset = build_dataset(
+            ExperimentConfig(
+                num_people=20,
+                cell_shape="hex",
+                hex_radius=120.0,
+                region_side=300.0,
+                duration=100.0,
+                warmup=0.0,
+                seed=3,
+            )
+        )
+        loaded = load_dataset(save_dataset(dataset, tmp_path / "hex.npz"))
+        assert isinstance(loaded.grid, HexCellGrid)
+        assert loaded.store.keys == dataset.store.keys

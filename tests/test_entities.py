@@ -1,0 +1,59 @@
+"""Tests for identity types (EID, VID, Person)."""
+
+import pytest
+
+from repro.world.entities import EID, Person, VID
+
+
+class TestEID:
+    def test_ordering_by_index(self):
+        assert EID(1) < EID(2)
+        assert sorted([EID(3), EID(1), EID(2)]) == [EID(1), EID(2), EID(3)]
+
+    def test_hashable_and_equal(self):
+        assert EID(7) == EID(7)
+        assert len({EID(7), EID(7), EID(8)}) == 2
+
+    def test_mac_format(self):
+        mac = EID(0).mac
+        assert mac == "02:00:00:00:00:00"
+        assert EID(255).mac == "02:00:00:00:00:ff"
+        assert EID(256).mac == "02:00:00:00:01:00"
+
+    def test_mac_locally_administered_prefix(self):
+        assert EID(123456).mac.startswith("02:")
+
+    def test_mac_out_of_range(self):
+        with pytest.raises(ValueError):
+            _ = EID(2**40).mac
+
+    def test_str(self):
+        assert str(EID(5)) == "EID#5"
+
+
+class TestVID:
+    def test_ordering(self):
+        assert VID(0) < VID(1)
+
+    def test_str(self):
+        assert str(VID(9)) == "VID#9"
+
+    def test_distinct_from_eid(self):
+        # EID(3) and VID(3) must never compare equal or hash-collide
+        # into "the same identity" in mixed sets.
+        mixed = {EID(3), VID(3)}
+        assert len(mixed) == 2
+
+
+class TestPerson:
+    def test_has_device(self):
+        with_device = Person(person_id=0, eid=EID(0), vid=VID(0))
+        without = Person(person_id=1, eid=None, vid=VID(1))
+        assert with_device.has_device
+        assert not without.has_device
+
+    def test_str_mentions_identities(self):
+        p = Person(person_id=2, eid=EID(2), vid=VID(2))
+        assert "EID#2" in str(p) and "VID#2" in str(p)
+        q = Person(person_id=3, eid=None, vid=VID(3))
+        assert "no-EID" in str(q)

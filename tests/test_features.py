@@ -1,0 +1,134 @@
+"""Tests for the appearance feature model (the CUHK02 stand-in)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.world.entities import VID
+from repro.world.features import (
+    AppearanceModel,
+    FeatureSpace,
+    normalized_distance,
+    similarity,
+)
+
+
+class TestFeatureSpace:
+    def test_defaults_valid(self):
+        space = FeatureSpace()
+        assert space.dimension >= 2
+        assert 0 <= space.outlier_rate <= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimension": 1},
+            {"observation_noise": -0.1},
+            {"outlier_rate": 1.5},
+            {"outlier_noise": -1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            FeatureSpace(**kwargs)
+
+
+class TestDistanceAndSimilarity:
+    def test_identical_vectors(self):
+        v = np.zeros(8)
+        v[0] = 1.0
+        assert normalized_distance(v, v) == 0.0
+        assert similarity(v, v) == 1.0
+
+    def test_antipodal_vectors(self):
+        v = np.zeros(8)
+        v[0] = 1.0
+        assert normalized_distance(v, -v) == pytest.approx(1.0)
+        assert similarity(v, -v) == pytest.approx(0.0)
+
+    def test_orthogonal_vectors(self):
+        a = np.zeros(4)
+        b = np.zeros(4)
+        a[0] = 1.0
+        b[1] = 1.0
+        assert normalized_distance(a, b) == pytest.approx(np.sqrt(2) / 2)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_distance_in_unit_interval_for_unit_vectors(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(16)
+        b = rng.standard_normal(16)
+        a /= np.linalg.norm(a)
+        b /= np.linalg.norm(b)
+        d = normalized_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert similarity(a, b) == pytest.approx(1.0 - d)
+
+
+class TestAppearanceModel:
+    def test_latent_vectors_unit_norm(self):
+        model = AppearanceModel(num_vids=10, seed=1)
+        for i in range(10):
+            assert np.linalg.norm(model.latent(VID(i))) == pytest.approx(1.0)
+
+    def test_latent_unknown_vid_raises(self):
+        model = AppearanceModel(num_vids=3)
+        with pytest.raises(KeyError):
+            model.latent(VID(3))
+
+    def test_invalid_num_vids(self):
+        with pytest.raises(ValueError):
+            AppearanceModel(num_vids=0)
+
+    def test_observation_unit_norm(self):
+        model = AppearanceModel(num_vids=5, seed=1)
+        rng = np.random.default_rng(0)
+        obs = model.observe(VID(2), rng)
+        assert np.linalg.norm(obs) == pytest.approx(1.0)
+
+    def test_observations_deterministic_given_rng(self):
+        model = AppearanceModel(num_vids=5, seed=1)
+        a = model.observe(VID(1), np.random.default_rng(7))
+        b = model.observe(VID(1), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_same_seed_same_latents(self):
+        a = AppearanceModel(num_vids=4, seed=9)
+        b = AppearanceModel(num_vids=4, seed=9)
+        np.testing.assert_array_equal(a.latent(VID(0)), b.latent(VID(0)))
+
+    def test_observe_many(self):
+        model = AppearanceModel(num_vids=6, seed=1)
+        rng = np.random.default_rng(0)
+        obs = model.observe_many([VID(0), VID(3)], rng)
+        assert set(obs.keys()) == {VID(0), VID(3)}
+
+    def test_same_person_beats_cross_person(self):
+        """The calibrated regime: same-person similarity is clearly
+        above cross-person similarity on average."""
+        model = AppearanceModel(num_vids=50, seed=2)
+        same = model.expected_same_person_similarity(samples=200)
+        cross = model.expected_cross_person_similarity(samples=200)
+        assert same > cross + 0.15
+
+    def test_cross_estimate_needs_two_vids(self):
+        model = AppearanceModel(num_vids=1)
+        with pytest.raises(ValueError):
+            model.expected_cross_person_similarity()
+
+    def test_outliers_lower_mean_similarity(self):
+        clean_space = FeatureSpace(outlier_rate=0.0)
+        dirty_space = FeatureSpace(outlier_rate=0.5)
+        clean = AppearanceModel(num_vids=5, space=clean_space, seed=3)
+        dirty = AppearanceModel(num_vids=5, space=dirty_space, seed=3)
+        assert (
+            dirty.expected_same_person_similarity(samples=300)
+            < clean.expected_same_person_similarity(samples=300) - 0.02
+        )
+
+    def test_noise_zero_reproduces_latent(self):
+        space = FeatureSpace(observation_noise=0.0, outlier_rate=0.0)
+        model = AppearanceModel(num_vids=3, space=space, seed=4)
+        obs = model.observe(VID(1), np.random.default_rng(0))
+        np.testing.assert_allclose(obs, model.latent(VID(1)), atol=1e-12)

@@ -1,0 +1,152 @@
+"""Unit and property tests for the planar geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.world.geometry import BoundingBox, Point, Vector, clamp
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_manhattan_distance(self):
+        assert Point(1, 1).manhattan_distance_to(Point(4, -2)) == pytest.approx(6.0)
+
+    def test_translate(self):
+        assert Point(1, 2).translate(Vector(3, -1)) == Point(4, 1)
+
+    def test_vector_to_roundtrip(self):
+        a, b = Point(1, 5), Point(-3, 2)
+        assert a.translate(a.vector_to(b)) == b
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    @given(points, points)
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestVector:
+    def test_from_polar(self):
+        v = Vector.from_polar(2.0, math.pi / 2)
+        assert v.dx == pytest.approx(0.0, abs=1e-12)
+        assert v.dy == pytest.approx(2.0)
+
+    def test_magnitude_and_angle(self):
+        v = Vector(3, 4)
+        assert v.magnitude == pytest.approx(5.0)
+        assert Vector(1, 1).angle == pytest.approx(math.pi / 4)
+
+    def test_scaled(self):
+        assert Vector(1, -2).scaled(3) == Vector(3, -6)
+
+    def test_normalized(self):
+        n = Vector(0, 5).normalized()
+        assert n == Vector(0, 1)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ValueError, match="zero-length"):
+            Vector(0, 0).normalized()
+
+    def test_arithmetic(self):
+        assert Vector(1, 2) + Vector(3, 4) == Vector(4, 6)
+        assert Vector(1, 2) - Vector(3, 4) == Vector(-2, -2)
+        assert -Vector(1, -2) == Vector(-1, 2)
+
+    @given(st.floats(min_value=0.01, max_value=1e3), st.floats(min_value=-math.pi, max_value=math.pi))
+    def test_polar_roundtrip(self, magnitude, angle):
+        v = Vector.from_polar(magnitude, angle)
+        assert v.magnitude == pytest.approx(magnitude, rel=1e-9)
+
+
+class TestBoundingBox:
+    def test_square_constructor(self):
+        box = BoundingBox.square(100.0)
+        assert box.width == box.height == 100.0
+        assert box.area == pytest.approx(10000.0)
+
+    def test_square_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BoundingBox.square(0.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            BoundingBox(0, 0, -1, 1)
+
+    def test_contains_edges_inclusive(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(10, 10))
+        assert not box.contains(Point(10.01, 5))
+
+    def test_clamp(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.clamp(Point(-5, 5)) == Point(0, 5)
+        assert box.clamp(Point(3, 12)) == Point(3, 10)
+        assert box.clamp(Point(4, 4)) == Point(4, 4)
+
+    def test_center(self):
+        assert BoundingBox(0, 0, 10, 20).center == Point(5, 10)
+
+    def test_distance_to_border_interior(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.distance_to_border(Point(5, 5)) == pytest.approx(5.0)
+        assert box.distance_to_border(Point(1, 5)) == pytest.approx(1.0)
+
+    def test_distance_to_border_exterior_negative(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.distance_to_border(Point(-2, 5)) < 0
+
+    def test_shrunk_and_expanded(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.shrunk(2) == BoundingBox(2, 2, 8, 8)
+        assert box.expanded(1) == BoundingBox(-1, -1, 11, 11)
+        assert box.expanded(-1) == box.shrunk(1)
+
+    def test_shrunk_too_much_raises(self):
+        with pytest.raises(ValueError, match="margin"):
+            BoundingBox(0, 0, 10, 10).shrunk(6)
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 10, 10)
+        assert a.intersects(BoundingBox(5, 5, 15, 15))
+        assert a.intersects(BoundingBox(10, 10, 20, 20))  # touching counts
+        assert not a.intersects(BoundingBox(11, 11, 20, 20))
+
+    def test_corners_order(self):
+        corners = list(BoundingBox(0, 0, 2, 3).corners())
+        assert corners == [Point(0, 0), Point(2, 0), Point(2, 3), Point(0, 3)]
+
+    @given(points)
+    def test_clamp_idempotent_and_contained(self, p):
+        box = BoundingBox(-100, -100, 100, 100)
+        clamped = box.clamp(p)
+        assert box.contains(clamped)
+        assert box.clamp(clamped) == clamped
+
+
+class TestClamp:
+    def test_basic(self):
+        assert clamp(5, 0, 10) == 5
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(11, 0, 10) == 10
+
+    def test_empty_interval(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 0)

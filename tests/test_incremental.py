@@ -1,0 +1,125 @@
+"""Tests for the streaming (incremental) matcher."""
+
+import pytest
+
+from repro.core.incremental import IncrementalMatcher
+from repro.core.set_splitting import SetSplitter, SplitConfig
+from repro.core.vid_filtering import VIDFilter
+from repro.metrics.accuracy import accuracy_of
+from repro.world.entities import EID
+
+
+def replay_all(matcher, store):
+    emissions = []
+    for tick in store.ticks:
+        emissions.extend(matcher.observe_tick(store, tick))
+    return emissions
+
+
+class TestStreamBasics:
+    def test_empty_universe_rejected(self, ideal_dataset):
+        with pytest.raises(ValueError):
+            IncrementalMatcher(ideal_dataset.store, [])
+
+    def test_unknown_target_rejected(self, ideal_dataset):
+        matcher = IncrementalMatcher(ideal_dataset.store, ideal_dataset.eids)
+        with pytest.raises(ValueError):
+            matcher.add_target(EID(10**6))
+
+    def test_evidence_of_untracked_raises(self, ideal_dataset):
+        matcher = IncrementalMatcher(ideal_dataset.store, ideal_dataset.eids)
+        with pytest.raises(KeyError):
+            matcher.evidence_of(EID(0))
+
+    def test_targets_emit_once(self, ideal_dataset):
+        matcher = IncrementalMatcher(ideal_dataset.store, ideal_dataset.eids)
+        targets = list(ideal_dataset.sample_targets(10, seed=1))
+        matcher.add_targets(targets)
+        emissions = replay_all(matcher, ideal_dataset.store)
+        eids = [e.eid for e in emissions]
+        assert len(eids) == len(set(eids))
+        # Re-adding an emitted target is a no-op.
+        matcher.add_target(eids[0])
+        assert eids[0] not in matcher.pending
+
+
+class TestStreamSemantics:
+    def test_replay_matches_batch_accuracy(self, ideal_dataset):
+        """Streaming a store in tick order must land in the same
+        accuracy band as the batch matcher."""
+        targets = list(ideal_dataset.sample_targets(30, seed=2))
+        stream = IncrementalMatcher(
+            ideal_dataset.store, ideal_dataset.eids, SplitConfig(seed=7)
+        )
+        stream.add_targets(targets)
+        replay_all(stream, ideal_dataset.store)
+        chosen = {
+            eid: em.result.chosen for eid, em in stream.emissions.items()
+        }
+        report = accuracy_of(chosen, ideal_dataset.truth, targets=targets)
+        assert report.accuracy >= 0.8
+
+    def test_stream_evidence_is_valid_batch_evidence(self, ideal_dataset):
+        """Every streamed evidence list satisfies the batch invariants:
+        target inclusive in each scenario, intersection singleton."""
+        targets = list(ideal_dataset.sample_targets(10, seed=3))
+        stream = IncrementalMatcher(
+            ideal_dataset.store, ideal_dataset.eids, SplitConfig(seed=7)
+        )
+        stream.add_targets(targets)
+        replay_all(stream, ideal_dataset.store)
+        for eid, emission in stream.emissions.items():
+            expected = set(ideal_dataset.eids)
+            for key in emission.result.scenario_keys:
+                e_scenario = ideal_dataset.store.e_scenario(key)
+                assert eid in e_scenario.inclusive
+                expected &= set(e_scenario.inclusive | e_scenario.vague)
+            # The V stage may drop detection-less scenarios, so check
+            # against the raw evidence list instead when they differ.
+            raw = stream.evidence_of(eid)
+            raw_expected = set(ideal_dataset.eids)
+            for key in raw:
+                e_scenario = ideal_dataset.store.e_scenario(key)
+                raw_expected &= set(e_scenario.inclusive | e_scenario.vague)
+            assert raw_expected == {eid}
+
+    def test_latency_monotone_in_arrival(self, ideal_dataset):
+        """Targets added later cannot have fired earlier."""
+        store = ideal_dataset.store
+        early_target, late_target = ideal_dataset.sample_targets(2, seed=4)
+        stream = IncrementalMatcher(store, ideal_dataset.eids, SplitConfig(seed=7))
+        stream.add_target(early_target)
+        ticks = list(store.ticks)
+        midpoint = ticks[len(ticks) // 2]
+        for tick in ticks:
+            if tick == midpoint:
+                stream.add_target(late_target)
+            stream.observe_tick(store, tick)
+        latency = stream.latency_report()
+        if late_target in latency:
+            assert latency[late_target] >= midpoint
+
+    def test_mid_stream_target_only_uses_later_evidence(self, ideal_dataset):
+        store = ideal_dataset.store
+        target = ideal_dataset.sample_targets(1, seed=5)[0]
+        stream = IncrementalMatcher(store, ideal_dataset.eids, SplitConfig(seed=7))
+        ticks = list(store.ticks)
+        midpoint = ticks[len(ticks) // 2]
+        for tick in ticks:
+            if tick == midpoint:
+                stream.add_target(target)
+            stream.observe_tick(store, tick)
+        evidence = stream.evidence_of(target)
+        assert all(key.tick >= midpoint for key in evidence)
+
+    def test_emission_metadata(self, ideal_dataset):
+        targets = list(ideal_dataset.sample_targets(5, seed=6))
+        stream = IncrementalMatcher(
+            ideal_dataset.store, ideal_dataset.eids, SplitConfig(seed=7)
+        )
+        stream.add_targets(targets)
+        emissions = replay_all(stream, ideal_dataset.store)
+        for emission in emissions:
+            assert emission.scenarios_consumed <= stream.scenarios_consumed
+            assert emission.result.scenario_keys
+            assert emission.emitted_at_tick == emission.result.scenario_keys[-1].tick

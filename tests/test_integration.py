@@ -1,0 +1,138 @@
+"""End-to-end integration tests: dataset -> matcher -> accuracy, for
+the ideal setting, every practical setting, and the parallel pipeline.
+These are the smallest runs that exercise the paper's full claims."""
+
+import pytest
+
+from repro.core.matcher import EVMatcher, MatcherConfig
+from repro.core.refining import RefiningConfig
+from repro.core.set_splitting import SplitConfig
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import build_dataset
+from repro.parallel.driver import ParallelEVMatcher
+
+
+class TestIdealEndToEnd:
+    def test_ss_accuracy_and_reuse(self, ideal_dataset):
+        matcher = EVMatcher(ideal_dataset.store)
+        targets = list(ideal_dataset.sample_targets(60, seed=0))
+        ss = matcher.match(targets)
+        edp = matcher.match_edp(targets)
+        assert ss.score(ideal_dataset.truth).accuracy >= 0.85
+        assert edp.score(ideal_dataset.truth).accuracy >= 0.85
+        assert ss.num_selected < edp.num_selected
+
+    def test_universal_matching(self, ideal_dataset):
+        matcher = EVMatcher(ideal_dataset.store)
+        report = matcher.match_universal()
+        score = report.score(ideal_dataset.truth)
+        assert score.total == len(ideal_dataset.eids)
+        assert score.accuracy >= 0.8
+
+    def test_elastic_sizes_cost_less_per_eid(self, ideal_dataset):
+        """Paper Sec. I: 'the larger the matching size is, the less
+        time it costs per EID-VID pair' — via scenario reuse."""
+        matcher = EVMatcher(ideal_dataset.store)
+        small = matcher.match(list(ideal_dataset.sample_targets(10, seed=1)))
+        large = matcher.match(list(ideal_dataset.sample_targets(80, seed=1)))
+        per_eid_small = small.num_selected / 10
+        per_eid_large = large.num_selected / 80
+        assert per_eid_large < per_eid_small
+
+
+class TestPracticalEndToEnd:
+    def test_practical_with_refining(self, practical_dataset):
+        matcher = EVMatcher(
+            practical_dataset.store,
+            MatcherConfig(refining=RefiningConfig(max_rounds=4)),
+        )
+        targets = list(practical_dataset.sample_targets(40, seed=2))
+        report = matcher.match(targets)
+        assert report.score(practical_dataset.truth).accuracy >= 0.6
+
+    def test_missing_eid_population(self):
+        dataset = build_dataset(
+            ExperimentConfig(
+                num_people=120,
+                cells_per_side=3,
+                duration=500.0,
+                warmup=100.0,
+                device_carry_rate=0.7,
+                seed=7,
+            )
+        )
+        matcher = EVMatcher(dataset.store)
+        targets = list(dataset.sample_targets(30, seed=3))
+        report = matcher.match(targets)
+        # Device-less people add V-side distractors but matching holds.
+        assert report.score(dataset.truth).accuracy >= 0.7
+
+    def test_vid_missing_with_refining_beats_plain(self):
+        dataset = build_dataset(
+            ExperimentConfig(
+                num_people=150,
+                cells_per_side=3,
+                duration=600.0,
+                warmup=100.0,
+                v_miss_rate=0.10,
+                seed=8,
+            )
+        )
+        targets = list(dataset.sample_targets(50, seed=4))
+        plain = EVMatcher(
+            dataset.store, MatcherConfig(split=SplitConfig(seed=5))
+        ).match(targets)
+        refined = EVMatcher(
+            dataset.store,
+            MatcherConfig(
+                split=SplitConfig(seed=5), refining=RefiningConfig(max_rounds=4)
+            ),
+        ).match(targets)
+        assert (
+            refined.score(dataset.truth).accuracy
+            >= plain.score(dataset.truth).accuracy
+        )
+
+
+class TestParallelEndToEnd:
+    def test_parallel_pipeline_full_run(self, ideal_dataset):
+        matcher = ParallelEVMatcher(ideal_dataset.store)
+        targets = list(ideal_dataset.sample_targets(40, seed=5))
+        report = matcher.match(targets)
+        assert report.score(ideal_dataset.truth).accuracy >= 0.8
+        assert report.times.v_time > 0
+        assert report.split_stats.iterations > 0
+
+
+class TestMultiDeviceEndToEnd:
+    def test_both_devices_match_the_same_person(self):
+        """The paper assumes one phone per person; with two, the
+        devices are electronically inseparable (they always co-occur),
+        yet VID filtering still identifies the right person for each —
+        the candidate pair collapses to a single visual identity."""
+        dataset = build_dataset(
+            ExperimentConfig(
+                num_people=150,
+                cells_per_side=3,
+                duration=600.0,
+                warmup=100.0,
+                multi_device_rate=0.3,
+                seed=9,
+            )
+        )
+        matcher = EVMatcher(dataset.store)
+        multi = [p for p in dataset.population.people if p.extra_eids][:10]
+        targets = [e for p in multi for e in p.all_eids]
+        report = matcher.match(targets)
+        assert report.score(dataset.truth).accuracy >= 0.8
+        # Paired devices should usually agree on the person.
+        agree = 0
+        for person in multi:
+            bests = [
+                report.results[e].best.true_vid
+                for e in person.all_eids
+                if report.results[e].best is not None
+            ]
+            if len(set(bests)) == 1:
+                agree += 1
+        assert agree >= 7

@@ -1,0 +1,111 @@
+"""Tests for the high-level EVMatcher API and MatchReport."""
+
+import pytest
+
+from repro.core.matcher import EVMatcher, MatcherConfig, MatchReport
+from repro.core.refining import RefiningConfig
+from repro.core.set_splitting import SplitConfig
+from repro.world.entities import EID
+
+
+class TestMatcherConfig:
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            MatcherConfig(parallelism=0)
+
+
+class TestEVMatcher:
+    def test_match_reports_all_targets(self, ideal_dataset):
+        matcher = EVMatcher(ideal_dataset.store)
+        targets = list(ideal_dataset.sample_targets(20, seed=1))
+        report = matcher.match(targets)
+        assert report.algorithm == "ss"
+        assert set(report.results.keys()) == set(targets)
+        assert report.num_selected > 0
+        assert report.avg_scenarios_per_eid > 0
+
+    def test_ideal_accuracy_high(self, ideal_dataset):
+        matcher = EVMatcher(ideal_dataset.store)
+        targets = list(ideal_dataset.sample_targets(40, seed=2))
+        report = matcher.match(targets)
+        score = report.score(ideal_dataset.truth)
+        assert score.total == 40
+        assert score.accuracy >= 0.8
+
+    def test_match_one(self, ideal_dataset):
+        matcher = EVMatcher(ideal_dataset.store)
+        target = ideal_dataset.sample_targets(1, seed=3)[0]
+        result = matcher.match_one(target)
+        assert result.eid == target
+
+    def test_match_universal_covers_all_eids(self, ideal_dataset):
+        matcher = EVMatcher(ideal_dataset.store)
+        report = matcher.match_universal()
+        assert set(report.targets) == set(ideal_dataset.eids)
+
+    def test_edp_baseline_runs(self, ideal_dataset):
+        matcher = EVMatcher(ideal_dataset.store)
+        targets = list(ideal_dataset.sample_targets(20, seed=4))
+        report = matcher.match_edp(targets)
+        assert report.algorithm == "edp"
+        assert report.score(ideal_dataset.truth).accuracy >= 0.7
+
+    def test_ss_selects_fewer_than_edp(self, ideal_dataset):
+        matcher = EVMatcher(ideal_dataset.store)
+        targets = list(ideal_dataset.sample_targets(40, seed=5))
+        ss = matcher.match(targets)
+        edp = matcher.match_edp(targets)
+        assert ss.num_selected < edp.num_selected
+
+    def test_times_populated_and_v_dominates(self, ideal_dataset):
+        matcher = EVMatcher(ideal_dataset.store)
+        targets = list(ideal_dataset.sample_targets(20, seed=6))
+        report = matcher.match(targets)
+        assert report.times.v_time > report.times.e_time
+        assert report.times.total == pytest.approx(
+            report.times.e_time + report.times.v_time
+        )
+
+    def test_parallelism_scales_times(self, ideal_dataset):
+        targets = list(ideal_dataset.sample_targets(10, seed=7))
+        serial = EVMatcher(
+            ideal_dataset.store, MatcherConfig(parallelism=1)
+        ).match(targets)
+        parallel = EVMatcher(
+            ideal_dataset.store, MatcherConfig(parallelism=8)
+        ).match(targets)
+        assert parallel.times.total == pytest.approx(serial.times.total / 8)
+
+    def test_refining_config_engages_loop(self, practical_dataset):
+        targets = list(practical_dataset.sample_targets(12, seed=8))
+        matcher = EVMatcher(
+            practical_dataset.store,
+            MatcherConfig(refining=RefiningConfig(max_rounds=3)),
+        )
+        report = matcher.match(targets)
+        assert report.refining is not None
+        assert report.refining.rounds >= 1
+
+    def test_predictions_map(self, ideal_dataset):
+        matcher = EVMatcher(ideal_dataset.store)
+        targets = list(ideal_dataset.sample_targets(10, seed=9))
+        report = matcher.match(targets)
+        predictions = report.predictions()
+        assert set(predictions.keys()) == set(targets)
+
+    def test_deterministic_reports(self, ideal_dataset):
+        targets = list(ideal_dataset.sample_targets(10, seed=10))
+        config = MatcherConfig(split=SplitConfig(seed=3))
+        a = EVMatcher(ideal_dataset.store, config).match(targets)
+        b = EVMatcher(ideal_dataset.store, config).match(targets)
+        assert a.predictions() == b.predictions()
+        assert a.num_selected == b.num_selected
+
+    def test_practical_dataset_still_matches(self, practical_dataset):
+        matcher = EVMatcher(
+            practical_dataset.store,
+            MatcherConfig(refining=RefiningConfig(max_rounds=3)),
+        )
+        targets = list(practical_dataset.sample_targets(20, seed=11))
+        report = matcher.match(targets)
+        assert report.score(practical_dataset.truth).accuracy >= 0.6

@@ -1,0 +1,180 @@
+"""Tests for EIDPartition and SeparationTracker, including the
+cross-representation property: on vague-free inputs the tracker's
+connected components equal the partition's sets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import EIDPartition, SeparationTracker
+from repro.world.entities import EID
+
+
+def eids(*indices):
+    return frozenset(EID(i) for i in indices)
+
+
+class TestEIDPartition:
+    def test_starts_as_one_set(self):
+        p = EIDPartition(eids(0, 1, 2))
+        assert p.num_sets == 1
+        assert p.members(0) == eids(0, 1, 2)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            EIDPartition([])
+
+    def test_split_by_divides(self):
+        p = EIDPartition(eids(0, 1, 2, 3))
+        splits = p.split_by(eids(0, 1))
+        assert len(splits) == 1
+        assert p.num_sets == 2
+        assert p.as_frozensets() == frozenset({eids(0, 1), eids(2, 3)})
+
+    def test_split_ineffective_when_superset(self):
+        p = EIDPartition(eids(0, 1))
+        assert p.split_by(eids(0, 1, 5)) == []
+        assert p.num_sets == 1
+
+    def test_split_ineffective_when_disjoint(self):
+        p = EIDPartition(eids(0, 1))
+        assert p.split_by(eids(7, 8)) == []
+
+    def test_iterative_splitting_to_singletons(self):
+        p = EIDPartition(eids(0, 1, 2, 3))
+        p.split_by(eids(0, 1))
+        p.split_by(eids(0, 2))
+        assert p.num_sets == 4
+        assert all(p.is_distinguished(EID(i)) for i in range(4))
+
+    def test_set_of_tracks_membership(self):
+        p = EIDPartition(eids(0, 1, 2))
+        p.split_by(eids(0,))
+        assert p.set_of(EID(0)) != p.set_of(EID(1))
+        assert p.set_of(EID(1)) == p.set_of(EID(2))
+
+    def test_unknown_eid_raises(self):
+        p = EIDPartition(eids(0))
+        with pytest.raises(KeyError):
+            p.set_of(EID(5))
+        with pytest.raises(KeyError):
+            p.members(99)
+
+    def test_split_returns_fresh_ids(self):
+        p = EIDPartition(eids(0, 1, 2, 3))
+        (old, in_id, out_id), = p.split_by(eids(0, 1))
+        assert old == 0
+        assert p.members(in_id) == eids(0, 1)
+        assert p.members(out_id) == eids(2, 3)
+        with pytest.raises(KeyError):
+            p.members(old)
+
+    @given(
+        st.lists(
+            st.sets(st.integers(min_value=0, max_value=19)),
+            min_size=0,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_a_partition(self, scenario_sets):
+        """Invariant: after any split sequence, the sets are disjoint,
+        non-empty and cover the universe."""
+        universe = eids(*range(20))
+        p = EIDPartition(universe)
+        for s in scenario_sets:
+            p.split_by(eids(*s))
+        all_sets = list(p)
+        union = frozenset().union(*all_sets) if all_sets else frozenset()
+        assert union == universe
+        assert sum(len(s) for s in all_sets) == len(universe)
+        assert all(len(s) > 0 for s in all_sets)
+
+    @given(
+        st.lists(
+            st.sets(st.integers(min_value=0, max_value=14)),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_with_tracker_on_vague_free_input(self, scenario_sets):
+        """EIDPartition sets == SeparationTracker components when every
+        scenario separates its members from everything else."""
+        universe = sorted(eids(*range(15)))
+        p = EIDPartition(universe)
+        t = SeparationTracker(universe)
+        for s in scenario_sets:
+            inside = eids(*s) & frozenset(universe)
+            outside = frozenset(universe) - inside
+            p.split_by(inside)
+            t.separate(inside, outside)
+        assert p.as_frozensets() == t.groups()
+
+
+class TestSeparationTracker:
+    def test_initially_all_confusable(self):
+        t = SeparationTracker(sorted(eids(0, 1, 2)))
+        assert t.confusable(EID(0), EID(1))
+        assert t.confusion_count(EID(0)) == 2
+        assert t.num_distinguished() == 0
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            SeparationTracker([])
+
+    def test_separate_clears_pairs_symmetrically(self):
+        t = SeparationTracker(sorted(eids(0, 1, 2)))
+        t.separate([EID(0)], [EID(1), EID(2)])
+        assert not t.confusable(EID(0), EID(1))
+        assert not t.confusable(EID(1), EID(0))
+        assert t.confusable(EID(1), EID(2))
+        assert t.is_distinguished(EID(0))
+
+    def test_separate_reports_progress(self):
+        t = SeparationTracker(sorted(eids(0, 1, 2)))
+        in_prog, out_prog = t.separate([EID(0)], [EID(1)])
+        assert in_prog == eids(0) and out_prog == eids(1)
+        # Repeating the same separation makes no progress.
+        in_prog, out_prog = t.separate([EID(0)], [EID(1)])
+        assert in_prog == frozenset() and out_prog == frozenset()
+
+    def test_overlapping_sides_rejected(self):
+        t = SeparationTracker(sorted(eids(0, 1)))
+        with pytest.raises(ValueError, match="both sides"):
+            t.separate([EID(0)], [EID(0), EID(1)])
+
+    def test_empty_side_is_noop(self):
+        t = SeparationTracker(sorted(eids(0, 1)))
+        assert t.separate([], [EID(0)]) == (frozenset(), frozenset())
+        assert t.confusable(EID(0), EID(1))
+
+    def test_confusion_set(self):
+        t = SeparationTracker(sorted(eids(0, 1, 2, 3)))
+        t.separate([EID(0), EID(1)], [EID(2), EID(3)])
+        assert t.confusion_set(EID(0)) == eids(1)
+        assert t.confusion_set(EID(2)) == eids(3)
+
+    def test_all_distinguished(self):
+        t = SeparationTracker(sorted(eids(0, 1, 2)))
+        t.separate([EID(0)], [EID(1), EID(2)])
+        t.separate([EID(1)], [EID(2)])
+        assert t.all_distinguished([EID(0), EID(1), EID(2)])
+        assert t.num_distinguished() == 3
+
+    def test_unknown_eid_raises(self):
+        t = SeparationTracker(sorted(eids(0)))
+        with pytest.raises(KeyError):
+            t.confusable(EID(0), EID(9))
+
+    def test_groups_on_fresh_tracker(self):
+        t = SeparationTracker(sorted(eids(0, 1, 2)))
+        assert t.groups() == frozenset({eids(0, 1, 2)})
+
+    def test_vague_eids_never_separated(self):
+        """The practical rule: an EID left out of both sides (vague)
+        stays confusable with everyone."""
+        t = SeparationTracker(sorted(eids(0, 1, 2)))
+        # EID 2 is vague in this scenario: excluded from both sides.
+        t.separate([EID(0)], [EID(1)])
+        assert t.confusable(EID(2), EID(0))
+        assert t.confusable(EID(2), EID(1))

@@ -1,0 +1,111 @@
+"""Tests for the population generator and its ground-truth lookups."""
+
+import pytest
+
+from repro.world.entities import EID, VID
+from repro.world.population import Population, PopulationConfig
+
+
+class TestPopulationConfig:
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(num_people=0)
+        with pytest.raises(ValueError):
+            PopulationConfig(device_carry_rate=1.5)
+        with pytest.raises(ValueError):
+            PopulationConfig(device_carry_rate=-0.1)
+
+
+class TestPopulation:
+    def test_everyone_has_vid(self):
+        pop = Population(PopulationConfig(num_people=50))
+        assert len(pop.vids) == 50
+
+    def test_full_carry_rate_gives_everyone_an_eid(self):
+        pop = Population(PopulationConfig(num_people=50, device_carry_rate=1.0))
+        assert len(pop.eids) == 50
+        assert all(p.has_device for p in pop.people)
+
+    def test_partial_carry_rate(self):
+        pop = Population(
+            PopulationConfig(num_people=400, device_carry_rate=0.5, seed=1)
+        )
+        carried = len(pop.eids)
+        # Binomial(400, 0.5): far from both extremes with overwhelming odds.
+        assert 140 < carried < 260
+
+    def test_zero_carry_rate(self):
+        pop = Population(PopulationConfig(num_people=10, device_carry_rate=0.0))
+        assert len(pop.eids) == 0
+
+    def test_ground_truth_roundtrip(self):
+        pop = Population(PopulationConfig(num_people=20))
+        for person in pop.people:
+            assert pop.person_of_vid(person.vid) is person
+            if person.eid is not None:
+                assert pop.person_of_eid(person.eid) is person
+                assert pop.true_vid_of(person.eid) == person.vid
+
+    def test_true_match_map_covers_device_carriers(self):
+        pop = Population(
+            PopulationConfig(num_people=100, device_carry_rate=0.7, seed=2)
+        )
+        truth = pop.true_match_map()
+        assert set(truth.keys()) == set(pop.eids)
+        for eid, vid in truth.items():
+            assert pop.person_of_eid(eid).vid == vid
+
+    def test_unknown_lookups_raise(self):
+        pop = Population(PopulationConfig(num_people=5))
+        with pytest.raises(KeyError):
+            pop.person_of_eid(EID(99))
+        with pytest.raises(KeyError):
+            pop.person_of_vid(VID(99))
+        with pytest.raises(KeyError):
+            pop.person(99)
+
+    def test_deterministic_by_seed(self):
+        a = Population(PopulationConfig(num_people=50, device_carry_rate=0.5, seed=3))
+        b = Population(PopulationConfig(num_people=50, device_carry_rate=0.5, seed=3))
+        assert [p.has_device for p in a.people] == [p.has_device for p in b.people]
+
+    def test_eids_sorted(self):
+        pop = Population(PopulationConfig(num_people=30))
+        assert list(pop.eids) == sorted(pop.eids)
+
+
+class TestMultiDevice:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(multi_device_rate=1.5)
+
+    def test_extra_eids_created(self):
+        pop = Population(
+            PopulationConfig(num_people=200, multi_device_rate=0.5, seed=4)
+        )
+        multi = [p for p in pop.people if p.extra_eids]
+        assert 60 < len(multi) < 140
+        # Extra EID indices sit above the population range, no clashes.
+        extra_indices = [e.index for p in multi for e in p.extra_eids]
+        assert all(i >= 200 for i in extra_indices)
+        assert len(extra_indices) == len(set(extra_indices))
+
+    def test_all_devices_resolve_to_owner(self):
+        pop = Population(
+            PopulationConfig(num_people=50, multi_device_rate=0.4, seed=5)
+        )
+        for person in pop.people:
+            for eid in person.all_eids:
+                assert pop.person_of_eid(eid) is person
+                assert pop.true_vid_of(eid) == person.vid
+
+    def test_truth_map_covers_every_device(self):
+        pop = Population(
+            PopulationConfig(num_people=50, multi_device_rate=0.4, seed=6)
+        )
+        truth = pop.true_match_map()
+        assert set(truth) == set(pop.eids)
+
+    def test_zero_rate_means_no_extras(self):
+        pop = Population(PopulationConfig(num_people=30, multi_device_rate=0.0))
+        assert all(not p.extra_eids for p in pop.people)

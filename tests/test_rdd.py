@@ -1,0 +1,266 @@
+"""Tests for the Spark-like RDD layer and its lineage compiler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce.context import EVSparkContext
+from repro.mapreduce.engine import MapReduceEngine
+
+
+@pytest.fixture
+def sc():
+    return EVSparkContext(default_partitions=4)
+
+
+class TestCreation:
+    def test_parallelize_and_collect(self, sc):
+        rdd = sc.parallelize(range(10))
+        assert sorted(rdd.collect()) == list(range(10))
+        assert rdd.num_partitions() == 4
+
+    def test_parallelize_custom_partitions(self, sc):
+        rdd = sc.parallelize(range(10), num_partitions=2)
+        assert rdd.num_partitions() == 2
+
+    def test_from_dataset(self, sc):
+        sc.engine.dfs.write("data", [[1, 2], [3]])
+        assert sorted(sc.from_dataset("data").collect()) == [1, 2, 3]
+        with pytest.raises(KeyError):
+            sc.from_dataset("missing")
+
+    def test_invalid_default_partitions(self):
+        with pytest.raises(ValueError):
+            EVSparkContext(default_partitions=0)
+
+
+class TestNarrowOps:
+    def test_map(self, sc):
+        assert sorted(sc.parallelize([1, 2, 3]).map(lambda x: x * 2).collect()) == [2, 4, 6]
+
+    def test_filter(self, sc):
+        assert sorted(
+            sc.parallelize(range(10)).filter(lambda x: x % 2 == 0).collect()
+        ) == [0, 2, 4, 6, 8]
+
+    def test_flatMap(self, sc):
+        assert sorted(
+            sc.parallelize([1, 2]).flatMap(lambda x: [x] * x).collect()
+        ) == [1, 2, 2]
+
+    def test_keyBy_and_mapValues(self, sc):
+        pairs = sc.parallelize(["aa", "b"]).keyBy(len).mapValues(str.upper)
+        assert sorted(pairs.collect()) == [(1, "B"), (2, "AA")]
+
+    def test_union(self, sc):
+        a = sc.parallelize([1, 2])
+        b = sc.parallelize([3])
+        assert sorted(a.union(b).collect()) == [1, 2, 3]
+
+    def test_union_requires_same_context(self, sc):
+        other = EVSparkContext()
+        with pytest.raises(ValueError):
+            sc.parallelize([1]).union(other.parallelize([2]))
+
+    def test_narrow_chain_fuses_into_one_job(self, sc):
+        rdd = (
+            sc.parallelize(range(10))
+            .map(lambda x: x + 1)
+            .filter(lambda x: x > 3)
+            .flatMap(lambda x: (x,))
+        )
+        jobs_before = len(sc.job_log)
+        rdd.collect()
+        assert len(sc.job_log) - jobs_before == 1, "narrow chain must fuse"
+
+
+class TestWideOps:
+    def test_groupByKey(self, sc):
+        grouped = dict(
+            sc.parallelize([(1, "a"), (2, "b"), (1, "c")]).groupByKey().collect()
+        )
+        assert sorted(grouped[1]) == ["a", "c"]
+        assert grouped[2] == ["b"]
+
+    def test_reduceByKey(self, sc):
+        result = dict(
+            sc.parallelize([(i % 3, i) for i in range(12)])
+            .reduceByKey(lambda a, b: a + b)
+            .collect()
+        )
+        assert result == {0: 0 + 3 + 6 + 9, 1: 1 + 4 + 7 + 10, 2: 2 + 5 + 8 + 11}
+
+    def test_distinct(self, sc):
+        assert sorted(sc.parallelize([1, 1, 2, 3, 3, 3]).distinct().collect()) == [1, 2, 3]
+
+    def test_join(self, sc):
+        a = sc.parallelize([("x", 1), ("y", 2)])
+        b = sc.parallelize([("x", 10), ("x", 20), ("z", 30)])
+        joined = sorted(a.join(b).collect())
+        assert joined == [("x", (1, 10)), ("x", (1, 20))]
+
+    def test_sortBy(self, sc):
+        data = [5, 3, 9, 1, 7, 2, 8]
+        assert sc.parallelize(data, 3).sortBy(lambda x: x).collect() == sorted(data)
+
+    def test_sortBy_descending_key(self, sc):
+        data = [5, 3, 9, 1]
+        out = sc.parallelize(data).sortBy(lambda x: -x).collect()
+        assert out == sorted(data, reverse=True)
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=0, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_sortBy_property(self, data):
+        sc = EVSparkContext(default_partitions=3)
+        if not data:
+            assert sc.parallelize(data).sortBy(lambda x: x).collect() == []
+        else:
+            assert sc.parallelize(data).sortBy(lambda x: x).collect() == sorted(data)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-50, 50)), max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_reduceByKey_matches_python(self, pairs):
+        sc = EVSparkContext(default_partitions=3)
+        if not pairs:
+            return
+        expected = {}
+        for k, v in pairs:
+            expected[k] = expected.get(k, 0) + v
+        result = dict(sc.parallelize(pairs).reduceByKey(lambda a, b: a + b).collect())
+        assert result == expected
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.parallelize(range(17)).count() == 17
+
+    def test_take_and_first(self, sc):
+        rdd = sc.parallelize(range(10), 1)
+        assert rdd.take(3) == [0, 1, 2]
+        assert rdd.first() == 0
+        with pytest.raises(ValueError):
+            rdd.take(-1)
+
+    def test_first_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([]).first()
+
+    def test_reduce(self, sc):
+        assert sc.parallelize([1, 2, 3, 4]).reduce(lambda a, b: a + b) == 10
+        with pytest.raises(ValueError):
+            sc.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_countByKey(self, sc):
+        counts = sc.parallelize([("a", 1), ("a", 2), ("b", 3)]).countByKey()
+        assert counts == {"a": 2, "b": 1}
+
+
+class TestCaching:
+    def test_cache_avoids_recomputation(self, sc):
+        calls = []
+
+        def tracked(x):
+            calls.append(x)
+            return x
+
+        rdd = sc.parallelize(range(5), 1).map(tracked).cache()
+        rdd.collect()
+        first = len(calls)
+        rdd.collect()
+        assert len(calls) == first, "cached RDD must not recompute"
+
+    def test_cached_prefix_shared_by_branches(self, sc):
+        calls = []
+
+        def tracked(x):
+            calls.append(x)
+            return x
+
+        base = sc.parallelize(range(6), 2).map(tracked).cache()
+        a = base.filter(lambda x: x % 2 == 0)
+        b = base.filter(lambda x: x % 2 == 1)
+        assert sorted(a.collect() + b.collect()) == list(range(6))
+        assert len(calls) == 6, "shared prefix must run once"
+
+
+class TestExtendedOps:
+    def test_cogroup(self, sc):
+        a = sc.parallelize([("x", 1), ("y", 2)])
+        b = sc.parallelize([("x", 10), ("z", 30)])
+        grouped = dict(a.cogroup(b).collect())
+        assert grouped["x"] == ([1], [10])
+        assert grouped["y"] == ([2], [])
+        assert grouped["z"] == ([], [30])
+
+    def test_left_outer_join(self, sc):
+        a = sc.parallelize([("x", 1), ("y", 2)])
+        b = sc.parallelize([("x", 10)])
+        joined = sorted(a.leftOuterJoin(b).collect())
+        assert joined == [("x", (1, 10)), ("y", (2, None))]
+
+    def test_aggregate_by_key(self, sc):
+        pairs = sc.parallelize([("a", 1), ("a", 2), ("b", 5)], 3)
+        # (count, sum) aggregation
+        result = dict(
+            pairs.aggregateByKey(
+                (0, 0),
+                lambda acc, v: (acc[0] + 1, acc[1] + v),
+                lambda x, y: (x[0] + y[0], x[1] + y[1]),
+            ).collect()
+        )
+        assert result == {"a": (2, 3), "b": (1, 5)}
+
+    def test_sample_deterministic_and_roughly_sized(self, sc):
+        data = list(range(2000))
+        a = sorted(sc.parallelize(data, 4).sample(0.25, seed=3).collect())
+        b = sorted(sc.parallelize(data, 7).sample(0.25, seed=3).collect())
+        assert a == b, "sample must not depend on partitioning"
+        assert 380 < len(a) < 620
+
+    def test_sample_bounds(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([1]).sample(1.5)
+        assert sc.parallelize(range(10)).sample(0.0).collect() == []
+        assert sorted(sc.parallelize(range(10)).sample(1.0).collect()) == list(range(10))
+
+    def test_zip_with_index(self, sc):
+        # Single partition: indices follow record order exactly.
+        indexed = sc.parallelize(["a", "b", "c"], 1).zipWithIndex().collect()
+        assert sorted(indexed, key=lambda kv: kv[1]) == [
+            ("a", 0), ("b", 1), ("c", 2)
+        ]
+        # Multiple partitions: indices are unique and dense (order
+        # follows partition order, as in Spark).
+        indexed = sc.parallelize(range(10), 3).zipWithIndex().collect()
+        assert sorted(i for _r, i in indexed) == list(range(10))
+        assert sorted(r for r, _i in indexed) == list(range(10))
+
+    def test_keys_values(self, sc):
+        pairs = sc.parallelize([(1, "a"), (2, "b")])
+        assert sorted(pairs.keys().collect()) == [1, 2]
+        assert sorted(pairs.values().collect()) == ["a", "b"]
+
+    def test_sum_min_max(self, sc):
+        rdd = sc.parallelize([3, 1, 4, 1, 5])
+        assert rdd.sum() == 14
+        assert rdd.min() == 1
+        assert rdd.max() == 5
+        assert sc.parallelize([]).sum() == 0
+        with pytest.raises(ValueError):
+            sc.parallelize([]).min()
+        with pytest.raises(ValueError):
+            sc.parallelize([]).max()
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 4), st.integers(-20, 20)), max_size=40),
+        st.lists(st.tuples(st.integers(0, 4), st.integers(-20, 20)), max_size=40),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_cogroup_covers_all_keys(self, left, right):
+        sc = EVSparkContext(default_partitions=3)
+        grouped = dict(
+            sc.parallelize(left).cogroup(sc.parallelize(right)).collect()
+        )
+        assert set(grouped) == {k for k, _ in left} | {k for k, _ in right}
+        for key, (lv, rv) in grouped.items():
+            assert sorted(lv) == sorted(v for k, v in left if k == key)
+            assert sorted(rv) == sorted(v for k, v in right if k == key)

@@ -1,0 +1,105 @@
+"""Tests for the matching-refining loop (Algorithm 2)."""
+
+import pytest
+
+from repro.core.refining import RefiningConfig, RefiningMatcher
+from repro.core.set_splitting import SplitConfig
+from repro.core.vid_filtering import FilterConfig
+
+
+class TestRefiningConfig:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RefiningConfig(max_rounds=0)
+
+
+class TestRefiningMatcher:
+    def test_single_round_equals_plain_pipeline_shape(self, ideal_dataset):
+        targets = list(ideal_dataset.sample_targets(15, seed=1))
+        matcher = RefiningMatcher(
+            ideal_dataset.store,
+            split_config=SplitConfig(seed=5),
+            refining_config=RefiningConfig(max_rounds=1),
+        )
+        results, stats = matcher.run(targets)
+        assert set(results.keys()) == set(targets)
+        assert stats.rounds == 1
+        assert stats.refined_per_round == [len(targets)]
+
+    def test_every_target_gets_a_result(self, practical_dataset):
+        targets = list(practical_dataset.sample_targets(15, seed=2))
+        matcher = RefiningMatcher(
+            practical_dataset.store,
+            split_config=SplitConfig(seed=5),
+            refining_config=RefiningConfig(max_rounds=3),
+        )
+        results, stats = matcher.run(targets)
+        assert set(results.keys()) == set(targets)
+        for result in results.values():
+            assert result.eid in set(targets)
+
+    def test_rounds_bounded(self, practical_dataset):
+        targets = list(practical_dataset.sample_targets(10, seed=3))
+        matcher = RefiningMatcher(
+            practical_dataset.store,
+            split_config=SplitConfig(seed=5),
+            # An unsatisfiable bar forces refining every round.
+            filter_config=FilterConfig(min_agreement=0.999),
+            refining_config=RefiningConfig(max_rounds=3),
+        )
+        results, stats = matcher.run(targets)
+        assert stats.rounds <= 3
+        assert len(stats.refined_per_round) == stats.rounds
+
+    def test_acceptable_matches_not_rerun(self, ideal_dataset):
+        targets = list(ideal_dataset.sample_targets(15, seed=4))
+        matcher = RefiningMatcher(
+            ideal_dataset.store,
+            split_config=SplitConfig(seed=5),
+            filter_config=FilterConfig(min_agreement=0.51),
+            refining_config=RefiningConfig(max_rounds=3),
+        )
+        _results, stats = matcher.run(targets)
+        if stats.rounds > 1:
+            # Later rounds only revisit the unacceptable subset.
+            assert stats.refined_per_round[1] < stats.refined_per_round[0]
+
+    def test_pooling_accumulates_choices(self, practical_dataset):
+        targets = list(practical_dataset.sample_targets(12, seed=5))
+        strict = RefiningMatcher(
+            practical_dataset.store,
+            split_config=SplitConfig(seed=5),
+            filter_config=FilterConfig(min_agreement=0.999),
+            refining_config=RefiningConfig(max_rounds=3),
+        )
+        results, stats = strict.run(targets)
+        # Targets refined across rounds hold pooled (longer) choice lists.
+        pooled = [r for r in results.values() if len(r.scenario_keys) > 4]
+        assert stats.rounds >= 2
+        assert pooled, "multi-round pooling should lengthen some lists"
+
+    def test_stubborn_reported(self, practical_dataset):
+        targets = list(practical_dataset.sample_targets(8, seed=6))
+        matcher = RefiningMatcher(
+            practical_dataset.store,
+            split_config=SplitConfig(seed=5),
+            filter_config=FilterConfig(min_agreement=0.999),
+            refining_config=RefiningConfig(max_rounds=2),
+        )
+        results, stats = matcher.run(targets)
+        # With an impossible acceptance bar everything ends stubborn.
+        assert stats.stubborn
+        assert stats.stubborn <= frozenset(targets)
+
+    def test_refining_does_not_reuse_scenarios_across_rounds(self, practical_dataset):
+        targets = list(practical_dataset.sample_targets(10, seed=7))
+        matcher = RefiningMatcher(
+            practical_dataset.store,
+            split_config=SplitConfig(seed=5),
+            filter_config=FilterConfig(min_agreement=0.999),
+            refining_config=RefiningConfig(max_rounds=3),
+        )
+        results, _stats = matcher.run(targets)
+        for result in results.values():
+            keys = list(result.scenario_keys)
+            assert len(keys) == len(set(keys)), "rounds must use fresh scenarios"

@@ -1,0 +1,40 @@
+"""Tests for the report generator."""
+
+import pytest
+
+from repro.bench import datasets as ds_mod
+from repro.bench.report import REPORT_SECTIONS, generate_report
+
+
+@pytest.fixture(autouse=True)
+def smoke_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+    ds_mod.dataset.cache_clear()
+    yield
+    ds_mod.dataset.cache_clear()
+
+
+def test_sections_cover_every_table_and_figure():
+    ids = {exp_id for exp_id, *_rest in REPORT_SECTIONS}
+    assert ids == {
+        "fig5", "fig6", "fig7", "fig8", "fig9",
+        "table1", "table2", "fig10", "fig11",
+    }
+
+
+def test_generate_report(tmp_path):
+    out = generate_report(tmp_path / "report.md")
+    assert out.exists()
+    text = out.read_text()
+    for _exp_id, title, _fn, shape in REPORT_SECTIONS:
+        assert title in text
+        assert shape in text
+    assert "Total experiment time" in text
+
+
+def test_report_cli(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "r.md"
+    assert main(["report", "--out", str(out)]) == 0
+    assert out.exists()

@@ -1,0 +1,196 @@
+"""Tests for the E/V sensing models and scenario data types."""
+
+import numpy as np
+import pytest
+
+from repro.sensing.e_sensing import ESensingConfig, ESensingModel
+from repro.sensing.scenarios import (
+    Detection,
+    EScenario,
+    EVScenario,
+    ScenarioKey,
+    ScenarioStore,
+    VScenario,
+)
+from repro.sensing.v_sensing import VSensingConfig, VSensingModel
+from repro.world.entities import EID, VID
+from repro.world.features import AppearanceModel
+from repro.world.geometry import Point
+
+
+class TestESensing:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ESensingConfig(drift_sigma=-1.0)
+        with pytest.raises(ValueError):
+            ESensingConfig(miss_rate=1.5)
+
+    def test_noise_free_sensing_is_exact(self):
+        model = ESensingModel()
+        positions = {EID(0): Point(1, 2), EID(1): Point(3, 4)}
+        sightings = model.sense(positions, tick=7, rng=np.random.default_rng(0))
+        assert [s.eid for s in sightings] == [EID(0), EID(1)]
+        assert sightings[0].observed_position == Point(1, 2)
+        assert all(s.tick == 7 for s in sightings)
+
+    def test_miss_rate_statistics(self):
+        model = ESensingModel(ESensingConfig(miss_rate=0.5))
+        positions = {EID(i): Point(0, 0) for i in range(1000)}
+        sightings = model.sense(positions, 0, np.random.default_rng(1))
+        assert 400 < len(sightings) < 600
+
+    def test_drift_perturbs_positions(self):
+        model = ESensingModel(ESensingConfig(drift_sigma=10.0))
+        positions = {EID(i): Point(100, 100) for i in range(200)}
+        sightings = model.sense(positions, 0, np.random.default_rng(2))
+        errors = [
+            s.observed_position.distance_to(Point(100, 100)) for s in sightings
+        ]
+        mean_err = sum(errors) / len(errors)
+        # Rayleigh mean for sigma=10 is ~12.5 m.
+        assert 9.0 < mean_err < 16.0
+
+    def test_deterministic_given_rng(self):
+        model = ESensingModel(ESensingConfig(drift_sigma=5.0, miss_rate=0.2))
+        positions = {EID(i): Point(i, i) for i in range(50)}
+        a = model.sense(positions, 0, np.random.default_rng(3))
+        b = model.sense(positions, 0, np.random.default_rng(3))
+        assert a == b
+
+
+class TestVSensing:
+    @pytest.fixture
+    def appearance(self):
+        return AppearanceModel(num_vids=20, seed=0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            VSensingConfig(miss_rate=-0.1)
+
+    def test_detects_everyone_without_misses(self, appearance):
+        model = VSensingModel(appearance)
+        detections = model.sense([VID(3), VID(1)], np.random.default_rng(0))
+        assert [d.true_vid for d in detections] == [VID(1), VID(3)]
+
+    def test_detection_ids_globally_unique(self, appearance):
+        model = VSensingModel(appearance)
+        rng = np.random.default_rng(1)
+        ids = []
+        for _ in range(5):
+            ids.extend(d.detection_id for d in model.sense([VID(0), VID(1)], rng))
+        assert len(ids) == len(set(ids))
+        assert model.detections_issued == len(ids)
+
+    def test_miss_rate_statistics(self, appearance):
+        model = VSensingModel(appearance, VSensingConfig(miss_rate=0.3))
+        rng = np.random.default_rng(2)
+        detected = sum(
+            len(model.sense(list(map(VID, range(20))), rng)) for _ in range(100)
+        )
+        assert 1200 < detected < 1600  # 2000 * 0.7 = 1400
+
+    def test_features_unit_norm(self, appearance):
+        model = VSensingModel(appearance)
+        for d in model.sense([VID(i) for i in range(5)], np.random.default_rng(3)):
+            assert np.linalg.norm(d.feature) == pytest.approx(1.0)
+
+
+class TestScenarioTypes:
+    def test_escenario_rejects_overlap(self):
+        with pytest.raises(ValueError, match="inclusive and vague"):
+            EScenario(
+                key=ScenarioKey(0, 0),
+                inclusive=frozenset({EID(1)}),
+                vague=frozenset({EID(1)}),
+            )
+
+    def test_escenario_membership(self):
+        s = EScenario(
+            key=ScenarioKey(0, 0),
+            inclusive=frozenset({EID(1)}),
+            vague=frozenset({EID(2)}),
+        )
+        assert EID(1) in s and EID(2) in s and EID(3) not in s
+        assert s.eids == frozenset({EID(1), EID(2)})
+        assert len(s) == 2
+
+    def test_detection_identity_semantics(self):
+        f = np.ones(4) / 2.0
+        a = Detection(detection_id=1, feature=f, true_vid=VID(0))
+        b = Detection(detection_id=1, feature=f * 2, true_vid=VID(5))
+        assert a == b  # identity is the detection id
+        assert len({a, b}) == 1
+
+    def test_vscenario_feature_matrix(self):
+        f = np.ones(4) / 2.0
+        v = VScenario(
+            key=ScenarioKey(0, 0),
+            detections=(
+                Detection(0, f, VID(0)),
+                Detection(1, f, VID(1)),
+            ),
+        )
+        assert v.feature_matrix().shape == (2, 4)
+        assert v.num_detections == 2
+
+    def test_empty_vscenario_feature_matrix(self):
+        v = VScenario(key=ScenarioKey(0, 0), detections=())
+        assert v.feature_matrix().size == 0
+
+    def test_evscenario_key_mismatch(self):
+        e = EScenario(key=ScenarioKey(0, 0), inclusive=frozenset())
+        v = VScenario(key=ScenarioKey(1, 0), detections=())
+        with pytest.raises(ValueError, match="mismatched"):
+            EVScenario(e=e, v=v)
+
+
+class TestScenarioStore:
+    def make_store(self):
+        scenarios = []
+        for cell in range(2):
+            for tick in range(3):
+                key = ScenarioKey(cell, tick)
+                scenarios.append(
+                    EVScenario(
+                        e=EScenario(key=key, inclusive=frozenset({EID(cell)})),
+                        v=VScenario(key=key, detections=()),
+                    )
+                )
+        return ScenarioStore(scenarios)
+
+    def test_indexing(self):
+        store = self.make_store()
+        assert len(store) == 6
+        assert ScenarioKey(1, 2) in store
+        assert store.get(ScenarioKey(1, 2)).key == ScenarioKey(1, 2)
+        assert store.e_scenario(ScenarioKey(0, 0)).inclusive == frozenset({EID(0)})
+
+    def test_duplicate_keys_rejected(self):
+        s = self.make_store()
+        key = ScenarioKey(0, 0)
+        dup = EVScenario(
+            e=EScenario(key=key, inclusive=frozenset()),
+            v=VScenario(key=key, detections=()),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioStore([dup, dup])
+
+    def test_missing_key_raises(self):
+        store = self.make_store()
+        with pytest.raises(KeyError):
+            store.get(ScenarioKey(9, 9))
+
+    def test_ticks_and_keys_at_tick(self):
+        store = self.make_store()
+        assert store.ticks == (0, 1, 2)
+        assert store.keys_at_tick(1) == (ScenarioKey(0, 1), ScenarioKey(1, 1))
+        assert store.keys_at_tick(99) == ()
+
+    def test_keys_sorted(self):
+        store = self.make_store()
+        assert list(store.keys) == sorted(store.keys)
+
+    def test_e_scenarios_iteration_order(self):
+        store = self.make_store()
+        keys = [s.key for s in store.e_scenarios()]
+        assert keys == list(store.keys)

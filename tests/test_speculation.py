@@ -1,0 +1,252 @@
+"""Tests for skew, speculative execution and delay scheduling."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce.speculation import (
+    SkewModel,
+    StagePolicy,
+    StageSimResult,
+    simulate_stage,
+)
+
+
+class TestSkewModel:
+    def test_zero_sigma_is_identity(self):
+        model = SkewModel(sigma=0.0)
+        assert model.factor("s", 0, 1) == 1.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            SkewModel(sigma=-0.1)
+
+    def test_deterministic(self):
+        a = SkewModel(sigma=0.5, seed=1)
+        b = SkewModel(sigma=0.5, seed=1)
+        assert a.factor("stage", 3, 1) == b.factor("stage", 3, 1)
+
+    def test_attempts_reroll(self):
+        model = SkewModel(sigma=0.5, seed=1)
+        assert model.factor("s", 0, 1) != model.factor("s", 0, 2)
+
+    def test_mean_near_one(self):
+        model = SkewModel(sigma=0.4, seed=2)
+        factors = [model.factor("s", i, 1) for i in range(2000)]
+        mean = sum(factors) / len(factors)
+        assert 0.9 < mean < 1.1  # lognormal with mean-one correction
+
+    def test_all_factors_positive(self):
+        model = SkewModel(sigma=1.0, seed=3)
+        assert all(model.factor("s", i, 1) > 0 for i in range(500))
+
+
+class TestStagePolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"slots": 0},
+            {"cores_per_node": 0},
+            {"task_overhead": -1.0},
+            {"speculation_margin": 0.0},
+            {"locality_wait": -1.0},
+            {"remote_read_penalty": -0.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            StagePolicy(**kwargs)
+
+    def test_node_of_slot(self):
+        policy = StagePolicy(slots=8, cores_per_node=4)
+        assert policy.node_of_slot(0) == 0
+        assert policy.node_of_slot(3) == 0
+        assert policy.node_of_slot(4) == 1
+
+
+class TestSimulateStage:
+    def test_empty_stage(self):
+        result = simulate_stage([], StagePolicy())
+        assert result.makespan == 0.0
+
+    def test_no_skew_matches_list_scheduling(self):
+        policy = StagePolicy(slots=2, task_overhead=0.0)
+        result = simulate_stage([1.0, 1.0, 1.0, 1.0], policy)
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_stage([1.0, -1.0], StagePolicy())
+
+    def test_placement_length_checked(self):
+        with pytest.raises(ValueError, match="placements"):
+            simulate_stage([1.0], StagePolicy(), placements=[0, 1])
+
+    def test_speculation_cuts_straggler_tail(self):
+        """With heavy skew, speculation must not hurt and should help
+        the straggler-dominated makespan."""
+        costs = [1.0] * 40
+        base = StagePolicy(slots=8, skew=SkewModel(sigma=0.8, seed=5))
+        spec = StagePolicy(
+            slots=8, skew=SkewModel(sigma=0.8, seed=5), speculate=True
+        )
+        plain = simulate_stage(costs, base, "stage")
+        helped = simulate_stage(costs, spec, "stage")
+        assert helped.speculative_copies > 0
+        assert helped.makespan <= plain.makespan
+        assert helped.wasted_work > 0  # losers burned real slot time
+
+    def test_speculation_noop_without_skew(self):
+        costs = [1.0] * 8
+        policy = StagePolicy(slots=8, speculate=True, task_overhead=0.0)
+        result = simulate_stage(costs, policy)
+        # Perfectly uniform tasks: a copy can never plausibly win.
+        assert result.speculative_copies == 0
+        assert result.makespan == pytest.approx(1.0)
+
+    def test_effective_finish_is_min_of_copies(self):
+        # One giant straggler among quick tasks: its backup copy should
+        # finish long before the skewed original.
+        costs = [0.1] * 7 + [100.0]
+        policy = StagePolicy(
+            slots=4,
+            skew=SkewModel(sigma=1.5, seed=11),
+            speculate=True,
+            task_overhead=0.0,
+        )
+        plain = simulate_stage(costs, StagePolicy(slots=4, skew=SkewModel(sigma=1.5, seed=11), task_overhead=0.0))
+        helped = simulate_stage(costs, policy)
+        assert helped.makespan <= plain.makespan
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_speculation_never_increases_makespan(self, seed):
+        costs = [float((seed % 7) + 1)] * 20
+        skew = SkewModel(sigma=0.6, seed=seed)
+        plain = simulate_stage(costs, StagePolicy(slots=5, skew=skew))
+        spec = simulate_stage(
+            costs, StagePolicy(slots=5, skew=skew, speculate=True)
+        )
+        assert spec.makespan <= plain.makespan + 1e-9
+
+
+class TestDelayScheduling:
+    def test_local_placement_avoids_penalty(self):
+        # 2 nodes x 2 slots; every task's data on node 0; generous wait.
+        policy = StagePolicy(
+            slots=4,
+            cores_per_node=2,
+            task_overhead=0.0,
+            locality_wait=10.0,
+            remote_read_penalty=5.0,
+        )
+        result = simulate_stage(
+            [1.0] * 4, policy, placements=[0, 0, 0, 0]
+        )
+        assert result.local_tasks == 4
+        assert result.remote_tasks == 0
+        # All four ran on node 0's two slots: two waves.
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_zero_wait_goes_remote(self):
+        policy = StagePolicy(
+            slots=4,
+            cores_per_node=2,
+            task_overhead=0.0,
+            locality_wait=0.0,
+            remote_read_penalty=5.0,
+        )
+        result = simulate_stage([1.0] * 4, policy, placements=[0, 0, 0, 0])
+        assert result.remote_tasks > 0
+        # Remote tasks paid the read penalty.
+        assert result.makespan > 2.0
+
+    def test_balanced_placement_all_local(self):
+        policy = StagePolicy(
+            slots=4,
+            cores_per_node=2,
+            task_overhead=0.0,
+            locality_wait=1.0,
+            remote_read_penalty=5.0,
+        )
+        result = simulate_stage([1.0] * 4, policy, placements=[0, 0, 1, 1])
+        assert result.local_tasks == 4
+        assert result.makespan == pytest.approx(1.0)
+
+    def test_wait_tradeoff(self):
+        """Delay scheduling trades waiting for locality: with a huge
+        penalty, waiting wins; the simulation reflects the policy."""
+        placements = [0] * 8
+        common = dict(slots=4, cores_per_node=2, task_overhead=0.0,
+                      remote_read_penalty=20.0)
+        waiting = simulate_stage(
+            [1.0] * 8, StagePolicy(locality_wait=100.0, **common), placements=placements
+        )
+        eager = simulate_stage(
+            [1.0] * 8, StagePolicy(locality_wait=0.0, **common), placements=placements
+        )
+        assert waiting.makespan < eager.makespan
+
+
+class TestClusterIntegration:
+    def test_simulate_falls_back_to_schedule(self):
+        from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+
+        cluster = SimulatedCluster(ClusterConfig(num_nodes=2, cores_per_node=2))
+        plain = cluster.schedule([1.0] * 4)
+        sim = cluster.simulate([1.0] * 4, "s")
+        assert sim.makespan == pytest.approx(plain.makespan)
+
+    def test_engine_reports_speculation(self):
+        from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+        from repro.mapreduce.engine import MapReduceEngine
+        from repro.mapreduce.job import MapReduceJob
+
+        engine = MapReduceEngine(
+            cluster=SimulatedCluster(
+                ClusterConfig(
+                    num_nodes=2,
+                    cores_per_node=2,
+                    skew_sigma=0.8,
+                    speculate=True,
+                    task_overhead=0.0,
+                )
+            )
+        )
+        engine.dfs.write_records("xs", list(range(32)), num_partitions=32)
+        job = MapReduceJob(name="spec", mapper=lambda x: (x,), map_cost=lambda x: 1.0)
+        _, metrics = engine.run(job, "xs", "ys")
+        assert metrics.map_stats.speculative_copies > 0
+
+    def test_engine_reports_locality(self):
+        from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
+        from repro.mapreduce.engine import MapReduceEngine
+        from repro.mapreduce.job import MapReduceJob
+
+        engine = MapReduceEngine(
+            cluster=SimulatedCluster(
+                ClusterConfig(
+                    num_nodes=2,
+                    cores_per_node=2,
+                    locality_wait=10.0,
+                    remote_read_penalty=3.0,
+                    task_overhead=0.0,
+                )
+            )
+        )
+        # DFS round-robins blocks over its nodes; with matching node
+        # counts, delay scheduling keeps every map task local.
+        engine.dfs.write_records("xs", list(range(8)), num_partitions=8)
+        job = MapReduceJob(name="loc", mapper=lambda x: (x,), map_cost=lambda x: 1.0)
+        _, metrics = engine.run(job, "xs", "ys")
+        assert metrics.map_stats.local_tasks == 8
+        assert metrics.map_stats.remote_tasks == 0
+
+    def test_invalid_cluster_knobs(self):
+        from repro.mapreduce.cluster import ClusterConfig
+
+        with pytest.raises(ValueError):
+            ClusterConfig(skew_sigma=-1.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(locality_wait=-1.0)

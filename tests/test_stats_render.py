@@ -1,0 +1,138 @@
+"""Tests for store statistics and ASCII rendering."""
+
+import pytest
+
+from repro.sensing.stats import (
+    StoreStats,
+    co_occurrence_histogram,
+    occupancy_by_cell,
+    occupancy_over_time,
+    store_stats,
+)
+from repro.world.geometry import BoundingBox, Point
+from repro.world.render import render_heatmap, render_points, render_sparkline
+
+
+class TestStoreStats:
+    def test_profile_of_ideal_world(self, ideal_dataset):
+        stats = store_stats(ideal_dataset.store)
+        assert stats.num_scenarios == len(ideal_dataset.store)
+        assert stats.distinct_eids == len(ideal_dataset.eids)
+        assert stats.total_detections == ideal_dataset.store.total_detections()
+        assert stats.vague_fraction == 0.0
+        assert stats.ev_balance == pytest.approx(1.0)
+        assert stats.mean_eids_per_scenario > 0
+        assert stats.max_eids_per_scenario >= stats.mean_eids_per_scenario
+
+    def test_practical_world_has_vague_sightings(self, practical_dataset):
+        stats = store_stats(practical_dataset.store)
+        assert stats.vague_fraction > 0.0
+        # Drift and window thresholds thin the inclusive E side, so the
+        # balance sits above parity (extra visual figures per inclusive
+        # EID) but within a sane range.
+        assert 1.0 < stats.ev_balance < 2.0
+
+    def test_occupancy_by_cell_covers_grid(self, ideal_dataset):
+        occupancy = occupancy_by_cell(ideal_dataset.store)
+        assert set(occupancy) <= set(range(ideal_dataset.grid.num_cells))
+        assert all(v >= 0 for v in occupancy.values())
+
+    def test_occupancy_over_time_is_tick_ordered(self, ideal_dataset):
+        series = occupancy_over_time(ideal_dataset.store)
+        ticks = [t for t, _n in series]
+        assert ticks == sorted(ticks)
+        # Ideal world: everyone observed every tick.
+        for _tick, count in series:
+            assert count == len(ideal_dataset.eids)
+
+    def test_histogram_counts_all_scenarios(self, ideal_dataset):
+        histogram = co_occurrence_histogram(ideal_dataset.store, bins=6)
+        assert sum(count for _label, count in histogram) == len(ideal_dataset.store)
+        with pytest.raises(ValueError):
+            co_occurrence_histogram(ideal_dataset.store, bins=0)
+
+
+class TestRenderHeatmap:
+    def test_shape(self):
+        values = {i: float(i) for i in range(9)}
+        text = render_heatmap(values, 3, width=2)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 6 for line in lines)
+
+    def test_highest_row_printed_first(self):
+        # Only cell 8 (top-right of a 3x3) is hot.
+        text = render_heatmap({8: 1.0}, 3, width=1)
+        lines = text.splitlines()
+        assert lines[0][2] != " "  # top row, right column
+        assert lines[2] == "   "
+
+    def test_empty_values(self):
+        text = render_heatmap({}, 2)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            render_heatmap({}, 0)
+        with pytest.raises(ValueError):
+            render_heatmap({}, 2, width=0)
+
+
+class TestRenderPoints:
+    REGION = BoundingBox.square(100.0)
+
+    def test_density_and_marks(self):
+        points = [Point(10, 10)] * 50 + [Point(90, 90)]
+        text = render_points(points, self.REGION, rows=4, cols=8, marks=[Point(50, 50)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "X" in text
+        # Dense corner is darker than the sparse one.
+        assert lines[-1][0] != " "
+
+    def test_out_of_region_points_ignored(self):
+        text = render_points([Point(-5, -5)], self.REGION, rows=2, cols=2)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            render_points([], self.REGION, rows=0)
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = render_sparkline([1, 2, 3, 4, 5, 6, 7, 8], width=8)
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series(self):
+        assert set(render_sparkline([5, 5, 5], width=3)) == {"▁"}
+
+    def test_empty_series(self):
+        assert render_sparkline([]) == ""
+
+    def test_resampling_caps_width(self):
+        assert len(render_sparkline(list(range(1000)), width=40)) <= 41
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            render_sparkline([1], width=0)
+
+
+class TestInspectCLI:
+    def test_inspect_runs(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "inspect",
+                    "--people", "40",
+                    "--cells", "2",
+                    "--duration", "200",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "scenarios over" in out
+        assert "occupancy per cell" in out
