@@ -1,0 +1,125 @@
+"""Serving-layer throughput: cache + batcher vs cold, and overload.
+
+Not a paper figure — this benchmarks the subsystem the ROADMAP adds on
+top of the reproduction: the query service.  Two claims are pinned:
+
+* a repeated-query workload (the few-hot-suspects shape) is served at
+  least 2x faster with the result cache + batcher than by the cold
+  path that runs the Matcher for every request;
+* under overload the bounded admission queue *sheds* requests (the
+  429 analog) instead of deadlocking — every future resolves.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.bench.reporting import render_rows
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import build_dataset
+from repro.service import (
+    LoadConfig,
+    MatchRequest,
+    MatchService,
+    ServiceConfig,
+    run_load,
+)
+from repro.service.loadgen import percentile
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_dataset(
+        ExperimentConfig(
+            num_people=120,
+            cells_per_side=3,
+            duration=600.0,
+            sample_dt=10.0,
+            warmup=100.0,
+            seed=11,
+        )
+    )
+
+
+#: Identical repeated-query workload for both service configurations.
+LOAD = LoadConfig(
+    num_clients=4,
+    requests_per_client=30,
+    pool_size=6,
+    targets_per_request=3,
+    popularity=0.5,
+    seed=3,
+)
+
+
+def _drive(world, cache_capacity: int):
+    config = ServiceConfig(workers=2, cache_capacity=cache_capacity)
+    targets = list(world.sample_targets(24, seed=1))
+    with MatchService.from_dataset(world, config) as service:
+        return run_load(service, targets, LOAD)
+
+
+def test_cache_and_batcher_speedup(world):
+    cold = _drive(world, cache_capacity=0)
+    warm = _drive(world, cache_capacity=256)
+
+    rows = [
+        {
+            "mode": name,
+            "qps": round(report.achieved_qps, 1),
+            "ok": report.ok,
+            "hit_rate": round(report.hit_rate, 2),
+            "dedup": report.deduplicated,
+            "batched": report.batched,
+            "p50_ms": round(1e3 * percentile(report.latencies_s, 50), 3),
+            "p95_ms": round(1e3 * percentile(report.latencies_s, 95), 3),
+        }
+        for name, report in (("cold", cold), ("cached", warm))
+    ]
+    emit(render_rows(
+        "serving throughput — cold vs cached (same workload)",
+        ("mode", "qps", "ok", "hit_rate", "dedup", "batched", "p50_ms", "p95_ms"),
+        rows,
+    ))
+
+    assert cold.errors == 0 and warm.errors == 0
+    assert cold.ok == warm.ok == LOAD.num_clients * LOAD.requests_per_client
+    assert cold.hit_rate == 0.0, "cache-disabled path must not report hits"
+    assert warm.hit_rate >= 0.5, (
+        f"repeated-query workload should mostly hit the cache, "
+        f"got {warm.hit_rate:.2f}"
+    )
+    assert warm.achieved_qps >= 2.0 * cold.achieved_qps, (
+        f"cache+batcher should give >=2x the cold throughput: "
+        f"{warm.achieved_qps:.0f} vs {cold.achieved_qps:.0f} q/s"
+    )
+
+
+def test_overload_sheds_instead_of_deadlocking(world):
+    config = ServiceConfig(
+        workers=1,
+        queue_size=2,
+        max_batch=1,
+        cache_capacity=0,
+        worker_delay_s=0.05,
+    )
+    targets = list(world.sample_targets(30, seed=2))
+    with MatchService.from_dataset(world, config) as service:
+        # Flood: 30 distinct single-target requests against a queue of 2.
+        futures = [
+            service.submit(MatchRequest(targets=(eid,))) for eid in targets
+        ]
+        responses = [future.result(timeout=30.0) for future in futures]
+
+    statuses = [response.status for response in responses]
+    shed = statuses.count("shed")
+    ok = statuses.count("ok")
+    emit(f"overload: {ok} served, {shed} shed of {len(statuses)} submitted")
+
+    assert len(responses) == len(targets), "every future must resolve"
+    assert shed > 0, "a full bounded queue must shed"
+    assert ok > 0, "admitted requests must still be served"
+    assert ok + shed == len(targets)
+    snapshot = service.stats().snapshot
+    assert snapshot["match"]["shed"] == shed

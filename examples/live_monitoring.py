@@ -30,6 +30,7 @@ def main() -> None:
         )
     )
     store = dataset.store
+    dt = dataset.config.sample_dt
     targets = list(dataset.sample_targets(20, seed=1))
     late_tip = dataset.sample_targets(25, seed=1)[-1]
 
@@ -43,7 +44,7 @@ def main() -> None:
     for tick in ticks:
         if tick == tip_tick:
             stream.add_target(late_tip)
-            print(f"  t={tick * 10:>5.0f}s  [tip received: now also tracking {late_tip.mac}]")
+            print(f"  t={tick * dt:>5.0f}s  [tip received: now also tracking {late_tip.mac}]")
         for emission in stream.observe_tick(store, tick):
             shown += 1
             if shown <= 8 or emission.eid == late_tip:
@@ -54,7 +55,7 @@ def main() -> None:
                     else "check"
                 )
                 print(
-                    f"  t={tick * 10:>5.0f}s  MATCH {emission.eid.mac} "
+                    f"  t={tick * dt:>5.0f}s  MATCH {emission.eid.mac} "
                     f"after {len(emission.result.scenario_keys)} scenarios "
                     f"(agreement {emission.result.agreement:.2f}, {correct})"
                 )
@@ -64,12 +65,12 @@ def main() -> None:
     latency = stream.latency_report()
     matched = [t for t in targets if t in latency]
     if matched:
-        avg_latency = sum(latency[t] for t in matched) / len(matched) * 10
+        avg_latency = sum(latency[t] for t in matched) / len(matched) * dt
         print(f"\n{len(matched)}/{len(targets)} initial targets matched; "
               f"average latency {avg_latency:.0f}s of feed time.")
     if late_tip in latency:
-        print(f"The mid-stream tip was matched at t={latency[late_tip] * 10:.0f}s "
-              f"(tracking began at t={tip_tick * 10:.0f}s).")
+        print(f"The mid-stream tip was matched at t={latency[late_tip] * dt:.0f}s "
+              f"(tracking began at t={tip_tick * dt:.0f}s).")
     print(f"Still pending: {len(stream.pending)} targets "
           "(would match as more footage arrives).")
 

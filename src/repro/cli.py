@@ -95,6 +95,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--out", default="results.md", help="output path")
 
+    serve = sub.add_parser(
+        "serve",
+        help="stand up the query service and answer seeded demo traffic",
+    )
+    serve.add_argument("--dataset", help="load a saved world instead of building")
+    serve.add_argument("--people", type=int, default=300)
+    serve.add_argument("--cells", type=int, default=4)
+    serve.add_argument("--duration", type=float, default=1000.0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--workers", type=int, default=2, help="worker threads")
+    serve.add_argument("--queue-size", type=int, default=64)
+    serve.add_argument("--shards", type=int, default=4, help="dataset shards")
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=32,
+        help="demo queries to answer before printing stats and exiting",
+    )
+    serve.add_argument(
+        "--watch", type=int, default=5,
+        help="targets to track on the incremental watch-list",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="closed-loop load test: cached vs cold serving throughput",
+    )
+    loadtest.add_argument("--dataset", help="load a saved world instead of building")
+    loadtest.add_argument("--people", type=int, default=300)
+    loadtest.add_argument("--cells", type=int, default=4)
+    loadtest.add_argument("--duration", type=float, default=1000.0)
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--clients", type=int, default=4)
+    loadtest.add_argument(
+        "--requests", type=int, default=25, help="requests per client"
+    )
+    loadtest.add_argument(
+        "--pool", type=int, default=8, help="distinct query shapes"
+    )
+    loadtest.add_argument("--targets-per-request", type=int, default=3)
+    loadtest.add_argument("--workers", type=int, default=2)
+    loadtest.add_argument("--shards", type=int, default=4)
+
     inspect = sub.add_parser(
         "inspect", help="profile a synthetic world (stats + occupancy heatmap)"
     )
@@ -277,6 +321,113 @@ def run_investigate(args: argparse.Namespace, out=None) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    from repro.service import LoadConfig, MatchService, ServiceConfig, run_load
+
+    dataset = _world_from_args(args, out)
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_size=args.queue_size,
+        num_shards=args.shards,
+        cache_capacity=0 if args.no_cache else 256,
+    )
+    with MatchService.from_dataset(dataset, config) as service:
+        watch = list(dataset.sample_targets(
+            min(args.watch, len(dataset.eids)), seed=2
+        ))
+        if watch:
+            service.watch(watch)
+        pool = list(dataset.sample_targets(
+            min(24, len(dataset.eids)), seed=1
+        ))
+        print(
+            f"service up: {config.workers} workers, "
+            f"{service.shards.num_shards} shards, "
+            f"cache {'off' if args.no_cache else 'on'}; "
+            f"answering {args.requests} demo queries...",
+            file=out,
+        )
+        report = run_load(
+            service,
+            pool,
+            LoadConfig(
+                num_clients=min(4, args.requests),
+                requests_per_client=max(1, args.requests // min(4, args.requests)),
+                pool_size=8,
+                investigate_fraction=0.25,
+                seed=args.seed,
+            ),
+        )
+        print(
+            f"  {report.issued} requests: {report.ok} ok, {report.shed} shed, "
+            f"{report.errors} errors; {report.achieved_qps:.0f} q/s, "
+            f"hit rate {report.hit_rate:.2f}",
+            file=out,
+        )
+        rows = [
+            {"endpoint": endpoint, **{
+                k: round(v, 4) for k, v in sorted(values.items())
+                if k in ("requests", "ok", "shed", "errors", "cache_hits",
+                         "latency_p50_s", "latency_p95_s", "latency_p99_s")
+            }}
+            for endpoint, values in service.stats().snapshot.items()
+            if endpoint != "service"
+        ]
+        if rows:
+            columns = tuple(rows[0].keys())
+            print(render_rows("service stats", columns, rows), file=out)
+    return 0
+
+
+def run_loadtest(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    from repro.service import LoadConfig, MatchService, ServiceConfig, run_load
+    from repro.service.loadgen import percentile
+
+    dataset = _world_from_args(args, out)
+    targets = list(dataset.sample_targets(
+        min(24, len(dataset.eids)), seed=1
+    ))
+    load = LoadConfig(
+        num_clients=args.clients,
+        requests_per_client=args.requests,
+        pool_size=args.pool,
+        targets_per_request=args.targets_per_request,
+        seed=args.seed,
+    )
+    rows: List[dict] = []
+    reports = {}
+    for mode, capacity in (("cold", 0), ("cached", 256)):
+        config = ServiceConfig(
+            workers=args.workers,
+            num_shards=args.shards,
+            cache_capacity=capacity,
+        )
+        with MatchService.from_dataset(dataset, config) as service:
+            report = run_load(service, targets, load)
+        reports[mode] = report
+        rows.append({
+            "mode": mode,
+            "qps": round(report.achieved_qps, 1),
+            "ok": report.ok,
+            "shed": report.shed,
+            "hit_rate": round(report.hit_rate, 2),
+            "p50_ms": round(1e3 * percentile(report.latencies_s, 50), 2),
+            "p95_ms": round(1e3 * percentile(report.latencies_s, 95), 2),
+        })
+    columns = ("mode", "qps", "ok", "shed", "hit_rate", "p50_ms", "p95_ms")
+    print(render_rows("serving throughput: cold vs cached", columns, rows), file=out)
+    cold, cached = reports["cold"], reports["cached"]
+    if cold.achieved_qps > 0:
+        print(
+            f"cache+batcher speedup: "
+            f"{cached.achieved_qps / cold.achieved_qps:.1f}x",
+            file=out,
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "match":
@@ -289,6 +440,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_build(args)
     if args.command == "investigate":
         return run_investigate(args)
+    if args.command == "serve":
+        return run_serve(args)
+    if args.command == "loadtest":
+        return run_loadtest(args)
     if args.command == "report":
         from repro.bench.report import generate_report
 

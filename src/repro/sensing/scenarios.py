@@ -174,6 +174,20 @@ class ScenarioStore:
         for keys in self._ticks.values():
             keys.sort()
 
+    def add(self, scenario: EVScenario) -> None:
+        """Append one scenario (live ingestion path).
+
+        The serving layer grows a standing store as new windows
+        arrive; the key must be new — re-observing a (cell, tick)
+        snapshot is a data error, not an update.
+        """
+        if scenario.key in self._by_key:
+            raise ValueError(f"duplicate scenario key {scenario.key}")
+        self._by_key[scenario.key] = scenario
+        keys = self._ticks.setdefault(scenario.key.tick, [])
+        keys.append(scenario.key)
+        keys.sort()
+
     @property
     def keys(self) -> Sequence[ScenarioKey]:
         """All scenario keys in deterministic (cell, tick) order."""

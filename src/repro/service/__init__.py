@@ -1,0 +1,69 @@
+"""The serving layer: a sharded, cached, batched query service.
+
+Where :mod:`repro.core` answers *one* matching task end-to-end, this
+package keeps a built world resident and answers *repeated* queries
+against it — the long-lived process shape a production deployment
+needs (ROADMAP: "serves heavy traffic from millions of users").
+
+Composition (see ``docs/architecture.md``, "Serving layer")::
+
+    MatchService (server.py)      the threaded front end
+      ├── ResultCache             LRU+TTL, EID-tagged invalidation
+      ├── MatchBatcher            in-flight dedup + union batching
+      ├── ShardedDataset          region-banded standing indexes
+      ├── ServiceMetrics          counters + latency percentiles
+      └── IncrementalMatcher      the ingest-fed watch-list
+
+:mod:`repro.service.loadgen` drives it for benchmarks;
+``repro serve`` / ``repro loadtest`` expose it on the CLI.
+"""
+
+from repro.service.api import (
+    ALGORITHMS,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    IngestTickRequest,
+    IngestTickResponse,
+    InvestigateRequest,
+    InvestigateResponse,
+    MatchRequest,
+    MatchResponse,
+    ServiceOverloaded,
+    StatsResponse,
+    TargetMatch,
+)
+from repro.service.batcher import MatchBatcher
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.dataset_shards import DatasetShard, ShardedDataset
+from repro.service.loadgen import LoadConfig, LoadReport, run_load
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.server import MatchService, ServiceConfig
+
+__all__ = [
+    "ALGORITHMS",
+    "CacheStats",
+    "DatasetShard",
+    "IngestTickRequest",
+    "IngestTickResponse",
+    "InvestigateRequest",
+    "InvestigateResponse",
+    "LatencyHistogram",
+    "LoadConfig",
+    "LoadReport",
+    "MatchBatcher",
+    "MatchRequest",
+    "MatchResponse",
+    "MatchService",
+    "ResultCache",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceOverloaded",
+    "ShardedDataset",
+    "StatsResponse",
+    "TargetMatch",
+    "run_load",
+]

@@ -1,0 +1,196 @@
+"""Deterministic closed-loop load generator for the query service.
+
+Closed loop means each simulated client issues its next request only
+after the previous one resolves — the standard way to measure a
+service's sustainable throughput without open-loop queue explosion.
+
+Determinism matters because the benchmark compares two service
+configurations (cache on vs off) on *identical* workloads: every
+client derives its request sequence from ``(seed, client_id)``, so two
+runs issue byte-identical queries in the same per-client order.
+
+The workload models investigator traffic: a fixed pool of query
+shapes (small target sets drawn from a target population) sampled
+with a popularity skew (``popularity`` < 1 biases toward low pool
+indexes, approximating the few-hot-suspects distribution that makes
+result caching pay).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.service.api import (
+    STATUS_OK,
+    STATUS_SHED,
+    InvestigateRequest,
+    MatchRequest,
+)
+from repro.world.entities import EID
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Workload shape.
+
+    Attributes:
+        num_clients: concurrent closed-loop clients.
+        requests_per_client: requests each client issues.
+        pool_size: distinct query shapes in the workload; smaller
+            pools mean more repetition (higher cache-hit potential).
+        targets_per_request: EIDs per match request.
+        investigate_fraction: share of requests that are investigate
+            queries instead of match queries.
+        popularity: skew exponent; each client picks pool index
+            ``int(pool_size * u**(1/popularity))`` for uniform ``u``,
+            so values < 1 concentrate on the head of the pool.
+            1.0 is uniform.
+        seed: master seed; client ``i`` uses substream ``seed + i``.
+    """
+
+    num_clients: int = 4
+    requests_per_client: int = 25
+    pool_size: int = 8
+    targets_per_request: int = 3
+    investigate_fraction: float = 0.0
+    popularity: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0 or self.requests_per_client <= 0:
+            raise ValueError("need at least one client issuing one request")
+        if self.pool_size <= 0 or self.targets_per_request <= 0:
+            raise ValueError("pool_size and targets_per_request must be positive")
+        if not 0.0 <= self.investigate_fraction <= 1.0:
+            raise ValueError(
+                f"investigate_fraction must be in [0, 1], "
+                f"got {self.investigate_fraction}"
+            )
+        if self.popularity <= 0:
+            raise ValueError(f"popularity must be positive, got {self.popularity}")
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run.
+
+    Attributes:
+        issued / ok / shed / errors: request counts by outcome.
+        cache_hits / deduplicated / batched: serving-effect counts as
+            observed from the client side.
+        duration_s: wall-clock time from first to last request.
+        latencies_s: every request's client-observed latency.
+    """
+
+    issued: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    batched: int = 0
+    duration_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.issued / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.ok if self.ok else 0.0
+
+    def merge(self, other: "LoadReport") -> None:
+        self.issued += other.issued
+        self.ok += other.ok
+        self.shed += other.shed
+        self.errors += other.errors
+        self.cache_hits += other.cache_hits
+        self.deduplicated += other.deduplicated
+        self.batched += other.batched
+        self.latencies_s.extend(other.latencies_s)
+
+
+def build_request_pool(
+    targets: Sequence[EID], config: LoadConfig
+) -> List[MatchRequest]:
+    """The workload's distinct match shapes, from a seeded RNG."""
+    rng = np.random.default_rng(config.seed)
+    eids = list(targets)
+    per_request = min(config.targets_per_request, len(eids))
+    pool: List[MatchRequest] = []
+    for _ in range(config.pool_size):
+        picked = rng.choice(len(eids), size=per_request, replace=False)
+        pool.append(
+            MatchRequest(targets=tuple(eids[i] for i in sorted(picked.tolist())))
+        )
+    return pool
+
+
+def run_load(service, targets: Sequence[EID], config: LoadConfig) -> LoadReport:
+    """Drive ``service`` with the configured closed-loop workload.
+
+    ``service`` is any object with ``submit(request)`` returning a
+    future (ducked so tests can drive fakes); ``targets`` is the EID
+    population requests draw from.
+    """
+    pool = build_request_pool(targets, config)
+    eid_pool = sorted({eid for request in pool for eid in request.targets})
+    reports = [LoadReport() for _ in range(config.num_clients)]
+
+    def client(client_id: int) -> None:
+        rng = np.random.default_rng(config.seed + 1 + client_id)
+        report = reports[client_id]
+        for _ in range(config.requests_per_client):
+            index = int(len(pool) * rng.random() ** (1.0 / config.popularity))
+            index = min(index, len(pool) - 1)
+            if rng.random() < config.investigate_fraction:
+                request = InvestigateRequest(
+                    eid=eid_pool[index % len(eid_pool)]
+                )
+            else:
+                request = pool[index]
+            started = time.perf_counter()
+            response = service.submit(request).result(timeout=120.0)
+            report.latencies_s.append(time.perf_counter() - started)
+            report.issued += 1
+            if response.status == STATUS_OK:
+                report.ok += 1
+                if response.cached:
+                    report.cache_hits += 1
+                if getattr(response, "deduplicated", False):
+                    report.deduplicated += 1
+                if getattr(response, "batched_with", 0) > 0:
+                    report.batched += 1
+            elif response.status == STATUS_SHED:
+                report.shed += 1
+            else:
+                report.errors += 1
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"loadgen-{i}")
+        for i in range(config.num_clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = LoadReport(duration_s=time.perf_counter() - started)
+    for report in reports:
+        total.merge(report)
+    return total
+
+
+def percentile(latencies: Sequence[float], q: float) -> float:
+    """Convenience for reporting a latency percentile of a run."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = int(round((q / 100.0) * (len(ordered) - 1)))
+    return ordered[rank]

@@ -1,0 +1,144 @@
+"""Per-endpoint serving metrics: counters + latency percentiles.
+
+The ``stats`` endpoint exposes, for each of ``match`` / ``investigate``
+/ ``ingest`` / ``stats``:
+
+* request counters split by outcome (``ok`` / ``shed`` / ``error``),
+* cache counters (hits / misses) and batching counters (how many
+  requests were answered by a shared Matcher call, how many were
+  deduplicated against an in-flight twin),
+* latency percentiles (p50 / p95 / p99) over a bounded reservoir.
+
+Everything is thread-safe: the worker pool and client threads record
+concurrently.  The reservoir keeps the most recent ``max_samples``
+latencies per endpoint — a serving-side compromise (exact percentiles
+over a sliding window) that keeps memory bounded under sustained load.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Iterable, Tuple
+
+
+class LatencyHistogram:
+    """Bounded reservoir of latency samples with exact percentiles."""
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        if max_samples <= 0:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        self._samples: Deque[float] = deque(maxlen=max_samples)
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, latency_s: float) -> None:
+        self._samples.append(latency_s)
+        self._count += 1
+        self._total += latency_s
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) over the retained window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = int(round((q / 100.0) * (len(ordered) - 1)))
+        return ordered[rank]
+
+    def percentiles(self, qs: Iterable[float] = (50.0, 95.0, 99.0)) -> Dict[str, float]:
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
+
+class EndpointMetrics:
+    """Counters and latency histogram of one endpoint."""
+
+    COUNTERS: Tuple[str, ...] = (
+        "requests",
+        "ok",
+        "shed",
+        "errors",
+        "cache_hits",
+        "cache_misses",
+        "batched",
+        "deduplicated",
+    )
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        self.counts: Dict[str, int] = {name: 0 for name in self.COUNTERS}
+        self.latency = LatencyHistogram(max_samples)
+
+    def snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = dict(self.counts)
+        out["latency_mean_s"] = self.latency.mean()
+        for name, value in self.latency.percentiles().items():
+            out[f"latency_{name}_s"] = value
+        return out
+
+
+class ServiceMetrics:
+    """All endpoints' metrics behind one lock.
+
+    Args:
+        max_samples: latency reservoir size per endpoint.
+    """
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._max_samples = max_samples
+        self._endpoints: Dict[str, EndpointMetrics] = {}
+
+    def _endpoint(self, name: str) -> EndpointMetrics:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            metrics = EndpointMetrics(self._max_samples)
+            self._endpoints[name] = metrics
+            return metrics
+
+    def incr(self, endpoint: str, counter: str, by: int = 1) -> None:
+        with self._lock:
+            self._endpoint(endpoint).counts[counter] += by
+
+    def observe(
+        self,
+        endpoint: str,
+        status: str,
+        latency_s: float,
+        cached: bool = False,
+        deduplicated: bool = False,
+        batched: bool = False,
+    ) -> None:
+        """Record one finished request in a single locked step."""
+        with self._lock:
+            metrics = self._endpoint(endpoint)
+            metrics.counts["requests"] += 1
+            if status in ("ok", "shed"):
+                metrics.counts[status if status == "shed" else "ok"] += 1
+            else:
+                metrics.counts["errors"] += 1
+            if cached:
+                metrics.counts["cache_hits"] += 1
+            elif status == "ok" and endpoint in ("match", "investigate"):
+                metrics.counts["cache_misses"] += 1
+            if deduplicated:
+                metrics.counts["deduplicated"] += 1
+            if batched:
+                metrics.counts["batched"] += 1
+            metrics.latency.record(latency_s)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """One coherent copy of every endpoint's counters/percentiles."""
+        with self._lock:
+            return {
+                name: metrics.snapshot()
+                for name, metrics in sorted(self._endpoints.items())
+            }

@@ -1,0 +1,509 @@
+"""The query service: a threaded, bounded, cached serving front end.
+
+This is the long-lived process shape the ROADMAP asks for: build (or
+load) a world once, then answer repeated match / investigate queries
+against the standing dataset while new scenario windows keep arriving.
+
+Request path::
+
+    submit ──► cache? ──hit──────────────────────────► resolved future
+       │           │miss
+       │           ▼
+       │       in-flight twin? ──yes──► attach to flight
+       │           │no
+       │           ▼
+       │       bounded queue ──full──► shed ("429")
+       │           │
+       ▼           ▼ worker pool (drains up to max_batch)
+    metrics ◄── MatchBatcher.execute ──► EVMatcher over target union
+                                         (under the read lock)
+
+``ingest_tick`` is the only writer: under the write lock it appends
+scenarios to the store and shards, streams them through the
+:class:`~repro.core.incremental.IncrementalMatcher` watch-list, and
+then drops every cached answer whose EIDs appear in the new scenarios
+(the invalidation rule — see ``docs/architecture.md``).
+
+Everything is stdlib: ``threading``, ``queue``,
+``concurrent.futures.Future``.  No sockets — the service is an
+in-process API; a network front end would be a thin shim over
+:meth:`MatchService.submit`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.incremental import IncrementalMatcher
+from repro.core.matcher import EVMatcher, MatcherConfig, MatchReport
+from repro.sensing.scenarios import EVScenario, ScenarioStore
+from repro.service.api import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    IngestTickRequest,
+    IngestTickResponse,
+    InvestigateRequest,
+    InvestigateResponse,
+    MatchRequest,
+    MatchResponse,
+    ServiceOverloaded,
+    StatsResponse,
+)
+from repro.service.batcher import MatchBatcher, Waiter
+from repro.service.cache import ResultCache
+from repro.service.dataset_shards import ShardedDataset
+from repro.service.metrics import ServiceMetrics
+from repro.world.cells import CellGrid, HexCellGrid
+from repro.world.entities import EID
+
+Request = Union[MatchRequest, InvestigateRequest]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving knobs.
+
+    Attributes:
+        workers: worker-pool size.
+        queue_size: bounded admission queue; a full queue sheds.
+        max_batch: match requests one worker may coalesce into a
+            single Matcher call (forced to 1 when the matcher config
+            uses exclusion or refining — see ``batcher.py``).
+        cache_capacity: LRU entries; 0 disables the result cache.
+        cache_ttl_s: per-entry freshness bound; ``None`` = no expiry.
+        num_shards: spatial shards over the standing dataset.
+        matcher: the algorithm configuration queries run with.
+        worker_delay_s: artificial per-request service time; a testing
+            hook for overload/shedding scenarios (0 in production).
+    """
+
+    workers: int = 2
+    queue_size: int = 64
+    max_batch: int = 8
+    cache_capacity: int = 256
+    cache_ttl_s: Optional[float] = None
+    num_shards: int = 4
+    matcher: MatcherConfig = MatcherConfig()
+    worker_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.queue_size <= 0:
+            raise ValueError(f"queue_size must be positive, got {self.queue_size}")
+        if self.worker_delay_s < 0:
+            raise ValueError(
+                f"worker_delay_s must be non-negative, got {self.worker_delay_s}"
+            )
+
+
+class _RWLock:
+    """Many concurrent readers (queries) or one writer (ingest)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writing = False
+            self._cond.notify_all()
+
+
+class MatchService:
+    """In-process query service over one standing dataset.
+
+    Args:
+        store: the scenario store queries run against (grows via
+            :meth:`ingest_tick`).
+        grid: the cell decomposition (enables region-banded shards).
+        universe: the EID population; defaults to every EID observed
+            in the store.  Feeds the incremental watch-list and
+            universal matching.
+        config: serving knobs.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        store: ScenarioStore,
+        grid: Optional["CellGrid | HexCellGrid"] = None,
+        universe: Optional[Sequence[EID]] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.store = store
+        self.grid = grid
+        if universe is None:
+            eids = set()
+            for e_scenario in store.e_scenarios():
+                eids.update(e_scenario.eids)
+            universe = sorted(eids)
+        self.universe: Tuple[EID, ...] = tuple(universe)
+        if not self.universe:
+            raise ValueError("service needs a non-empty EID universe")
+
+        self.shards = ShardedDataset(store, grid, self.config.num_shards)
+        self.cache = ResultCache(
+            capacity=self.config.cache_capacity, ttl_s=self.config.cache_ttl_s
+        )
+        self.metrics = ServiceMetrics()
+        matcher_cfg = self.config.matcher
+        coupled = matcher_cfg.use_exclusion or matcher_cfg.refining is not None
+        self.batcher = MatchBatcher(
+            max_batch=1 if coupled else self.config.max_batch
+        )
+        self._matcher = EVMatcher(store, matcher_cfg)
+        self._watch = IncrementalMatcher(store, self.universe)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.queue_size)
+        self._rw = _RWLock()
+        self._threads: List[threading.Thread] = []
+        self._running = False
+
+    @classmethod
+    def from_dataset(
+        cls, dataset, config: Optional[ServiceConfig] = None
+    ) -> "MatchService":
+        """Serve a built :class:`~repro.datagen.dataset.EVDataset`."""
+        return cls(
+            dataset.store,
+            grid=dataset.grid,
+            universe=dataset.eids,
+            config=config,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "MatchService":
+        if self._running:
+            return self
+        self._running = True
+        for i in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        if not self._running:
+            return
+        self._running = False
+        for _ in self._threads:
+            self._queue.put(None)  # blocking: sentinels must arrive
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+
+    def __enter__(self) -> "MatchService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- watch-list --------------------------------------------------------
+    def watch(self, targets: Sequence[EID]) -> None:
+        """Track targets on the incremental stream: every future
+        ingest feeds them, and their matches appear in ``stats``."""
+        self._watch.add_targets(list(targets))
+
+    @property
+    def watch_pending(self) -> int:
+        return len(self._watch.pending)
+
+    @property
+    def watch_emitted(self) -> int:
+        return len(self._watch.emissions)
+
+    # -- async API ---------------------------------------------------------
+    def submit(self, request: Request) -> "Future":
+        """Enqueue one query; the future resolves to its response.
+
+        Never raises on overload: shedding resolves the future with a
+        ``"shed"`` response, so closed-loop clients can count drops.
+        """
+        if isinstance(request, MatchRequest):
+            return self._submit_match(request)
+        if isinstance(request, InvestigateRequest):
+            return self._submit_investigate(request)
+        raise TypeError(f"cannot submit {type(request).__name__}")
+
+    def _submit_match(self, request: MatchRequest) -> "Future":
+        started = time.perf_counter()
+        future: "Future" = Future()
+        cached = self.cache.get(request.cache_key())
+        if cached is not None:
+            latency = time.perf_counter() - started
+            future.set_result(
+                MatchResponse(
+                    status=STATUS_OK,
+                    matches=dict(cached),
+                    cached=True,
+                    latency_s=latency,
+                )
+            )
+            self.metrics.observe("match", STATUS_OK, latency, cached=True)
+            return future
+        waiter = Waiter(future=future, started=started)
+        if not self.batcher.admit(request, waiter):
+            return future  # attached to an identical in-flight request
+        try:
+            self._queue.put_nowait(("match", request))
+        except queue.Full:
+            for shed_waiter in self.batcher.abandon(request):
+                self._finish_match(
+                    request,
+                    shed_waiter,
+                    MatchResponse(status=STATUS_SHED),
+                )
+        return future
+
+    def _submit_investigate(self, request: InvestigateRequest) -> "Future":
+        started = time.perf_counter()
+        future: "Future" = Future()
+        cached = self.cache.get(request.cache_key())
+        if cached is not None:
+            latency = time.perf_counter() - started
+            future.set_result(replace(cached, cached=True, latency_s=latency))
+            self.metrics.observe("investigate", STATUS_OK, latency, cached=True)
+            return future
+        waiter = Waiter(future=future, started=started)
+        try:
+            self._queue.put_nowait(("investigate", request, waiter))
+        except queue.Full:
+            latency = time.perf_counter() - started
+            future.set_result(
+                InvestigateResponse(
+                    status=STATUS_SHED, eid=request.eid, latency_s=latency
+                )
+            )
+            self.metrics.observe("investigate", STATUS_SHED, latency)
+        return future
+
+    # -- sync convenience --------------------------------------------------
+    def match(
+        self,
+        targets: Sequence[EID],
+        algorithm: str = "ss",
+        timeout: Optional[float] = 60.0,
+    ) -> MatchResponse:
+        """Submit-and-wait.  Shedding is reported in ``status``."""
+        request = MatchRequest(targets=tuple(targets), algorithm=algorithm)
+        return self.submit(request).result(timeout=timeout)
+
+    def investigate(
+        self,
+        eid: EID,
+        min_shared: int = 3,
+        timeout: Optional[float] = 60.0,
+    ) -> InvestigateResponse:
+        request = InvestigateRequest(eid=eid, min_shared=min_shared)
+        return self.submit(request).result(timeout=timeout)
+
+    def match_or_raise(
+        self, targets: Sequence[EID], algorithm: str = "ss"
+    ) -> MatchResponse:
+        """Like :meth:`match` but raises :class:`ServiceOverloaded` on
+        shed — for callers that prefer the exception style."""
+        response = self.match(targets, algorithm=algorithm)
+        if response.status == STATUS_SHED:
+            raise ServiceOverloaded("match request shed by admission control")
+        return response
+
+    # -- ingest (the writer) -----------------------------------------------
+    def ingest_tick(
+        self, request: Union[IngestTickRequest, Sequence[EVScenario]]
+    ) -> IngestTickResponse:
+        """Append newly-arrived scenarios and invalidate stale answers.
+
+        Runs on the caller's thread (the data-plane workers never
+        block behind it in the queue), taking the write lock so no
+        query observes a half-applied window.
+        """
+        if not isinstance(request, IngestTickRequest):
+            request = IngestTickRequest(scenarios=tuple(request))
+        started = time.perf_counter()
+        affected: set = set()
+        emissions = []
+        self._rw.acquire_write()
+        try:
+            for scenario in request.scenarios:
+                self.store.add(scenario)
+                self.shards.add_scenario(scenario)
+                emissions.extend(self._watch.observe(scenario))
+                affected.update(scenario.e.eids)
+        except Exception as exc:
+            latency = time.perf_counter() - started
+            self.metrics.observe("ingest", STATUS_ERROR, latency)
+            return IngestTickResponse(
+                status=STATUS_ERROR, latency_s=latency, error=str(exc)
+            )
+        finally:
+            self._rw.release_write()
+        invalidated = self.cache.invalidate_eids(affected)
+        latency = time.perf_counter() - started
+        self.metrics.observe("ingest", STATUS_OK, latency)
+        return IngestTickResponse(
+            status=STATUS_OK,
+            ingested=len(request.scenarios),
+            invalidated=invalidated,
+            emissions=emissions,
+            latency_s=latency,
+        )
+
+    # -- stats -------------------------------------------------------------
+    def stats(self) -> StatsResponse:
+        """Metrics snapshot plus service-level gauges."""
+        started = time.perf_counter()
+        snapshot = self.metrics.snapshot()
+        balance = self.shards.balance()
+        snapshot["service"] = {
+            "cache_entries": float(len(self.cache)),
+            "cache_hit_rate": self.cache.stats.hit_rate(),
+            "cache_invalidated": float(self.cache.stats.invalidated),
+            "queue_depth": float(self.queue_depth),
+            "num_shards": float(self.shards.num_shards),
+            "shard_min_load": float(min(balance.values()) if balance else 0),
+            "shard_max_load": float(max(balance.values()) if balance else 0),
+            "shard_probes": float(self.shards.shard_probes),
+            "shard_lookups": float(self.shards.lookups),
+            "store_scenarios": float(len(self.store)),
+            "watch_pending": float(self.watch_pending),
+            "watch_emitted": float(self.watch_emitted),
+        }
+        self.metrics.observe("stats", STATUS_OK, time.perf_counter() - started)
+        return StatsResponse(snapshot=snapshot)
+
+    # -- worker pool -------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            if item[0] == "match":
+                batch = [item[1]]
+                deferred = self._drain_matches(batch)
+                self._execute_match_batch(batch)
+                for extra in deferred:
+                    self._handle_investigate(extra[1], extra[2])
+            else:
+                self._handle_investigate(item[1], item[2])
+
+    def _drain_matches(self, batch: List[MatchRequest]) -> List[tuple]:
+        """Opportunistically pull more match work for the same Matcher
+        call; non-match items are deferred, sentinels re-queued."""
+        deferred: List[tuple] = []
+        while len(batch) < self.batcher.max_batch:
+            try:
+                extra = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if extra is None:
+                self._queue.put(None)
+                break
+            if extra[0] == "match":
+                batch.append(extra[1])
+            else:
+                deferred.append(extra)
+        return deferred
+
+    def _execute_match_batch(self, batch: List[MatchRequest]) -> None:
+        if self.config.worker_delay_s:
+            time.sleep(self.config.worker_delay_s)
+        self._rw.acquire_read()
+        try:
+            resolutions = self.batcher.execute(batch, self._run_match)
+        finally:
+            self._rw.release_read()
+        cached_keys: set = set()
+        for request, waiter, response in resolutions:
+            key = request.cache_key()
+            if (
+                response.status == STATUS_OK
+                and key not in cached_keys
+                and self.cache.enabled
+            ):
+                self.cache.put(key, dict(response.matches), eids=request.targets)
+                cached_keys.add(key)
+            self._finish_match(request, waiter, response)
+
+    def _run_match(
+        self, algorithm: str, targets: Tuple[EID, ...]
+    ) -> MatchReport:
+        if algorithm == "edp":
+            return self._matcher.match_edp(list(targets))
+        return self._matcher.match(list(targets))
+
+    def _finish_match(
+        self, request: MatchRequest, waiter: Waiter, response: MatchResponse
+    ) -> None:
+        response.latency_s = time.perf_counter() - waiter.started
+        self.metrics.observe(
+            "match",
+            response.status,
+            response.latency_s,
+            deduplicated=response.deduplicated,
+            batched=response.batched_with > 0,
+        )
+        waiter.future.set_result(response)
+
+    def _handle_investigate(
+        self, request: InvestigateRequest, waiter: Waiter
+    ) -> None:
+        if self.config.worker_delay_s:
+            time.sleep(self.config.worker_delay_s)
+        self._rw.acquire_read()
+        try:
+            keys = self.shards.scenarios_of(request.eid)
+            response = InvestigateResponse(
+                status=STATUS_OK,
+                eid=request.eid,
+                num_scenarios=len(keys),
+                presence=self.shards.presence_windows(request.eid),
+                co_travelers=self.shards.co_travelers(
+                    request.eid, min_shared=request.min_shared
+                ),
+                shards_touched=len(self.shards.shards_of_eid(request.eid)),
+            )
+        except Exception as exc:
+            response = InvestigateResponse(
+                status=STATUS_ERROR, eid=request.eid, error=str(exc)
+            )
+        finally:
+            self._rw.release_read()
+        if response.status == STATUS_OK and self.cache.enabled:
+            self.cache.put(request.cache_key(), response, eids=(request.eid,))
+        response = replace(response)  # cached template stays latency-free
+        response.latency_s = time.perf_counter() - waiter.started
+        self.metrics.observe("investigate", response.status, response.latency_s)
+        waiter.future.set_result(response)

@@ -43,6 +43,56 @@ class TestRunExperiment:
         }
 
 
+class TestServeParser:
+    def test_serve_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve", "--help"])
+        assert excinfo.value.code == 0
+        text = capsys.readouterr().out
+        for flag in ("--workers", "--queue-size", "--shards", "--no-cache",
+                     "--requests", "--watch"):
+            assert flag in text
+
+    def test_loadtest_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["loadtest", "--help"])
+        assert excinfo.value.code == 0
+        text = capsys.readouterr().out
+        for flag in ("--clients", "--requests", "--pool",
+                     "--targets-per-request", "--workers", "--shards"):
+            assert flag in text
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.workers == 2
+        assert args.queue_size == 64
+        assert not args.no_cache
+
+    def test_loadtest_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.command == "loadtest"
+        assert args.clients == 4
+        assert args.pool == 8
+
+    def test_serve_runs_demo_traffic(self, capsys):
+        assert main(
+            ["serve", "--people", "50", "--cells", "2", "--duration", "250",
+             "--requests", "8", "--watch", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "service up" in out
+        assert "service stats" in out
+
+    def test_loadtest_reports_both_modes(self, capsys):
+        assert main(
+            ["loadtest", "--people", "50", "--cells", "2", "--duration", "250",
+             "--clients", "2", "--requests", "4", "--pool", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cold" in out and "cached" in out and "speedup" in out
+
+
 class TestRunMatch:
     def test_small_match_runs(self):
         out = io.StringIO()

@@ -112,6 +112,65 @@ class TestStreamSemantics:
         evidence = stream.evidence_of(target)
         assert all(key.tick >= midpoint for key in evidence)
 
+    def test_latency_report_contents(self, ideal_dataset):
+        """latency_report covers exactly the emitted targets, and each
+        reported tick is the tick its emission fired at."""
+        targets = list(ideal_dataset.sample_targets(12, seed=8))
+        stream = IncrementalMatcher(
+            ideal_dataset.store, ideal_dataset.eids, SplitConfig(seed=7)
+        )
+        stream.add_targets(targets)
+        replay_all(stream, ideal_dataset.store)
+        latency = stream.latency_report()
+        assert set(latency) == set(stream.emissions)
+        assert set(latency).isdisjoint(stream.pending)
+        ticks = set(ideal_dataset.store.ticks)
+        for eid, tick in latency.items():
+            assert tick == stream.emissions[eid].emitted_at_tick
+            assert tick in ticks
+
+    def test_pending_shrinks_over_ticks(self, ideal_dataset):
+        """Without new targets, the pending set only ever shrinks, by
+        exactly the emissions each tick fires."""
+        targets = list(ideal_dataset.sample_targets(15, seed=9))
+        stream = IncrementalMatcher(
+            ideal_dataset.store, ideal_dataset.eids, SplitConfig(seed=7)
+        )
+        stream.add_targets(targets)
+        assert stream.pending == frozenset(targets)
+        previous = stream.pending
+        for tick in ideal_dataset.store.ticks:
+            fired = stream.observe_tick(ideal_dataset.store, tick)
+            current = stream.pending
+            assert current <= previous
+            assert previous - current == {em.eid for em in fired}
+            previous = current
+        assert stream.pending == frozenset(targets) - set(stream.emissions)
+        assert len(stream.emissions) > 0
+
+    def test_add_target_mid_stream_is_tracked_fresh(self, ideal_dataset):
+        """A mid-stream add_target starts pending with no evidence and
+        every candidate still possible."""
+        store = ideal_dataset.store
+        early, late = ideal_dataset.sample_targets(2, seed=10)
+        stream = IncrementalMatcher(store, ideal_dataset.eids, SplitConfig(seed=7))
+        stream.add_target(early)
+        ticks = list(store.ticks)
+        for tick in ticks[: len(ticks) // 2]:
+            stream.observe_tick(store, tick)
+        stream.add_target(late)
+        assert late in stream.pending
+        assert stream.evidence_of(late) == ()
+        for tick in ticks[len(ticks) // 2 :]:
+            stream.observe_tick(store, tick)
+        # The late target either matched from post-add evidence only,
+        # or is still pending; it never borrows earlier scenarios.
+        if late in stream.emissions:
+            assert all(
+                key.tick >= ticks[len(ticks) // 2]
+                for key in stream.emissions[late].result.scenario_keys
+            )
+
     def test_emission_metadata(self, ideal_dataset):
         targets = list(ideal_dataset.sample_targets(5, seed=6))
         stream = IncrementalMatcher(

@@ -194,3 +194,28 @@ class TestScenarioStore:
         store = self.make_store()
         keys = [s.key for s in store.e_scenarios()]
         assert keys == list(store.keys)
+
+    def test_add_appends_and_indexes(self):
+        store = self.make_store()
+        key = ScenarioKey(0, 3)
+        store.add(
+            EVScenario(
+                e=EScenario(key=key, inclusive=frozenset({EID(5)})),
+                v=VScenario(key=key, detections=()),
+            )
+        )
+        assert len(store) == 7
+        assert key in store
+        assert store.ticks == (0, 1, 2, 3)
+        assert store.keys_at_tick(3) == (key,)
+        assert list(store.keys) == sorted(store.keys)
+
+    def test_add_rejects_duplicate_key(self):
+        store = self.make_store()
+        key = ScenarioKey(0, 0)
+        dup = EVScenario(
+            e=EScenario(key=key, inclusive=frozenset()),
+            v=VScenario(key=key, detections=()),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            store.add(dup)

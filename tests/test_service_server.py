@@ -1,0 +1,279 @@
+"""Tests for the query service: server, batcher, metrics, loadgen."""
+
+import pytest
+
+from repro.core.matcher import EVMatcher
+from repro.sensing.scenarios import ScenarioStore
+from repro.service import (
+    LoadConfig,
+    MatchRequest,
+    MatchService,
+    ServiceConfig,
+    run_load,
+)
+from repro.service.loadgen import build_request_pool
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+
+
+@pytest.fixture()
+def service(ideal_dataset):
+    svc = MatchService.from_dataset(
+        ideal_dataset, ServiceConfig(workers=2, queue_size=32)
+    )
+    with svc:
+        yield svc
+
+
+def split_store(dataset, fraction=0.7):
+    """(standing store, arriving scenarios) split at a tick cutoff."""
+    full = dataset.store
+    ticks = list(full.ticks)
+    cutoff = ticks[int(len(ticks) * fraction)]
+    standing = ScenarioStore(
+        [full.get(k) for k in full.keys if k.tick <= cutoff]
+    )
+    arriving = [full.get(k) for k in full.keys if k.tick > cutoff]
+    return standing, arriving
+
+
+class TestMatchEndpoint:
+    def test_matches_equal_direct_matcher(self, ideal_dataset, service):
+        targets = list(ideal_dataset.sample_targets(5, seed=1))
+        response = service.match(targets)
+        assert response.status == "ok"
+        direct = EVMatcher(ideal_dataset.store).match(targets)
+        expected = direct.predictions()
+        assert set(response.matches) == set(targets)
+        for eid in targets:
+            assert response.matches[eid].prediction == expected[eid]
+
+    def test_repeat_is_cached(self, ideal_dataset, service):
+        targets = list(ideal_dataset.sample_targets(3, seed=2))
+        first = service.match(targets)
+        second = service.match(targets)
+        assert not first.cached
+        assert second.cached
+        assert second.matches.keys() == first.matches.keys()
+        for eid in targets:
+            assert second.matches[eid] == first.matches[eid]
+
+    def test_target_order_does_not_fork_cache_entries(
+        self, ideal_dataset, service
+    ):
+        targets = list(ideal_dataset.sample_targets(3, seed=3))
+        service.match(targets)
+        response = service.match(list(reversed(targets)))
+        assert response.cached
+
+    def test_edp_algorithm(self, ideal_dataset, service):
+        targets = list(ideal_dataset.sample_targets(3, seed=4))
+        response = service.match(targets, algorithm="edp")
+        assert response.status == "ok"
+        assert set(response.matches) == set(targets)
+
+    def test_bad_requests_rejected(self):
+        with pytest.raises(ValueError):
+            MatchRequest(targets=())
+        with pytest.raises(ValueError):
+            MatchRequest(targets=(1,), algorithm="nope")
+
+
+class TestDedupAndBatching:
+    def test_identical_concurrent_requests_deduplicate(self, ideal_dataset):
+        svc = MatchService.from_dataset(ideal_dataset, ServiceConfig(workers=1))
+        targets = tuple(ideal_dataset.sample_targets(3, seed=5))
+        request = MatchRequest(targets=targets)
+        # Submit before start: the twins provably overlap in flight.
+        futures = [svc.submit(request) for _ in range(4)]
+        with svc:
+            responses = [f.result(timeout=30.0) for f in futures]
+        assert all(r.status == "ok" for r in responses)
+        assert sum(1 for r in responses if r.deduplicated) == 3
+        assert svc.metrics.snapshot()["match"]["deduplicated"] == 3
+
+    def test_distinct_requests_batch_into_one_call(self, ideal_dataset):
+        svc = MatchService.from_dataset(
+            ideal_dataset, ServiceConfig(workers=1, max_batch=8)
+        )
+        eids = list(ideal_dataset.sample_targets(6, seed=6))
+        requests = [MatchRequest(targets=(eid,)) for eid in eids]
+        futures = [svc.submit(r) for r in requests]
+        with svc:
+            responses = [f.result(timeout=30.0) for f in futures]
+        assert all(r.status == "ok" for r in responses)
+        # All six queued before start, so one worker drains one batch.
+        assert all(r.batched_with == 5 for r in responses)
+
+    def test_batched_results_equal_individual_results(self, ideal_dataset):
+        eids = list(ideal_dataset.sample_targets(4, seed=7))
+        svc = MatchService.from_dataset(
+            ideal_dataset, ServiceConfig(workers=1, max_batch=8)
+        )
+        futures = [svc.submit(MatchRequest(targets=(eid,))) for eid in eids]
+        with svc:
+            batched = {e: f.result(30.0).matches[e] for e, f in zip(eids, futures)}
+        direct = EVMatcher(ideal_dataset.store).match(eids).predictions()
+        for eid in eids:
+            assert batched[eid].prediction == direct[eid]
+
+    def test_coupled_matcher_disables_batching(self, ideal_dataset):
+        from repro.core.matcher import MatcherConfig
+
+        svc = MatchService.from_dataset(
+            ideal_dataset,
+            ServiceConfig(matcher=MatcherConfig(use_exclusion=True)),
+        )
+        assert svc.batcher.max_batch == 1
+
+
+class TestAdmissionControl:
+    def test_overflow_sheds(self, ideal_dataset):
+        svc = MatchService.from_dataset(
+            ideal_dataset, ServiceConfig(workers=1, queue_size=1, max_batch=1)
+        )
+        eids = list(ideal_dataset.sample_targets(5, seed=8))
+        # Not started: the queue (size 1) fills after the first request.
+        futures = [svc.submit(MatchRequest(targets=(eid,))) for eid in eids]
+        shed_now = [f for f in futures if f.done()]
+        assert len(shed_now) == len(eids) - 1
+        assert all(f.result().status == "shed" for f in shed_now)
+        with svc:
+            responses = [f.result(timeout=30.0) for f in futures]
+        assert sum(1 for r in responses if r.status == "ok") == 1
+        assert svc.metrics.snapshot()["match"]["shed"] == len(eids) - 1
+
+    def test_shed_resolves_attached_twins_too(self, ideal_dataset):
+        svc = MatchService.from_dataset(
+            ideal_dataset, ServiceConfig(workers=1, queue_size=1)
+        )
+        a, b = ideal_dataset.sample_targets(2, seed=9)
+        svc.submit(MatchRequest(targets=(a,)))  # fills the queue
+        twin = MatchRequest(targets=(b,))
+        f1 = svc.submit(twin)  # claims a flight, then sheds on Full
+        assert f1.done() and f1.result().status == "shed"
+        # The key is free again: a later identical request is a fresh flight.
+        f2 = svc.submit(twin)
+        assert not f2.done() or f2.result().status == "shed"
+        with svc:
+            pass
+
+
+class TestIngest:
+    def test_ingest_invalidates_and_streams(self, ideal_dataset):
+        standing, arriving = split_store(ideal_dataset)
+        svc = MatchService(
+            standing,
+            grid=ideal_dataset.grid,
+            universe=ideal_dataset.eids,
+            config=ServiceConfig(workers=2),
+        )
+        targets = list(ideal_dataset.sample_targets(5, seed=10))
+        with svc:
+            svc.watch(targets)
+            before = svc.match(targets[:2])
+            assert not before.cached
+            assert len(svc.cache) == 1
+            emissions = 0
+            for scenario in arriving:
+                resp = svc.ingest_tick([scenario])
+                assert resp.status == "ok"
+                assert resp.ingested == 1
+                emissions += len(resp.emissions)
+            # The standing store grew...
+            assert len(svc.store) == len(standing)
+            # ...and the stale cached answer was dropped.
+            after = svc.match(targets[:2])
+            assert not after.cached
+            assert svc.cache.stats.invalidated >= 1
+            assert svc.watch_emitted == emissions
+            assert svc.watch_pending == len(targets) - emissions
+
+    def test_duplicate_ingest_errors(self, ideal_dataset):
+        standing, arriving = split_store(ideal_dataset)
+        svc = MatchService(
+            standing, universe=ideal_dataset.eids, config=ServiceConfig()
+        )
+        with svc:
+            first = arriving[0]
+            assert svc.ingest_tick([first]).status == "ok"
+            resp = svc.ingest_tick([first])
+            assert resp.status == "error"
+            assert "duplicate" in resp.error
+
+
+class TestInvestigateAndStats:
+    def test_investigate_from_shards(self, ideal_dataset, service):
+        eid = ideal_dataset.sample_targets(1, seed=11)[0]
+        response = service.investigate(eid)
+        assert response.status == "ok"
+        assert response.num_scenarios > 0
+        assert response.presence
+        assert 1 <= response.shards_touched <= service.shards.num_shards
+        repeat = service.investigate(eid)
+        assert repeat.cached
+        assert repeat.presence == response.presence
+
+    def test_stats_snapshot_structure(self, ideal_dataset, service):
+        targets = list(ideal_dataset.sample_targets(2, seed=12))
+        service.match(targets)
+        snapshot = service.stats().snapshot
+        assert "match" in snapshot and "service" in snapshot
+        match_stats = snapshot["match"]
+        for key in ("requests", "ok", "shed", "latency_p95_s"):
+            assert key in match_stats
+        gauges = snapshot["service"]
+        assert gauges["num_shards"] == service.shards.num_shards
+        assert gauges["store_scenarios"] == len(service.store)
+
+
+class TestMetricsUnit:
+    def test_percentiles(self):
+        hist = LatencyHistogram()
+        for v in range(1, 101):
+            hist.record(float(v))
+        assert hist.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert hist.percentile(99) == pytest.approx(99.0, abs=1.0)
+        assert hist.mean() == pytest.approx(50.5)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_reservoir_bounded(self):
+        hist = LatencyHistogram(max_samples=10)
+        for v in range(100):
+            hist.record(float(v))
+        assert hist.count == 100
+        # Window percentiles reflect the most recent samples only.
+        assert hist.percentile(0) >= 90.0
+
+    def test_observe_counters(self):
+        metrics = ServiceMetrics()
+        metrics.observe("match", "ok", 0.01, cached=True)
+        metrics.observe("match", "shed", 0.0)
+        metrics.observe("match", "error", 0.02)
+        snap = metrics.snapshot()["match"]
+        assert snap["requests"] == 3
+        assert snap["ok"] == 1
+        assert snap["shed"] == 1
+        assert snap["errors"] == 1
+        assert snap["cache_hits"] == 1
+
+
+class TestLoadgen:
+    def test_pool_is_deterministic(self, ideal_dataset):
+        targets = list(ideal_dataset.sample_targets(12, seed=13))
+        config = LoadConfig(pool_size=6, targets_per_request=3, seed=5)
+        assert build_request_pool(targets, config) == build_request_pool(
+            targets, config
+        )
+
+    def test_closed_loop_accounting(self, ideal_dataset, service):
+        targets = list(ideal_dataset.sample_targets(10, seed=14))
+        config = LoadConfig(
+            num_clients=3, requests_per_client=5, pool_size=3, seed=6
+        )
+        report = run_load(service, targets, config)
+        assert report.issued == 15
+        assert report.ok + report.shed + report.errors == report.issued
+        assert report.errors == 0
+        assert len(report.latencies_s) == report.issued
+        assert report.achieved_qps > 0
