@@ -1,0 +1,209 @@
+"""Performance kernels: bitset E stage vs the Python reference, and
+the bounded V-stage caches.
+
+Not a paper figure — this pins the service-scale claims of
+``repro.core.accel`` / ``repro.core.caches``:
+
+* a universal split over a >=2000-EID synthetic store runs at least
+  3x faster on ``backend="bitset"`` than on the pure-Python reference,
+  with byte-identical results;
+* a byte-budgeted ``VIDFilter`` keeps its peak cache footprint under
+  the configured budget while matching the unbounded filter's results
+  exactly.
+
+Besides the assertions, every measurement lands in
+``BENCH_kernels.json`` at the repo root (ops/sec for the split and
+filter hot paths, cache hit rates), so CI keeps a perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.bench.reporting import render_rows
+from repro.core.accel import matrix_for
+from repro.core.matcher import EVMatcher, MatcherConfig
+from repro.core.set_splitting import SelectionStrategy, SetSplitter, SplitConfig
+from repro.core.vid_filtering import FilterConfig, VIDFilter
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import build_dataset
+from repro.sensing.scenarios import (
+    EScenario,
+    EVScenario,
+    ScenarioKey,
+    ScenarioStore,
+    VScenario,
+)
+from repro.world.entities import EID
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+NUM_EIDS = 2048
+NUM_SCENARIOS = 320
+EIDS_PER_SCENARIO = 48
+NUM_CELLS = 16
+
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_trajectory():
+    """Collect every measurement and write ``BENCH_kernels.json``."""
+    yield
+    if _RESULTS:
+        BENCH_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def big_store():
+    """A >=2000-EID synthetic store shaped like a dense city window:
+    every scenario sees a crowd of ~:data:`EIDS_PER_SCENARIO` EIDs,
+    with a sprinkling of vague sightings."""
+    rng = np.random.default_rng(7)
+    scenarios = []
+    for i in range(NUM_SCENARIOS):
+        seen = rng.choice(NUM_EIDS, size=EIDS_PER_SCENARIO, replace=False)
+        vague_cut = rng.integers(0, 4)
+        inclusive = frozenset(EID(int(e)) for e in seen[vague_cut:])
+        vague = frozenset(EID(int(e)) for e in seen[:vague_cut])
+        key = ScenarioKey(cell_id=int(i % NUM_CELLS), tick=int(i // NUM_CELLS))
+        scenarios.append(
+            EVScenario(
+                e=EScenario(key=key, inclusive=inclusive, vague=vague),
+                v=VScenario(key=key, detections=()),
+            )
+        )
+    return ScenarioStore(scenarios)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    """A detection-bearing world for the V-stage cache measurements."""
+    return build_dataset(
+        ExperimentConfig(
+            num_people=120,
+            cells_per_side=3,
+            duration=600.0,
+            sample_dt=10.0,
+            warmup=100.0,
+            seed=11,
+        )
+    )
+
+
+def _universal_split(store, backend: str):
+    config = SplitConfig(
+        strategy=SelectionStrategy.SEQUENTIAL,
+        min_gap_ticks=0,
+        backend=backend,
+    )
+    targets = sorted(store.eid_universe)
+    started = time.perf_counter()
+    result = SetSplitter(store, config).run(targets)
+    return result, time.perf_counter() - started
+
+
+def test_bitset_split_speedup(big_store):
+    # The matrix is a once-per-store cost amortized over every served
+    # query; build it outside the timed region like the service does.
+    matrix_for(big_store).sync()
+
+    python_result, python_s = _universal_split(big_store, "python")
+    bitset_result, bitset_s = _universal_split(big_store, "bitset")
+
+    assert python_result.recorded == bitset_result.recorded
+    assert python_result.evidence == bitset_result.evidence
+    assert python_result.candidates == bitset_result.candidates
+    assert python_result.scenarios_examined == bitset_result.scenarios_examined
+
+    speedup = python_s / bitset_s
+    examined = python_result.scenarios_examined
+    _RESULTS["split"] = {
+        "num_eids": NUM_EIDS,
+        "num_scenarios": NUM_SCENARIOS,
+        "scenarios_examined": examined,
+        "python_s": round(python_s, 4),
+        "bitset_s": round(bitset_s, 4),
+        "python_scenarios_per_s": round(examined / python_s, 1),
+        "bitset_scenarios_per_s": round(examined / bitset_s, 1),
+        "speedup": round(speedup, 2),
+    }
+    emit(render_rows(
+        f"universal split over {NUM_EIDS} EIDs — python vs bitset",
+        ("backend", "seconds", "scenarios_per_s"),
+        [
+            {"backend": "python", "seconds": round(python_s, 3),
+             "scenarios_per_s": round(examined / python_s, 1)},
+            {"backend": "bitset", "seconds": round(bitset_s, 3),
+             "scenarios_per_s": round(examined / bitset_s, 1)},
+        ],
+    ))
+    emit(f"bitset speedup: {speedup:.1f}x")
+
+    assert speedup >= 3.0, (
+        f"bitset backend should be >=3x faster than the reference on a "
+        f"{NUM_EIDS}-EID universal split, got {speedup:.2f}x "
+        f"({python_s:.3f}s vs {bitset_s:.3f}s)"
+    )
+
+
+def test_bounded_filter_budget_and_throughput(small_world):
+    store = small_world.store
+    targets = list(small_world.sample_targets(24, seed=1))
+    split = SetSplitter(store, SplitConfig(backend="bitset")).run(targets)
+
+    unbounded = VIDFilter(store, FilterConfig())
+    baseline = unbounded.match(split.evidence)
+
+    budget = 256 * 1024
+    bounded_cfg = FilterConfig(
+        feature_cache_bytes=budget, membership_cache_bytes=budget
+    )
+    bounded = VIDFilter(store, bounded_cfg)
+    started = time.perf_counter()
+    results = bounded.match(split.evidence)
+    elapsed = time.perf_counter() - started
+
+    # Eviction may cost recomputes, never results.
+    for target in targets:
+        assert results[target].best == baseline[target].best
+        assert results[target].scenario_keys == baseline[target].scenario_keys
+
+    report = bounded.cache_report()
+    for name, stats in report.items():
+        assert stats["peak_bytes"] <= budget, (
+            f"{name} cache peaked at {stats['peak_bytes']} bytes, "
+            f"budget {budget}"
+        )
+
+    _RESULTS["filter"] = {
+        "targets": len(targets),
+        "budget_bytes": budget,
+        "bounded_s": round(elapsed, 4),
+        "targets_per_s": round(len(targets) / elapsed, 1),
+        "caches": {
+            name: {
+                "hit_rate": round(stats["hit_rate"], 3),
+                "evictions": stats["evictions"],
+                "peak_bytes": stats["peak_bytes"],
+            }
+            for name, stats in report.items()
+        },
+    }
+    emit(render_rows(
+        f"bounded VID filtering — {len(targets)} targets, "
+        f"{budget // 1024} KiB budgets",
+        ("cache", "hit_rate", "evictions", "peak_bytes"),
+        [
+            {"cache": name, "hit_rate": round(stats["hit_rate"], 3),
+             "evictions": stats["evictions"],
+             "peak_bytes": stats["peak_bytes"]}
+            for name, stats in report.items()
+        ],
+    ))

@@ -19,8 +19,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bench import experiments as exp_mod
 from repro.bench.reporting import render_rows
+from repro.core.edp import EDPConfig
 from repro.core.matcher import EVMatcher, MatcherConfig
 from repro.core.refining import RefiningConfig
+from repro.core.set_splitting import BACKENDS, SplitConfig
 from repro.datagen.config import ExperimentConfig
 from repro.datagen.dataset import build_dataset
 from repro.datagen.io import load_dataset, save_dataset
@@ -62,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument(
         "--refine", action="store_true", help="enable the Algorithm 2 loop"
     )
+    _add_backend_arg(match)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure (or 'list')"
@@ -89,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     investigate.add_argument(
         "--suspect", type=int, default=0, help="EID index to profile"
     )
+    _add_backend_arg(investigate)
 
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
@@ -118,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--watch", type=int, default=5,
         help="targets to track on the incremental watch-list",
     )
+    _add_backend_arg(serve)
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -138,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--targets-per-request", type=int, default=3)
     loadtest.add_argument("--workers", type=int, default=2)
     loadtest.add_argument("--shards", type=int, default=4)
+    _add_backend_arg(loadtest)
 
     inspect = sub.add_parser(
         "inspect", help="profile a synthetic world (stats + occupancy heatmap)"
@@ -152,6 +158,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="random_waypoint",
     )
     return parser
+
+
+def _add_backend_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="bitset",
+        help="E-stage candidate-set kernels (results are identical; "
+        "bitset is the fast packed-row path, python the reference)",
+    )
+
+
+def _matcher_config(args: argparse.Namespace, **overrides) -> MatcherConfig:
+    """A MatcherConfig with the chosen backend on both E stages."""
+    backend = getattr(args, "backend", "bitset")
+    return MatcherConfig(
+        split=SplitConfig(backend=backend),
+        edp=EDPConfig(backend=backend),
+        **overrides,
+    )
 
 
 def _world_from_args(args: argparse.Namespace, out) -> "EVDataset":  # noqa: F821
@@ -180,8 +206,8 @@ def run_match(args: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     dataset = _world_from_args(args, out)
     targets = list(dataset.sample_targets(min(args.targets, len(dataset.eids)), seed=1))
-    matcher_config = MatcherConfig(
-        refining=RefiningConfig(max_rounds=4) if args.refine else None
+    matcher_config = _matcher_config(
+        args, refining=RefiningConfig(max_rounds=4) if args.refine else None
     )
     matcher = EVMatcher(dataset.store, matcher_config)
 
@@ -292,7 +318,7 @@ def run_investigate(args: argparse.Namespace, out=None) -> int:
 
     dataset = _world_from_args(args, out)
     print("running universal labeling...", file=out)
-    report = EVMatcher(dataset.store).match_universal()
+    report = EVMatcher(dataset.store, _matcher_config(args)).match_universal()
     index = FusedIndex(dataset.store, report)
     print(f"indexed {index.num_profiles} profiles", file=out)
 
@@ -331,6 +357,7 @@ def run_serve(args: argparse.Namespace, out=None) -> int:
         queue_size=args.queue_size,
         num_shards=args.shards,
         cache_capacity=0 if args.no_cache else 256,
+        matcher=_matcher_config(args),
     )
     with MatchService.from_dataset(dataset, config) as service:
         watch = list(dataset.sample_targets(
@@ -403,6 +430,7 @@ def run_loadtest(args: argparse.Namespace, out=None) -> int:
             workers=args.workers,
             num_shards=args.shards,
             cache_capacity=capacity,
+            matcher=_matcher_config(args),
         )
         with MatchService.from_dataset(dataset, config) as service:
             report = run_load(service, targets, load)

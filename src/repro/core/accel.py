@@ -1,0 +1,416 @@
+"""Bitset / columnar kernels for the E-stage hot paths.
+
+The E stage's inner loop is candidate-set shrinking: per target,
+intersect the running candidate set with each positive scenario's
+allowed-EID set until one EID remains.  At city scale (millions of
+EIDs, thousands of scenarios per window) Python ``set`` churn is the
+bottleneck — every intersection allocates, every subset test walks
+hashed objects.
+
+This module replaces that representation with the compact-index
+discipline of SLIM/CLIQUE-style linkage systems:
+
+* :class:`EIDInterner` maps the observed EID universe to dense integer
+  indices once per store;
+* :class:`ScenarioMatrix` holds every scenario's inclusive/allowed EID
+  sets as packed ``uint64`` bitset rows in columnar arrays, kept
+  incrementally up to date on :meth:`~repro.sensing.scenarios.ScenarioStore.add`
+  (the live-ingest path) via the store's arrival log;
+* :class:`CandidateMatrix` is the per-run state of a multi-target
+  split: a ``(targets, words)`` candidate-bit matrix whose shrink step
+  is one vectorized AND + row comparison over all helped targets,
+  with popcount for the singleton test.
+
+Everything here is semantics-preserving: the ``backend="bitset"``
+paths produce byte-identical results to the pure-Python reference
+implementation (pinned by ``tests/test_backend_equivalence.py``).
+
+Concurrency: a matrix is shared by every query over one store (see
+:func:`matrix_for`); :meth:`ScenarioMatrix.sync` is the only mutator
+and takes an internal lock, matching the serving layer's
+one-writer/many-readers shape.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.sensing.scenarios import EScenario, ScenarioKey, ScenarioStore
+from repro.world.entities import EID
+
+WORD_BITS = 64
+
+try:  # numpy >= 2.0
+    _bitwise_count = np.bitwise_count
+except AttributeError:  # pragma: no cover - exercised only on numpy 1.x
+    _POP16 = np.array(
+        [bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8
+    )
+
+    def _bitwise_count(words: np.ndarray) -> np.ndarray:
+        halves = np.ascontiguousarray(words).view(np.uint16)
+        return _POP16[halves].reshape(*words.shape, 4).sum(axis=-1)
+
+
+def popcount(rows: np.ndarray) -> np.ndarray:
+    """Set bits per row of a ``(..., words)`` packed bitset array."""
+    return _bitwise_count(rows).sum(axis=-1, dtype=np.int64)
+
+
+def pack_ids(ids: Iterable[int], num_words: int) -> np.ndarray:
+    """Pack dense integer ids into one ``uint64`` bitset row."""
+    words = [0] * num_words
+    for i in ids:
+        words[i >> 6] |= 1 << (i & 63)
+    return np.array(words, dtype=np.uint64)
+
+
+def unpack_ids(row: np.ndarray) -> np.ndarray:
+    """The set bit positions of one bitset row, ascending."""
+    bits = np.unpackbits(
+        np.ascontiguousarray(row).view(np.uint8), bitorder="little"
+    )
+    return np.nonzero(bits)[0]
+
+
+class EIDInterner:
+    """Dense integer ids for an EID universe, growable for live ingest.
+
+    Ids are assigned in first-intern order; building from a sorted
+    universe therefore gives deterministic ids, and EIDs first seen by
+    a live ``add`` append at the end without renumbering anyone.
+    """
+
+    def __init__(self, eids: Iterable[EID] = ()) -> None:
+        self._ids: Dict[EID, int] = {}
+        self._eids: List[EID] = []
+        for eid in eids:
+            self.intern(eid)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, eid: EID) -> bool:
+        return eid in self._ids
+
+    def intern(self, eid: EID) -> int:
+        """The id of ``eid``, assigning the next dense id if new."""
+        existing = self._ids.get(eid)
+        if existing is not None:
+            return existing
+        new_id = len(self._eids)
+        self._ids[eid] = new_id
+        self._eids.append(eid)
+        return new_id
+
+    def id_of(self, eid: EID) -> Optional[int]:
+        return self._ids.get(eid)
+
+    def eid_of(self, index: int) -> EID:
+        return self._eids[index]
+
+    @property
+    def num_words(self) -> int:
+        """Words needed to hold one bit per interned EID (min 1)."""
+        return max(1, -(-len(self._eids) // WORD_BITS))
+
+    def pack(self, eids: Iterable[EID], num_words: Optional[int] = None) -> np.ndarray:
+        """Bitset row for ``eids``; unknown EIDs are silently skipped
+        (a candidate bitset can only ever track interned EIDs)."""
+        ids = self._ids
+        return pack_ids(
+            (ids[e] for e in eids if e in ids),
+            num_words if num_words is not None else self.num_words,
+        )
+
+    def unpack(self, row: np.ndarray) -> FrozenSet[EID]:
+        """The EID set a bitset row represents."""
+        eids = self._eids
+        return frozenset(eids[int(i)] for i in unpack_ids(row))
+
+
+class ScenarioMatrix:
+    """Columnar packed-bitset mirror of a store's E-Scenarios.
+
+    Two row-major ``uint64`` arrays hold, per scenario, the *inclusive*
+    EID bits and the *allowed* bits (inclusive | vague — what a
+    positive intersection may keep).  Row order is the store's arrival
+    order; :meth:`sync` consumes the store's append-only arrival log,
+    so a live ``ScenarioStore.add`` costs one packed row, never a
+    rebuild.  Per-row dense id arrays (``inclusive_ids`` /
+    ``allowed_ids``) drive the "which targets does this scenario help"
+    scatter without unpacking bits.
+    """
+
+    _INITIAL_ROWS = 64
+
+    def __init__(self, store: ScenarioStore) -> None:
+        self.store = store
+        self.interner = EIDInterner(sorted(store.eid_universe))
+        self._lock = threading.Lock()
+        self._row_of: Dict[ScenarioKey, int] = {}
+        self._num_rows = 0
+        self._words = self.interner.num_words
+        self._inclusive = np.zeros(
+            (self._INITIAL_ROWS, self._words), dtype=np.uint64
+        )
+        self._allowed = np.zeros_like(self._inclusive)
+        self._inclusive_ids: List[np.ndarray] = []
+        self._allowed_ids: List[np.ndarray] = []
+        self._cursor = 0  # consumed prefix of the store's arrival log
+        self.sync()
+
+    # -- growth --------------------------------------------------------
+    def _ensure_capacity(self, rows: int, words: int) -> None:
+        cap_rows, cap_words = self._inclusive.shape
+        if rows <= cap_rows and words <= cap_words:
+            return
+        new_rows = max(cap_rows, rows)
+        if rows > cap_rows:
+            new_rows = max(rows, 2 * cap_rows)
+        new_words = max(cap_words, words)
+        inclusive = np.zeros((new_rows, new_words), dtype=np.uint64)
+        allowed = np.zeros_like(inclusive)
+        inclusive[: self._num_rows, :cap_words] = self._inclusive[: self._num_rows]
+        allowed[: self._num_rows, :cap_words] = self._allowed[: self._num_rows]
+        self._inclusive = inclusive
+        self._allowed = allowed
+
+    def _append(self, e_scenario: EScenario) -> None:
+        interner = self.interner
+        inclusive_ids = np.fromiter(
+            (interner.intern(e) for e in sorted(e_scenario.inclusive)),
+            dtype=np.int64,
+            count=len(e_scenario.inclusive),
+        )
+        vague_ids = np.fromiter(
+            (interner.intern(e) for e in sorted(e_scenario.vague)),
+            dtype=np.int64,
+            count=len(e_scenario.vague),
+        )
+        allowed_ids = np.concatenate([inclusive_ids, vague_ids])
+        self._words = max(self._words, interner.num_words)
+        self._ensure_capacity(self._num_rows + 1, self._words)
+        row = self._num_rows
+        self._inclusive[row] = pack_ids(
+            inclusive_ids, self._inclusive.shape[1]
+        )
+        self._allowed[row] = pack_ids(allowed_ids, self._allowed.shape[1])
+        self._inclusive_ids.append(inclusive_ids)
+        self._allowed_ids.append(allowed_ids)
+        self._row_of[e_scenario.key] = row
+        self._num_rows += 1
+
+    def sync(self) -> int:
+        """Index every scenario added to the store since the last sync.
+
+        Returns the number of rows appended.  Cheap when nothing
+        changed (one length comparison), so callers sync once at the
+        top of each run.
+        """
+        if self._cursor >= len(self.store):
+            return 0
+        with self._lock:
+            fresh = self.store.keys_since(self._cursor)
+            for key in fresh:
+                self._append(self.store.e_scenario(key))
+            self._cursor += len(fresh)
+            return len(fresh)
+
+    # -- row access ----------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __contains__(self, key: ScenarioKey) -> bool:
+        return key in self._row_of
+
+    @property
+    def num_words(self) -> int:
+        return self._words
+
+    @property
+    def nbytes(self) -> int:
+        """Footprint of the packed rows (diagnostics)."""
+        return self._inclusive.nbytes + self._allowed.nbytes
+
+    def row_of(self, key: ScenarioKey) -> int:
+        return self._row_of[key]
+
+    def inclusive_row(self, key: ScenarioKey) -> np.ndarray:
+        return self._inclusive[self._row_of[key]]
+
+    def allowed_row(self, key: ScenarioKey) -> np.ndarray:
+        return self._allowed[self._row_of[key]]
+
+    def inclusive_ids(self, key: ScenarioKey) -> np.ndarray:
+        return self._inclusive_ids[self._row_of[key]]
+
+    def allowed_ids(self, key: ScenarioKey) -> np.ndarray:
+        return self._allowed_ids[self._row_of[key]]
+
+    def sides(self, key: ScenarioKey, merge_vague: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """``(driving ids, allowed row)`` under the configured vague
+        rule — the bitset analog of ``SetSplitter._scenario_sides``.
+
+        With ``merge_vague`` (the ``treat_vague_as_inclusive``
+        ablation) vague sightings drive selection like inclusive ones;
+        either way the allowed row is inclusive | vague.
+        """
+        row = self._row_of[key]
+        ids = self._allowed_ids[row] if merge_vague else self._inclusive_ids[row]
+        return ids, self._allowed[row]
+
+    def co_occurrence_counts(self, keys: Iterable[ScenarioKey]) -> np.ndarray:
+        """Per-EID inclusive co-occurrence counts over ``keys``.
+
+        One unpack + column sum instead of a Python loop over EID
+        sets — the investigate path's co-traveler kernel.
+        """
+        rows = [self._row_of[k] for k in keys]
+        if not rows:
+            return np.zeros(len(self.interner), dtype=np.int64)
+        packed = self._inclusive[np.asarray(rows, dtype=np.int64)]
+        bits = np.unpackbits(
+            np.ascontiguousarray(packed).view(np.uint8),
+            axis=1,
+            bitorder="little",
+        )
+        return bits[:, : len(self.interner)].sum(axis=0, dtype=np.int64)
+
+
+class CandidateMatrix:
+    """Per-run candidate state of a multi-target split, columnar.
+
+    Row ``t`` is target ``t``'s candidate set as packed bits over the
+    interned universe.  EIDs of the caller-supplied universe that were
+    never observed cannot be interned; they are carried as a shared
+    *extras* set that every target drops on its first applied scenario
+    (an unobserved EID is in no scenario's allowed set), which keeps
+    the semantics exactly equal to the reference implementation.
+    """
+
+    def __init__(
+        self,
+        matrix: ScenarioMatrix,
+        targets: Sequence[EID],
+        universe: FrozenSet[EID],
+    ) -> None:
+        self.matrix = matrix
+        self.targets = tuple(targets)
+        interner = matrix.interner
+        self._words = matrix.num_words
+        self._universe_row = interner.pack(universe, self._words)
+        self.extras: FrozenSet[EID] = universe - interner.unpack(
+            self._universe_row
+        )
+        n = len(self.targets)
+        self._cand = np.tile(self._universe_row, (n, 1))
+        self._extras_alive = np.full(n, bool(self.extras))
+        self._active = np.ones(n, dtype=bool)
+        self._row_of_target: Dict[EID, int] = {
+            t: i for i, t in enumerate(self.targets)
+        }
+        # eid id -> target row (-1 when the id is not a target).
+        self._target_of_id = np.full(len(interner), -1, dtype=np.int64)
+        for t, row in self._row_of_target.items():
+            eid_id = interner.id_of(t)
+            if eid_id is not None:
+                self._target_of_id[eid_id] = row
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self._active.any())
+
+    def _helped_rows(self, key: ScenarioKey, merge_vague: bool):
+        """Rows of active targets this scenario would shrink, plus the
+        shrunk bits, or ``(None, None, None)`` when it helps nobody."""
+        ids, allowed = self.matrix.sides(key, merge_vague)
+        if ids.size == 0:
+            return None, None, None
+        rows = self._target_of_id[ids[ids < self._target_of_id.size]]
+        rows = rows[rows >= 0]
+        rows = rows[self._active[rows]]
+        if rows.size == 0:
+            return None, None, None
+        cand = self._cand[rows]
+        shrunk = cand & allowed[: self._words]
+        changed = (shrunk != cand).any(axis=1) | self._extras_alive[rows]
+        if not changed.any():
+            return None, None, None
+        return rows[changed], shrunk[changed], changed
+
+    def score(self, key: ScenarioKey, merge_vague: bool) -> int:
+        """How many active targets the scenario would shrink (the
+        greedy sweep's metric; no diversity rule, no commit)."""
+        rows, _shrunk, _mask = self._helped_rows(key, merge_vague)
+        return 0 if rows is None else int(rows.size)
+
+    def apply(
+        self,
+        key: ScenarioKey,
+        merge_vague: bool,
+        diverse: Callable[[EID], bool],
+    ) -> List[EID]:
+        """Commit one scenario; returns the targets it helped.
+
+        Mirrors the reference ``_apply_scenario``: a target is helped
+        when it is active, driven by the scenario, its candidates are
+        not already a subset of the allowed set, and the evidence-
+        diversity rule admits the scenario.  Helped targets' candidate
+        rows shrink; singletons deactivate.
+        """
+        rows, shrunk, _mask = self._helped_rows(key, merge_vague)
+        if rows is None:
+            return []
+        helped: List[EID] = []
+        for i, row in enumerate(rows):
+            target = self.targets[int(row)]
+            if not diverse(target):
+                continue
+            helped.append(target)
+            self._cand[row] = shrunk[i]
+            self._extras_alive[row] = False
+            if popcount(shrunk[i]) == 1:
+                self._active[row] = False
+        return helped
+
+    def candidates_of(self, target: EID) -> FrozenSet[EID]:
+        """The target's current candidate EID set (unpacked)."""
+        row = self._row_of_target[target]
+        bits = self.matrix.interner.unpack(self._cand[row])
+        if self._extras_alive[row]:
+            return bits | self.extras
+        return bits
+
+
+#: Shared per-store matrices: every query over one store (the serving
+#: layer's workers, the shards' investigate path, repeated CLI runs)
+#: reuses one matrix instead of re-packing the dataset per run.
+_MATRICES: "weakref.WeakKeyDictionary[ScenarioStore, ScenarioMatrix]" = (
+    weakref.WeakKeyDictionary()
+)
+_MATRICES_LOCK = threading.Lock()
+
+
+def matrix_for(store: ScenarioStore) -> ScenarioMatrix:
+    """The shared :class:`ScenarioMatrix` of ``store`` (built once,
+    synced lazily; dropped automatically with the store)."""
+    with _MATRICES_LOCK:
+        matrix = _MATRICES.get(store)
+        if matrix is None:
+            matrix = ScenarioMatrix(store)
+            _MATRICES[store] = matrix
+        return matrix

@@ -53,12 +53,20 @@ class EDPConfig:
             :class:`~repro.core.set_splitting.SplitConfig` — skip
             scenarios from a cell the target's evidence already covers
             within this many ticks.
+        backend: candidate-set representation, mirroring
+            :class:`~repro.core.set_splitting.SplitConfig.backend` —
+            ``"python"`` (reference frozensets) or ``"bitset"`` (packed
+            rows from the store's shared
+            :class:`~repro.core.accel.ScenarioMatrix`); results are
+            identical, so the SS-vs-EDP comparisons stay fair under
+            either.
     """
 
     seed: int = 0
     max_scenarios_per_eid: Optional[int] = None
     greedy_sample: int = 12
     min_gap_ticks: int = 5
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.max_scenarios_per_eid is not None and self.max_scenarios_per_eid <= 0:
@@ -73,6 +81,12 @@ class EDPConfig:
         if self.min_gap_ticks < 0:
             raise ValueError(
                 f"min_gap_ticks must be non-negative, got {self.min_gap_ticks}"
+            )
+        from repro.core.set_splitting import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
 
 
@@ -199,6 +213,8 @@ class EDPMatcher:
         scenarios, inspects them all (charged to the E clock), and
         selects the one leaving the fewest candidates.
         """
+        if self.config.backend == "bitset":
+            return self._filter_one_bitset(target, universe, rng)
         assert self._index is not None
         pool = list(self._index.get(target, ()))
         rng.shuffle(pool)  # type: ignore[arg-type]
@@ -233,6 +249,62 @@ class EDPMatcher:
             candidates = best_left if best_left is not None else candidates
             evidence.append(best_key)
         return evidence, frozenset(candidates), examined
+
+    def _filter_one_bitset(
+        self,
+        target: EID,
+        universe: FrozenSet[EID],
+        rng: np.random.Generator,
+    ) -> Tuple[List[ScenarioKey], FrozenSet[EID], int]:
+        """`_filter_one` over packed rows of the store's shared matrix.
+
+        EDP folds vague sightings into inclusive ones, so the allowed
+        row *is* the scenario's EID set here.  Universe EIDs never seen
+        by any scenario cannot be interned; they survive as an
+        ``extras`` count until the first selection (every scenario
+        intersection drops them), exactly as in the reference path.
+        """
+        from repro.core.accel import matrix_for, popcount
+
+        assert self._index is not None
+        matrix = matrix_for(self.store)
+        matrix.sync()
+        words = matrix.num_words
+        pool = list(self._index.get(target, ()))
+        rng.shuffle(pool)  # type: ignore[arg-type]
+        budget = self.config.max_scenarios_per_eid
+        cand = matrix.interner.pack(universe, words)
+        extras = universe - matrix.interner.unpack(cand)
+        cand_count = int(popcount(cand)) + len(extras)
+        evidence: List[ScenarioKey] = []
+        examined = 0
+        cursor = 0
+        while cand_count > 1 and cursor < len(pool):
+            if budget is not None and len(evidence) >= budget:
+                break
+            batch = pool[cursor : cursor + self.config.greedy_sample]
+            best_key = None
+            best_left: Optional[np.ndarray] = None
+            best_count = 0
+            for key in batch:
+                examined += 1
+                self.clock.charge_e_scenarios(1)
+                if not self._is_diverse(key, evidence):
+                    continue
+                left = cand & matrix.allowed_row(key)[:words]
+                left_count = int(popcount(left))
+                if left_count < cand_count and (
+                    best_left is None or left_count < best_count
+                ):
+                    best_key, best_left, best_count = key, left, left_count
+            if best_key is None:
+                cursor += len(batch)
+                continue
+            pool.remove(best_key)
+            assert best_left is not None
+            cand, cand_count, extras = best_left, best_count, frozenset()
+            evidence.append(best_key)
+        return evidence, matrix.interner.unpack(cand) | extras, examined
 
     def _is_diverse(self, key, evidence) -> bool:
         """The ``min_gap_ticks`` evidence-diversity rule (see SplitConfig)."""

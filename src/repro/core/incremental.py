@@ -25,6 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.core.accel import EIDInterner, popcount
 from repro.core.set_splitting import SplitConfig
 from repro.core.vid_filtering import FilterConfig, MatchResult, VIDFilter
 from repro.metrics.timing import SimulatedClock
@@ -61,8 +64,12 @@ class IncrementalMatcher:
             matching keys.
         universe: the EID population targets must be separated from.
         split_config: reuses the batch E-stage knobs (the diversity
-            rule and the vague handling apply unchanged; strategy and
-            budget are meaningless for a stream and ignored).
+            rule, the vague handling and the ``backend`` apply
+            unchanged; strategy and budget are meaningless for a
+            stream and ignored).  With ``backend="bitset"`` the
+            per-target candidate sets are packed ``uint64`` rows over
+            the (fixed) universe, so each arriving scenario costs one
+            AND per tracked target instead of a set intersection.
         filter_config: V-stage knobs.
         clock: simulated cost accounting, shared with the V stage.
     """
@@ -85,15 +92,26 @@ class IncrementalMatcher:
         self._evidence: Dict[EID, List[ScenarioKey]] = {}
         self._emitted: Dict[EID, Emission] = {}
         self._scenarios_consumed = 0
+        self._bitset = self.split_config.backend == "bitset"
+        if self._bitset:
+            # The universe is fixed at construction, so unlike the
+            # batch path there are no uninternable "extras" to track.
+            self._interner = EIDInterner(sorted(self.universe))
+            self._words = self._interner.num_words
+            self._universe_row = self._interner.pack(self.universe, self._words)
+            self._cand_rows: Dict[EID, np.ndarray] = {}
 
     # -- target management -------------------------------------------------
     def add_target(self, target: EID) -> None:
         """Start matching ``target`` from this point of the stream on."""
         if target not in self.universe:
             raise ValueError(f"{target} is not in the universe")
-        if target in self._candidates or target in self._emitted:
+        if target in self._evidence or target in self._emitted:
             return  # already tracked (or already matched)
-        self._candidates[target] = set(self.universe)
+        if self._bitset:
+            self._cand_rows[target] = self._universe_row.copy()
+        else:
+            self._candidates[target] = set(self.universe)
         self._evidence[target] = []
 
     def add_targets(self, targets: Sequence[EID]) -> None:
@@ -103,6 +121,8 @@ class IncrementalMatcher:
     @property
     def pending(self) -> FrozenSet[EID]:
         """Targets still waiting for enough evidence."""
+        if self._bitset:
+            return frozenset(self._cand_rows.keys())
         return frozenset(self._candidates.keys())
 
     @property
@@ -129,21 +149,35 @@ class IncrementalMatcher:
         fired: List[Emission] = []
         gap = self.split_config.min_gap_ticks
         key = scenario.key
-        for target in list(self._candidates.keys()):
+        if self._bitset:
+            allowed_row = self._interner.pack(allowed, self._words)
+        for target in list(self.pending):
             if target not in inclusive:
                 continue
-            candidates = self._candidates[target]
-            if candidates <= allowed:
-                continue  # uninformative for this target
+            if self._bitset:
+                cand_row = self._cand_rows[target]
+                shrunk = cand_row & allowed_row
+                if np.array_equal(shrunk, cand_row):
+                    continue  # uninformative for this target
+            else:
+                candidates = self._candidates[target]
+                if candidates <= allowed:
+                    continue  # uninformative for this target
             if gap and any(
                 prior.cell_id == key.cell_id and abs(prior.tick - key.tick) < gap
                 for prior in self._evidence[target]
             ):
                 continue
-            candidates &= allowed
-            self._evidence[target].append(key)
-            if len(candidates) == 1:
-                fired.append(self._emit(target, key.tick))
+            if self._bitset:
+                self._cand_rows[target] = shrunk
+                self._evidence[target].append(key)
+                if int(popcount(shrunk)) == 1:
+                    fired.append(self._emit(target, key.tick))
+            else:
+                candidates &= allowed
+                self._evidence[target].append(key)
+                if len(candidates) == 1:
+                    fired.append(self._emit(target, key.tick))
         return fired
 
     def observe_tick(
@@ -165,7 +199,10 @@ class IncrementalMatcher:
             scenarios_consumed=self._scenarios_consumed,
         )
         self._emitted[target] = emission
-        del self._candidates[target]
+        if self._bitset:
+            del self._cand_rows[target]
+        else:
+            del self._candidates[target]
         return emission
 
     # -- reporting -------------------------------------------------------------

@@ -175,10 +175,7 @@ class EVMatcher:
     ) -> MatchReport:
         """Universal labeling: match every EID observed in the store."""
         if universe is None:
-            eids = set()
-            for e_scenario in self.store.e_scenarios():
-                eids.update(e_scenario.eids)
-            universe = sorted(eids)
+            universe = sorted(self.store.eid_universe)
         return self.match(list(universe), universe=universe)
 
     # -- EDP baseline ----------------------------------------------------

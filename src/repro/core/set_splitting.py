@@ -34,8 +34,20 @@ nor get other EIDs wrongly eliminated.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -43,6 +55,9 @@ from repro.core.partition import EIDPartition, SeparationTracker
 from repro.metrics.timing import SimulatedClock
 from repro.sensing.scenarios import EScenario, ScenarioKey, ScenarioStore
 from repro.world.entities import EID
+
+#: E-stage candidate-set representations (see ``repro.core.accel``).
+BACKENDS = ("python", "bitset")
 
 
 class SelectionStrategy(str, enum.Enum):
@@ -83,6 +98,12 @@ class SplitConfig:
             travel companions co-occur, the same occlusions persist);
             spacing the evidence keeps the V stage's probability
             products nearly independent.  0 disables the rule.
+        backend: candidate-set representation.  ``"python"`` is the
+            reference implementation (frozenset intersections, exactly
+            the paper's formulation); ``"bitset"`` runs the same
+            semantics on packed ``uint64`` bitsets via
+            :mod:`repro.core.accel` — byte-identical results, built for
+            service-scale universes.
     """
 
     strategy: SelectionStrategy = SelectionStrategy.RANDOM
@@ -90,6 +111,7 @@ class SplitConfig:
     max_scenarios: Optional[int] = None
     treat_vague_as_inclusive: bool = False
     min_gap_ticks: int = 5
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.max_scenarios is not None and self.max_scenarios <= 0:
@@ -99,6 +121,10 @@ class SplitConfig:
         if self.min_gap_ticks < 0:
             raise ValueError(
                 f"min_gap_ticks must be non-negative, got {self.min_gap_ticks}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
 
 
@@ -151,18 +177,64 @@ class SplitResult:
         )
 
 
+class EvidenceDiversity:
+    """The ``min_gap_ticks`` rule as a per-(target, cell) tick index.
+
+    The naive rule scans a target's whole evidence list per candidate
+    scenario; only same-cell evidence can ever conflict, so this keeps
+    one sorted tick list per (target, cell) and answers with a bisect —
+    O(log k) against the handful of same-cell ticks instead of O(n)
+    over everything the target has accumulated.
+    """
+
+    def __init__(self, gap: int) -> None:
+        self.gap = gap
+        self._ticks: Dict[Tuple[EID, int], List[int]] = {}
+
+    def ok(self, target: EID, key: ScenarioKey) -> bool:
+        """Whether ``key`` may serve as fresh evidence for ``target``."""
+        if self.gap == 0:
+            return True
+        ticks = self._ticks.get((target, key.cell_id))
+        if not ticks:
+            return True
+        i = bisect_left(ticks, key.tick)
+        if i < len(ticks) and ticks[i] - key.tick < self.gap:
+            return False
+        if i > 0 and key.tick - ticks[i - 1] < self.gap:
+            return False
+        return True
+
+    def record(self, target: EID, key: ScenarioKey) -> None:
+        if self.gap == 0:
+            return
+        insort(self._ticks.setdefault((target, key.cell_id), []), key.tick)
+
+
 class SetSplitter:
-    """Production E stage with elastic matching size."""
+    """Production E stage with elastic matching size.
+
+    Args:
+        store: the scenario database.
+        config: E-stage knobs, including the candidate-set ``backend``.
+        clock: simulated cost accounting.
+        matrix: a prebuilt :class:`~repro.core.accel.ScenarioMatrix` to
+            reuse for the bitset backend (the serving layer passes its
+            shared per-store matrix); defaults to the store's shared
+            matrix via :func:`~repro.core.accel.matrix_for`.
+    """
 
     def __init__(
         self,
         store: ScenarioStore,
         config: Optional[SplitConfig] = None,
         clock: Optional[SimulatedClock] = None,
+        matrix: Optional["ScenarioMatrix"] = None,  # noqa: F821
     ) -> None:
         self.store = store
         self.config = config if config is not None else SplitConfig()
         self.clock = clock if clock is not None else SimulatedClock()
+        self.matrix = matrix
 
     def run(
         self,
@@ -199,40 +271,101 @@ class SetSplitter:
             )
 
         result = SplitResult(targets=tuple(targets))
-        candidates: Dict[EID, Set[EID]] = {t: set(universe_set) for t in targets}
         for t in targets:
             result.evidence[t] = []
-        active: Set[EID] = set(targets)
+        diversity = EvidenceDiversity(self.config.min_gap_ticks)
 
-        if self.config.strategy is SelectionStrategy.GREEDY:
-            self._run_greedy(result, candidates, active, exclude)
+        if self.config.backend == "bitset":
+            self._run_bitset(result, universe_set, diversity, exclude)
         else:
-            self._run_streaming(result, candidates, active, exclude)
-
-        result.candidates = {t: frozenset(candidates[t]) for t in targets}
+            self._run_python(result, universe_set, diversity, exclude)
         return result
 
-    def _is_diverse(
-        self, key: ScenarioKey, existing: Sequence[ScenarioKey]
-    ) -> bool:
-        """The ``min_gap_ticks`` evidence-diversity rule for one target."""
-        gap = self.config.min_gap_ticks
-        if gap == 0:
+    def _run_python(
+        self,
+        result: SplitResult,
+        universe_set: FrozenSet[EID],
+        diversity: EvidenceDiversity,
+        exclude: FrozenSet[ScenarioKey],
+    ) -> None:
+        """The reference frozenset-based candidate representation."""
+        candidates: Dict[EID, Set[EID]] = {
+            t: set(universe_set) for t in result.targets
+        }
+        active: Set[EID] = set(result.targets)
+
+        def apply_fn(key: ScenarioKey) -> bool:
+            return self._apply_scenario(
+                key, result, candidates, active, diversity
+            )
+
+        def score_fn(key: ScenarioKey) -> int:
+            e_scenario = self.store.e_scenario(key)
+            inclusive, allowed = self._scenario_sides(e_scenario)
+            return sum(
+                1
+                for t in inclusive
+                if t in active and not candidates[t] <= allowed
+            )
+
+        def done() -> bool:
+            return not active
+
+        if self.config.strategy is SelectionStrategy.GREEDY:
+            self._run_greedy(result, apply_fn, score_fn, done, exclude)
+        else:
+            self._run_streaming(result, apply_fn, done, exclude)
+        result.candidates = {
+            t: frozenset(candidates[t]) for t in result.targets
+        }
+
+    def _run_bitset(
+        self,
+        result: SplitResult,
+        universe_set: FrozenSet[EID],
+        diversity: EvidenceDiversity,
+        exclude: FrozenSet[ScenarioKey],
+    ) -> None:
+        """The packed-bitset backend: same selection loop, columnar
+        candidate state (AND + popcount instead of frozenset churn)."""
+        from repro.core.accel import CandidateMatrix, matrix_for
+
+        matrix = self.matrix if self.matrix is not None else matrix_for(self.store)
+        matrix.sync()
+        state = CandidateMatrix(matrix, result.targets, universe_set)
+        merge = self.config.treat_vague_as_inclusive
+
+        def apply_fn(key: ScenarioKey) -> bool:
+            helped = state.apply(key, merge, lambda t: diversity.ok(t, key))
+            if not helped:
+                return False
+            result.recorded.append(key)
+            for target in helped:
+                result.evidence[target].append(key)
+                diversity.record(target, key)
             return True
-        return not any(
-            prior.cell_id == key.cell_id and abs(prior.tick - key.tick) < gap
-            for prior in existing
-        )
+
+        def score_fn(key: ScenarioKey) -> int:
+            return state.score(key, merge)
+
+        def done() -> bool:
+            return not state.any_active
+
+        if self.config.strategy is SelectionStrategy.GREEDY:
+            self._run_greedy(result, apply_fn, score_fn, done, exclude)
+        else:
+            self._run_streaming(result, apply_fn, done, exclude)
+        result.candidates = {
+            t: state.candidates_of(t) for t in result.targets
+        }
 
     # ------------------------------------------------------------------
     def _observed_universe(self) -> FrozenSet[EID]:
         """All EIDs that appear (inclusive or vague) in any scenario."""
-        eids: Set[EID] = set()
-        for e_scenario in self.store.e_scenarios():
-            eids.update(e_scenario.eids)
+        eids = self.store.eid_universe
         if not eids:
             raise ValueError("the scenario store contains no EIDs")
-        return frozenset(eids)
+        return eids
 
     def _scenario_sides(self, e_scenario: EScenario) -> Tuple[FrozenSet[EID], FrozenSet[EID]]:
         """The (inclusive, allowed) EID sets under the configured rule.
@@ -252,6 +385,7 @@ class SetSplitter:
         result: SplitResult,
         candidates: Dict[EID, Set[EID]],
         active: Set[EID],
+        diversity: EvidenceDiversity,
     ) -> bool:
         """Use one scenario if it is effective.  Returns True if recorded."""
         e_scenario = self.store.e_scenario(key)
@@ -261,7 +395,7 @@ class SetSplitter:
             if (
                 target in active
                 and not candidates[target] <= allowed
-                and self._is_diverse(key, result.evidence[target])
+                and diversity.ok(target, key)
             ):
                 helped.append(target)
         if not helped:
@@ -270,6 +404,7 @@ class SetSplitter:
         for target in helped:
             candidates[target] &= allowed
             result.evidence[target].append(key)
+            diversity.record(target, key)
             if len(candidates[target]) == 1:
                 active.discard(target)
         return True
@@ -277,59 +412,59 @@ class SetSplitter:
     def _run_streaming(
         self,
         result: SplitResult,
-        candidates: Dict[EID, Set[EID]],
-        active: Set[EID],
+        apply_fn: Callable[[ScenarioKey], bool],
+        done: Callable[[], bool],
         exclude: FrozenSet[ScenarioKey],
     ) -> None:
         """RANDOM / SEQUENTIAL / RANDOM_TICK: one pass in a fixed order."""
         budget = self.config.max_scenarios
         for key in self._ordered_keys(exclude):
-            if not active:
+            if done():
                 break
             if budget is not None and result.scenarios_examined >= budget:
                 break
             result.scenarios_examined += 1
             self.clock.charge_e_scenarios(1)
-            self._apply_scenario(key, result, candidates, active)
+            apply_fn(key)
 
     def _run_greedy(
         self,
         result: SplitResult,
-        candidates: Dict[EID, Set[EID]],
-        active: Set[EID],
+        apply_fn: Callable[[ScenarioKey], bool],
+        score_fn: Callable[[ScenarioKey], int],
+        done: Callable[[], bool],
         exclude: FrozenSet[ScenarioKey],
     ) -> None:
         """GREEDY: repeatedly pick the scenario helping the most targets.
 
         Every candidate scenario inspected during a sweep is charged as
         examined, which is honest about why greedy selection is not the
-        production default.
+        production default.  Consumed scenarios are marked dead rather
+        than removed, so selection is O(1) instead of an O(n) list
+        shift per pick.
         """
         pool: List[ScenarioKey] = [k for k in self.store.keys if k not in exclude]
+        dead: Set[ScenarioKey] = set()
         budget = self.config.max_scenarios
-        while active and pool:
+        while not done() and len(dead) < len(pool):
             if budget is not None and result.scenarios_examined >= budget:
                 break
             best_key: Optional[ScenarioKey] = None
             best_score = 0
             for key in pool:
+                if key in dead:
+                    continue
                 result.scenarios_examined += 1
                 self.clock.charge_e_scenarios(1)
-                e_scenario = self.store.e_scenario(key)
-                inclusive, allowed = self._scenario_sides(e_scenario)
-                score = sum(
-                    1
-                    for t in inclusive
-                    if t in active and not candidates[t] <= allowed
-                )
+                score = score_fn(key)
                 if score > best_score:
                     best_key, best_score = key, score
                 if budget is not None and result.scenarios_examined >= budget:
                     break
             if best_key is None:
                 break
-            pool.remove(best_key)
-            self._apply_scenario(best_key, result, candidates, active)
+            dead.add(best_key)
+            apply_fn(best_key)
 
     def _ordered_keys(
         self, exclude: FrozenSet[ScenarioKey]

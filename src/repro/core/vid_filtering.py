@@ -33,6 +33,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.caches import ByteBudgetLRU
 from repro.metrics.timing import SimulatedClock
 from repro.sensing.scenarios import Detection, ScenarioKey, ScenarioStore
 from repro.world.entities import EID
@@ -63,12 +64,25 @@ class FilterConfig:
             been already matched may help distinguishing those remain
             unmatched", Sec. IV-A).  Only used by
             :meth:`VIDFilter.match` with ``use_exclusion=True``.
+        feature_cache_bytes: byte budget for the extracted-feature
+            cache; ``None`` (the batch-run default) keeps every
+            extracted matrix resident.  A long-running ``repro serve``
+            process sets a budget so memory stays flat: evicted
+            matrices are recomputed on demand with identical results
+            (the extraction cost stays charged once per scenario
+            regardless — eviction is a host-memory concern, not a
+            modeled-system one).
+        membership_cache_bytes: byte budget for the pairwise
+            membership-vector cache (quadratic in touched scenarios
+            when unbounded); same ``None`` semantics.
     """
 
     max_evidence: Optional[int] = None
     agreement_threshold: float = 0.6
     min_agreement: float = 0.75
     exclusion_threshold: float = 0.62
+    feature_cache_bytes: Optional[int] = None
+    membership_cache_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_evidence is not None and self.max_evidence <= 0:
@@ -87,6 +101,12 @@ class FilterConfig:
             raise ValueError(
                 f"exclusion_threshold must be in (0, 1), got {self.exclusion_threshold}"
             )
+        for name in ("feature_cache_bytes", "membership_cache_bytes"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"{name} must be positive or None, got {value}"
+                )
 
 
 @dataclass
@@ -159,8 +179,12 @@ class VIDFilter:
         self.config = config if config is not None else FilterConfig()
         self.clock = clock if clock is not None else SimulatedClock()
         self._extracted: Set[ScenarioKey] = set()
-        self._features: Dict[ScenarioKey, np.ndarray] = {}
-        self._membership_cache: Dict[Tuple[ScenarioKey, ScenarioKey], np.ndarray] = {}
+        self._features: ByteBudgetLRU[np.ndarray] = ByteBudgetLRU(
+            self.config.feature_cache_bytes, lambda a: a.nbytes
+        )
+        self._membership_cache: ByteBudgetLRU[np.ndarray] = ByteBudgetLRU(
+            self.config.membership_cache_bytes, lambda a: a.nbytes
+        )
 
     def match(
         self,
@@ -253,7 +277,7 @@ class VIDFilter:
         claimed: Sequence[np.ndarray],
     ) -> np.ndarray:
         """Zero out candidates that look like an already-matched person."""
-        features = self._features[key]
+        features = self._features_of(key)
         centroids = np.stack(list(claimed))
         self.clock.charge_comparisons(features.shape[0] * centroids.shape[0])
         best = membership_vector(features, centroids)
@@ -331,16 +355,31 @@ class VIDFilter:
             return
         scenario = self.store.v_scenario(key)
         self.clock.charge_extraction(len(scenario))
-        self._features[key] = scenario.feature_matrix()
+        self._features.put(key, scenario.feature_matrix())
         self._extracted.add(key)
+
+    def _features_of(self, key: ScenarioKey) -> np.ndarray:
+        """The scenario's feature matrix, recomputed if evicted.
+
+        Extraction was already charged by :meth:`_ensure_extracted`;
+        recomputation after a byte-budget eviction is a host-memory
+        trade, not a modeled cost, so the clock is not charged again.
+        """
+        features = self._features.get(key)
+        if features is None:
+            features = self.store.v_scenario(key).feature_matrix()
+            self._features.put(key, features)
+        return features
 
     def _membership(self, key_a: ScenarioKey, key_b: ScenarioKey) -> np.ndarray:
         """Cached ``P(d in S_b)`` vector for the detections of ``a``."""
         cache_key = (key_a, key_b)
         vector = self._membership_cache.get(cache_key)
         if vector is None:
-            vector = membership_vector(self._features[key_a], self._features[key_b])
-            self._membership_cache[cache_key] = vector
+            vector = membership_vector(
+                self._features_of(key_a), self._features_of(key_b)
+            )
+            self._membership_cache.put(cache_key, vector)
         return vector
 
     def _agreement(self, chosen: Sequence[Detection]) -> float:
@@ -366,3 +405,21 @@ class VIDFilter:
     def scenarios_extracted(self) -> int:
         """Distinct V-Scenarios extracted so far (the reuse metric)."""
         return len(self._extracted)
+
+    def cache_report(self) -> Dict[str, Dict[str, float]]:
+        """Hit/eviction/byte counters of both V-stage caches
+        (diagnostics for the perf bench and the serving layer)."""
+        report: Dict[str, Dict[str, float]] = {}
+        for name, cache in (
+            ("features", self._features),
+            ("membership", self._membership_cache),
+        ):
+            report[name] = {
+                "hits": float(cache.stats.hits),
+                "misses": float(cache.stats.misses),
+                "hit_rate": cache.stats.hit_rate(),
+                "evictions": float(cache.stats.evictions),
+                "current_bytes": float(cache.current_bytes),
+                "peak_bytes": float(cache.peak_bytes),
+            }
+        return report

@@ -16,8 +16,9 @@ the problem VID filtering solves.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -166,11 +167,20 @@ class ScenarioStore:
     def __init__(self, scenarios: Sequence[EVScenario]) -> None:
         self._by_key: Dict[ScenarioKey, EVScenario] = {}
         self._ticks: Dict[int, List[ScenarioKey]] = {}
+        #: Keys in arrival order — the incremental-sync log consumed by
+        #: :class:`repro.core.accel.ScenarioMatrix` (append-only).
+        self._arrival: List[ScenarioKey] = []
+        self._eids: Set[EID] = set()
+        self._keys_cache: Optional[Tuple[ScenarioKey, ...]] = None
+        self._ticks_cache: Optional[Tuple[int, ...]] = None
+        self._universe_cache: Optional[FrozenSet[EID]] = None
         for scenario in scenarios:
             if scenario.key in self._by_key:
                 raise ValueError(f"duplicate scenario key {scenario.key}")
             self._by_key[scenario.key] = scenario
             self._ticks.setdefault(scenario.key.tick, []).append(scenario.key)
+            self._arrival.append(scenario.key)
+            self._eids.update(scenario.e.eids)
         for keys in self._ticks.values():
             keys.sort()
 
@@ -184,19 +194,49 @@ class ScenarioStore:
         if scenario.key in self._by_key:
             raise ValueError(f"duplicate scenario key {scenario.key}")
         self._by_key[scenario.key] = scenario
-        keys = self._ticks.setdefault(scenario.key.tick, [])
-        keys.append(scenario.key)
-        keys.sort()
+        tick_keys = self._ticks.get(scenario.key.tick)
+        if tick_keys is None:
+            self._ticks[scenario.key.tick] = [scenario.key]
+            self._ticks_cache = None
+        else:
+            insort(tick_keys, scenario.key)
+        self._arrival.append(scenario.key)
+        self._keys_cache = None
+        if not self._eids.issuperset(scenario.e.eids):
+            self._eids.update(scenario.e.eids)
+            self._universe_cache = None
 
     @property
     def keys(self) -> Sequence[ScenarioKey]:
         """All scenario keys in deterministic (cell, tick) order."""
-        return tuple(sorted(self._by_key.keys()))
+        if self._keys_cache is None:
+            self._keys_cache = tuple(sorted(self._by_key.keys()))
+        return self._keys_cache
 
     @property
     def ticks(self) -> Sequence[int]:
         """All sampling instants that have at least one scenario."""
-        return tuple(sorted(self._ticks.keys()))
+        if self._ticks_cache is None:
+            self._ticks_cache = tuple(sorted(self._ticks.keys()))
+        return self._ticks_cache
+
+    @property
+    def eid_universe(self) -> FrozenSet[EID]:
+        """Every EID observed (inclusive or vague) in any scenario.
+
+        Maintained incrementally by :meth:`add`, so matchers asking for
+        the observed universe never rescan the whole store.
+        """
+        if self._universe_cache is None:
+            self._universe_cache = frozenset(self._eids)
+        return self._universe_cache
+
+    def keys_since(self, start: int) -> Sequence[ScenarioKey]:
+        """Keys ingested at arrival positions ``>= start``, in arrival
+        order — the append-only log incremental index structures (the
+        bitset :class:`~repro.core.accel.ScenarioMatrix`, shard routing)
+        consume to stay in sync without rescans."""
+        return tuple(self._arrival[start:])
 
     def __len__(self) -> int:
         return len(self._by_key)

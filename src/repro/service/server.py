@@ -161,10 +161,7 @@ class MatchService:
         self.store = store
         self.grid = grid
         if universe is None:
-            eids = set()
-            for e_scenario in store.e_scenarios():
-                eids.update(e_scenario.eids)
-            universe = sorted(eids)
+            universe = sorted(store.eid_universe)
         self.universe: Tuple[EID, ...] = tuple(universe)
         if not self.universe:
             raise ValueError("service needs a non-empty EID universe")

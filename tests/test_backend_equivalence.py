@@ -1,0 +1,228 @@
+"""Property tests pinning backend="bitset" byte-identical to the
+pure-Python reference across the E stage, the EDP baseline and the
+incremental matcher — including vague zones, the diversity rule, extra
+(unobserved) universe EIDs, and live ``ScenarioStore.add`` after the
+shared matrix was built."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.accel import matrix_for
+from repro.core.edp import EDPConfig, EDPMatcher
+from repro.core.incremental import IncrementalMatcher
+from repro.core.set_splitting import SelectionStrategy, SetSplitter, SplitConfig
+from repro.sensing.scenarios import (
+    EScenario,
+    EVScenario,
+    ScenarioKey,
+    ScenarioStore,
+    VScenario,
+)
+from repro.world.entities import EID
+
+
+def eids(*indices):
+    return frozenset(EID(i) for i in indices)
+
+
+def make_scenario(cell, tick, inclusive, vague=()):
+    key = ScenarioKey(cell_id=cell, tick=tick)
+    return EVScenario(
+        e=EScenario(
+            key=key,
+            inclusive=frozenset(EID(i) for i in inclusive),
+            vague=frozenset(EID(i) for i in vague),
+        ),
+        v=VScenario(key=key, detections=()),
+    )
+
+
+#: One drawn scenario: (inclusive ids, vague ids, cell, tick).  Keys are
+#: deduplicated at build time; vague is made disjoint from inclusive.
+scenario_entries = st.lists(
+    st.tuples(
+        st.sets(st.integers(0, 9), min_size=1, max_size=6),
+        st.sets(st.integers(0, 11), max_size=3),
+        st.integers(0, 3),
+        st.integers(0, 15),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_store(entries):
+    scenarios = []
+    seen_keys = set()
+    for inclusive, vague, cell, tick in entries:
+        if (cell, tick) in seen_keys:
+            continue
+        seen_keys.add((cell, tick))
+        scenarios.append(
+            make_scenario(cell, tick, inclusive, set(vague) - set(inclusive))
+        )
+    return ScenarioStore(scenarios)
+
+
+def run_split(store, targets, universe, **cfg):
+    splitter = SetSplitter(store, SplitConfig(**cfg))
+    return splitter.run(targets, universe=universe)
+
+
+def assert_splits_equal(a, b):
+    assert a.recorded == b.recorded
+    assert a.evidence == b.evidence
+    assert a.candidates == b.candidates
+    assert a.scenarios_examined == b.scenarios_examined
+
+
+class TestSetSplitterEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        entries=scenario_entries,
+        strategy=st.sampled_from(list(SelectionStrategy)),
+        seed=st.integers(0, 3),
+        gap=st.sampled_from([0, 3]),
+        merge_vague=st.booleans(),
+        add_extra=st.booleans(),
+    )
+    def test_bitset_equals_python(
+        self, entries, strategy, seed, gap, merge_vague, add_extra
+    ):
+        store = build_store(entries)
+        universe = sorted(store.eid_universe)
+        if add_extra:
+            universe = universe + [EID(99)]  # never observed: extras path
+        targets = universe[:4]
+        results = {}
+        for backend in ("python", "bitset"):
+            results[backend] = run_split(
+                store,
+                targets,
+                universe,
+                strategy=strategy,
+                seed=seed,
+                min_gap_ticks=gap,
+                treat_vague_as_inclusive=merge_vague,
+                backend=backend,
+            )
+        assert_splits_equal(results["python"], results["bitset"])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        entries=scenario_entries,
+        strategy=st.sampled_from(
+            [SelectionStrategy.SEQUENTIAL, SelectionStrategy.GREEDY]
+        ),
+    )
+    def test_equivalence_survives_live_store_add(self, entries, strategy):
+        """Adding scenarios after the shared matrix was built must keep
+        both backends identical (the live-ingest path: matrix rows and
+        interner ids are appended, never rebuilt)."""
+        store = build_store(entries)
+        matrix = matrix_for(store)  # built against the initial store
+        pre_rows = len(matrix)
+        store.add(make_scenario(7, 90, {0, 12}, {13}))
+        store.add(make_scenario(7, 91, {12, 13}))
+        universe = sorted(store.eid_universe)
+        targets = universe[:4]
+        kwargs = dict(strategy=strategy, min_gap_ticks=3)
+        python = run_split(store, targets, universe, backend="python", **kwargs)
+        bitset = run_split(store, targets, universe, backend="bitset", **kwargs)
+        assert_splits_equal(python, bitset)
+        assert len(matrix) == pre_rows + 2  # synced, not rebuilt
+
+    def test_max_scenarios_budget_equivalence(self):
+        store = build_store(
+            [({0, 1, 2}, set(), 0, 0), ({0, 1}, {3}, 1, 5), ({0}, set(), 2, 9)]
+        )
+        universe = sorted(store.eid_universe)
+        for budget in (1, 2):
+            python = run_split(
+                store,
+                universe,
+                universe,
+                strategy=SelectionStrategy.SEQUENTIAL,
+                max_scenarios=budget,
+                backend="python",
+            )
+            bitset = run_split(
+                store,
+                universe,
+                universe,
+                strategy=SelectionStrategy.SEQUENTIAL,
+                max_scenarios=budget,
+                backend="bitset",
+            )
+            assert_splits_equal(python, bitset)
+
+
+class TestEDPEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        entries=scenario_entries,
+        seed=st.integers(0, 3),
+        greedy_sample=st.sampled_from([1, 3]),
+        gap=st.sampled_from([0, 3]),
+        add_extra=st.booleans(),
+    )
+    def test_bitset_equals_python(
+        self, entries, seed, greedy_sample, gap, add_extra
+    ):
+        store = build_store(entries)
+        universe = sorted(store.eid_universe)
+        if add_extra:
+            universe = universe + [EID(99)]
+        targets = universe[:4]
+        results = {}
+        for backend in ("python", "bitset"):
+            edp = EDPMatcher(
+                store,
+                EDPConfig(
+                    seed=seed,
+                    greedy_sample=greedy_sample,
+                    min_gap_ticks=gap,
+                    backend=backend,
+                ),
+            )
+            results[backend] = edp.run(targets, universe=universe)
+        a, b = results["python"], results["bitset"]
+        assert a.evidence == b.evidence
+        assert a.candidates == b.candidates
+        assert a.scenarios_examined == b.scenarios_examined
+
+
+class TestIncrementalEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        entries=scenario_entries,
+        gap=st.sampled_from([0, 3]),
+        merge_vague=st.booleans(),
+    )
+    def test_bitset_equals_python(self, entries, gap, merge_vague):
+        store = build_store(entries)
+        universe = sorted(store.eid_universe)
+        targets = universe[:4]
+        states = {}
+        for backend in ("python", "bitset"):
+            inc = IncrementalMatcher(
+                store,
+                universe,
+                split_config=SplitConfig(
+                    min_gap_ticks=gap,
+                    treat_vague_as_inclusive=merge_vague,
+                    backend=backend,
+                ),
+            )
+            inc.add_targets(targets)
+            for key in store.keys:
+                inc.observe(store.get(key))
+            states[backend] = (
+                inc.pending,
+                {t: inc.evidence_of(t) for t in targets},
+                {
+                    t: (em.emitted_at_tick, em.scenarios_consumed)
+                    for t, em in inc.emissions.items()
+                },
+            )
+        assert states["python"] == states["bitset"]

@@ -1,0 +1,123 @@
+"""Tests for the byte-budgeted LRU (repro.core.caches) and its use by
+the V stage's bounded caches."""
+
+import numpy as np
+import pytest
+
+from repro.core.caches import ByteBudgetLRU
+
+
+def arr(n):
+    return np.zeros(n, dtype=np.uint8)  # n bytes exactly
+
+
+def make(budget):
+    return ByteBudgetLRU(budget, lambda a: a.nbytes)
+
+
+class TestByteBudgetLRU:
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            make(0)
+        with pytest.raises(ValueError):
+            make(-1)
+
+    def test_unbounded_never_evicts(self):
+        cache = make(None)
+        for i in range(100):
+            cache.put(i, arr(1000))
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
+        assert cache.current_bytes == 100_000
+
+    def test_hit_miss_accounting(self):
+        cache = make(100)
+        assert cache.get("k") is None
+        cache.put("k", arr(10))
+        assert cache.get("k") is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate() == 0.5
+
+    def test_evicts_least_recently_used_first(self):
+        cache = make(30)
+        cache.put("a", arr(10))
+        cache.put("b", arr(10))
+        cache.put("c", arr(10))
+        assert cache.get("a") is not None  # refresh a; b is now LRU
+        cache.put("d", arr(10))
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.stats.evictions == 1
+
+    def test_replacement_updates_byte_accounting(self):
+        cache = make(100)
+        cache.put("k", arr(40))
+        cache.put("k", arr(10))
+        assert cache.current_bytes == 10
+        assert len(cache) == 1
+
+    def test_oversize_value_rejected_not_admitted(self):
+        cache = make(50)
+        cache.put("small", arr(20))
+        cache.put("huge", arr(51))
+        assert "huge" not in cache
+        assert "small" in cache  # nothing was evicted for the reject
+        assert cache.stats.rejected_oversize == 1
+
+    def test_peak_bytes_never_exceeds_budget(self):
+        rng = np.random.default_rng(0)
+        cache = make(256)
+        for i in range(200):
+            cache.put(i, arr(int(rng.integers(1, 300))))
+        assert cache.peak_bytes <= 256
+        assert cache.current_bytes <= 256
+
+    def test_clear_resets_bytes(self):
+        cache = make(100)
+        cache.put("k", arr(10))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+
+class TestBoundedVIDFilter:
+    def test_filter_config_rejects_bad_budgets(self):
+        from repro.core.vid_filtering import FilterConfig
+
+        with pytest.raises(ValueError):
+            FilterConfig(feature_cache_bytes=0)
+        with pytest.raises(ValueError):
+            FilterConfig(membership_cache_bytes=-5)
+
+    def test_bounded_filter_matches_unbounded(self, practical_dataset):
+        """Eviction may cost recomputes, never results."""
+        from repro.core.matcher import EVMatcher, MatcherConfig
+        from repro.core.vid_filtering import FilterConfig
+
+        targets = list(practical_dataset.sample_targets(12, seed=3))
+        baseline = EVMatcher(practical_dataset.store).match(targets)
+        bounded_cfg = MatcherConfig(
+            filter=FilterConfig(
+                feature_cache_bytes=4096, membership_cache_bytes=2048
+            )
+        )
+        bounded = EVMatcher(practical_dataset.store, bounded_cfg).match(targets)
+        for t in targets:
+            assert bounded.results[t].best == baseline.results[t].best
+            assert (
+                bounded.results[t].scenario_keys
+                == baseline.results[t].scenario_keys
+            )
+
+    def test_cache_report_shape(self, practical_dataset):
+        from repro.core.vid_filtering import FilterConfig, VIDFilter
+
+        vid = VIDFilter(
+            practical_dataset.store,
+            FilterConfig(feature_cache_bytes=4096),
+        )
+        report = vid.cache_report()
+        assert set(report) == {"features", "membership"}
+        for stats in report.values():
+            assert {"hits", "misses", "hit_rate", "evictions"} <= set(stats)
