@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Fail CI when a benchmark forgets to emit its BENCH_*.json artifact.
+
+Every perf-tier benchmark that advertises a trajectory file (any
+``BENCH_<name>.json`` mentioned in its source) must actually have
+written it — a bench that silently stops emitting would otherwise
+break the perf trajectory without failing anything.
+
+Usage (after running the benchmarks)::
+
+    python scripts/check_bench_artifacts.py [bench_file.py ...]
+
+With no arguments, every ``benchmarks/test_*.py`` that mentions a
+``BENCH_*.json`` name is checked.  For each declared name the file
+must exist at the repo root, parse as JSON, and be a non-empty object.
+Exit status 0 when all declared artifacts are present and valid.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_NAME = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
+
+
+def declared_artifacts(sources) -> dict:
+    """``{artifact name: [declaring bench files]}`` from the sources."""
+    declared: dict = {}
+    for source in sources:
+        for name in sorted(set(BENCH_NAME.findall(source.read_text()))):
+            declared.setdefault(name, []).append(source.name)
+    return declared
+
+
+def check(sources) -> int:
+    declared = declared_artifacts(sources)
+    if not declared:
+        print("no BENCH_*.json artifacts declared by", len(sources), "files")
+        return 0
+    failures = 0
+    for name, owners in sorted(declared.items()):
+        path = REPO_ROOT / name
+        owner = ", ".join(owners)
+        if not path.is_file():
+            print(f"MISSING {name} (declared by {owner})")
+            failures += 1
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"INVALID {name}: not JSON ({exc})")
+            failures += 1
+            continue
+        if not isinstance(payload, dict) or not payload:
+            print(f"EMPTY   {name}: expected a non-empty JSON object")
+            failures += 1
+            continue
+        print(f"ok      {name}: {len(payload)} measurements (from {owner})")
+    return 1 if failures else 0
+
+
+def main(argv) -> int:
+    if argv:
+        sources = [Path(arg) for arg in argv]
+        missing = [p for p in sources if not p.is_file()]
+        if missing:
+            print("no such bench file:", ", ".join(str(p) for p in missing))
+            return 2
+    else:
+        sources = sorted((REPO_ROOT / "benchmarks").glob("test_*.py"))
+    return check(sources)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -64,6 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument(
         "--refine", action="store_true", help="enable the Algorithm 2 loop"
     )
+    match.add_argument(
+        "--engine",
+        choices=("local", "mapreduce"),
+        default="local",
+        help="run the stages in-process or on the MapReduce engine "
+        "(mapreduce adds per-job/task spans to --trace output)",
+    )
+    match.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        help="record spans for the run and write Chrome trace-event "
+        "JSON (open in chrome://tracing or Perfetto)",
+    )
+    match.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry as Prometheus text after the run",
+    )
     _add_backend_arg(match)
 
     experiment = sub.add_parser(
@@ -204,23 +222,72 @@ def _world_from_args(args: argparse.Namespace, out) -> "EVDataset":  # noqa: F82
 
 def run_match(args: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
+    engine = getattr(args, "engine", "local")
+    if engine == "mapreduce" and args.refine:
+        print("--refine is not supported with --engine mapreduce", file=sys.stderr)
+        return 2
     dataset = _world_from_args(args, out)
     targets = list(dataset.sample_targets(min(args.targets, len(dataset.eids)), seed=1))
-    matcher_config = _matcher_config(
-        args, refining=RefiningConfig(max_rounds=4) if args.refine else None
-    )
-    matcher = EVMatcher(dataset.store, matcher_config)
 
-    rows: List[dict] = []
-    if args.algorithm in ("ss", "both"):
-        report = matcher.match(targets)
-        rows.append(_report_row("ss", report, dataset))
-    if args.algorithm in ("edp", "both"):
-        report = matcher.match_edp(targets)
-        rows.append(_report_row("edp", report, dataset))
+    tracer = previous_tracer = None
+    if getattr(args, "trace", None):
+        from repro.obs import Tracer, set_tracer
+
+        tracer = Tracer()
+        previous_tracer = set_tracer(tracer)
+    try:
+        if engine == "mapreduce":
+            from repro.parallel.driver import ParallelEVMatcher
+
+            backend = getattr(args, "backend", "bitset")
+            matcher = ParallelEVMatcher(
+                dataset.store,
+                split_config=SplitConfig(backend=backend),
+                edp_config=EDPConfig(backend=backend),
+            )
+        else:
+            matcher_config = _matcher_config(
+                args, refining=RefiningConfig(max_rounds=4) if args.refine else None
+            )
+            matcher = EVMatcher(dataset.store, matcher_config)
+
+        rows: List[dict] = []
+        if args.algorithm in ("ss", "both"):
+            report = matcher.match(targets)
+            rows.append(_report_row("ss", report, dataset))
+        if args.algorithm in ("edp", "both"):
+            report = matcher.match_edp(targets)
+            rows.append(_report_row("edp", report, dataset))
+    finally:
+        if tracer is not None:
+            from repro.obs import set_tracer
+
+            set_tracer(previous_tracer)
     columns = ("algorithm", "accuracy_pct", "selected", "per_eid", "sim_v_time_s")
     print(render_rows(f"match {len(targets)} EIDs", columns, rows), file=out)
+    if tracer is not None:
+        _write_trace(tracer, args.trace, out)
+    if getattr(args, "metrics", False):
+        from repro.obs import get_registry
+
+        print("", file=out)
+        print(get_registry().render_prometheus(), file=out, end="")
     return 0
+
+
+def _write_trace(tracer, path: str, out) -> None:
+    """Dump a run's spans as Chrome trace-event JSON plus a summary."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(tracer.to_chrome_trace(), fh)
+    spans = tracer.spans
+    print(
+        f"wrote {len(spans)} spans to {path} "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+        file=out,
+    )
+    print(tracer.render_tree(), file=out)
 
 
 def _report_row(name: str, report, dataset) -> dict:
@@ -296,6 +363,45 @@ def run_inspect(args: argparse.Namespace, out=None) -> int:
     print("\ncrowd-size histogram:", file=out)
     for label, count in co_occurrence_histogram(dataset.store):
         print(f"  {label:>9}  {count}", file=out)
+
+    store = dataset.store
+    dims = 0
+    for key in store.keys[:1]:
+        matrix = store.v_scenario(key).feature_matrix()
+        dims = matrix.shape[1] if matrix.ndim == 2 else 0
+    feature_bytes = stats.total_detections * dims * 8
+    print("\nscenario store:", file=out)
+    print(
+        f"  {len(store)} EV-Scenarios ({stats.num_ticks} ticks x "
+        f"{args.cells * args.cells} cells), {stats.distinct_eids} EIDs",
+        file=out,
+    )
+    print(
+        f"  {stats.total_detections} detections, {dims}-dim features "
+        f"(~{feature_bytes / 1024:.0f} KiB if fully extracted)",
+        file=out,
+    )
+
+    # Warm the V-stage caches with a small match so the report below
+    # shows real traffic, then print both caches' counters.
+    from repro.core.set_splitting import SetSplitter
+    from repro.core.vid_filtering import FilterConfig, VIDFilter
+
+    sample = list(dataset.sample_targets(min(10, len(dataset.eids)), seed=1))
+    split = SetSplitter(store, SplitConfig()).run(sample)
+    vid_filter = VIDFilter(store, FilterConfig())
+    vid_filter.match(split.evidence)
+    print(f"\nV-stage caches after matching {len(sample)} EIDs:", file=out)
+    for cache, counters in vid_filter.cache_report().items():
+        print(
+            f"  {cache:<11} hits {counters['hits']:.0f}  "
+            f"misses {counters['misses']:.0f}  "
+            f"hit rate {counters['hit_rate']:.2f}  "
+            f"evictions {counters['evictions']:.0f}  "
+            f"bytes {counters['current_bytes']:.0f} "
+            f"(peak {counters['peak_bytes']:.0f})",
+            file=out,
+        )
     return 0
 
 

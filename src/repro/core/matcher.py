@@ -25,6 +25,7 @@ from repro.core.set_splitting import SetSplitter, SplitConfig
 from repro.core.vid_filtering import FilterConfig, MatchResult, VIDFilter
 from repro.metrics.accuracy import AccuracyReport, accuracy_of
 from repro.metrics.timing import CostModel, SimulatedClock, StageTimes
+from repro.obs import get_registry, get_tracer
 from repro.sensing.scenarios import ScenarioStore
 from repro.world.entities import EID, VID
 
@@ -129,38 +130,50 @@ class EVMatcher:
         """Match ``targets`` with EID set splitting + VID filtering."""
         cfg = self.config
         clock = SimulatedClock(cfg.cost_model)
-        if cfg.refining is not None:
-            matcher = RefiningMatcher(
-                self.store,
-                split_config=cfg.split,
-                filter_config=cfg.filter,
-                refining_config=cfg.refining,
-                clock=clock,
+        with get_tracer().span(
+            "match", algorithm="ss", targets=len(targets)
+        ) as span:
+            if cfg.refining is not None:
+                matcher = RefiningMatcher(
+                    self.store,
+                    split_config=cfg.split,
+                    filter_config=cfg.filter,
+                    refining_config=cfg.refining,
+                    clock=clock,
+                )
+                results, stats = matcher.run(targets, universe=universe)
+                report = MatchReport(
+                    algorithm="ss",
+                    targets=tuple(targets),
+                    results=results,
+                    num_selected=stats.total_selected,
+                    avg_scenarios_per_eid=_avg_evidence(results),
+                    scenarios_examined=stats.scenarios_examined,
+                    times=clock.times(cfg.parallelism),
+                    refining=stats,
+                )
+            else:
+                splitter = SetSplitter(self.store, cfg.split, clock)
+                split = splitter.run(targets, universe=universe)
+                vid_filter = VIDFilter(self.store, cfg.filter, clock)
+                results = vid_filter.match(
+                    split.evidence, use_exclusion=cfg.use_exclusion
+                )
+                report = MatchReport(
+                    algorithm="ss",
+                    targets=tuple(targets),
+                    results=results,
+                    num_selected=split.num_selected,
+                    avg_scenarios_per_eid=split.avg_scenarios_per_eid,
+                    scenarios_examined=split.scenarios_examined,
+                    times=clock.times(cfg.parallelism),
+                )
+            span.set(
+                num_selected=report.num_selected,
+                scenarios_examined=report.scenarios_examined,
             )
-            results, stats = matcher.run(targets, universe=universe)
-            return MatchReport(
-                algorithm="ss",
-                targets=tuple(targets),
-                results=results,
-                num_selected=stats.total_selected,
-                avg_scenarios_per_eid=_avg_evidence(results),
-                scenarios_examined=stats.scenarios_examined,
-                times=clock.times(cfg.parallelism),
-                refining=stats,
-            )
-        splitter = SetSplitter(self.store, cfg.split, clock)
-        split = splitter.run(targets, universe=universe)
-        vid_filter = VIDFilter(self.store, cfg.filter, clock)
-        results = vid_filter.match(split.evidence, use_exclusion=cfg.use_exclusion)
-        return MatchReport(
-            algorithm="ss",
-            targets=tuple(targets),
-            results=results,
-            num_selected=split.num_selected,
-            avg_scenarios_per_eid=split.avg_scenarios_per_eid,
-            scenarios_examined=split.scenarios_examined,
-            times=clock.times(cfg.parallelism),
-        )
+        _record_report(report)
+        return report
 
     def match_one(
         self,
@@ -187,19 +200,42 @@ class EVMatcher:
         """Match ``targets`` with the EDP baseline, same V stage."""
         cfg = self.config
         clock = SimulatedClock(cfg.cost_model)
-        edp = EDPMatcher(self.store, cfg.edp, clock)
-        e_result = edp.run(targets, universe=universe)
-        vid_filter = VIDFilter(self.store, cfg.filter, clock)
-        results = vid_filter.match(e_result.evidence)
-        return MatchReport(
-            algorithm="edp",
-            targets=tuple(targets),
-            results=results,
-            num_selected=e_result.num_selected,
-            avg_scenarios_per_eid=e_result.avg_scenarios_per_eid,
-            scenarios_examined=e_result.scenarios_examined,
-            times=clock.times(cfg.parallelism),
-        )
+        with get_tracer().span(
+            "match", algorithm="edp", targets=len(targets)
+        ) as span:
+            with get_tracer().span("e.edp", targets=len(targets)):
+                edp = EDPMatcher(self.store, cfg.edp, clock)
+                e_result = edp.run(targets, universe=universe)
+            vid_filter = VIDFilter(self.store, cfg.filter, clock)
+            results = vid_filter.match(e_result.evidence)
+            report = MatchReport(
+                algorithm="edp",
+                targets=tuple(targets),
+                results=results,
+                num_selected=e_result.num_selected,
+                avg_scenarios_per_eid=e_result.avg_scenarios_per_eid,
+                scenarios_examined=e_result.scenarios_examined,
+                times=clock.times(cfg.parallelism),
+            )
+            span.set(
+                num_selected=report.num_selected,
+                scenarios_examined=report.scenarios_examined,
+            )
+        _record_report(report)
+        return report
+
+
+def _record_report(report: MatchReport) -> None:
+    """Fold one run's simulated stage times into the default registry."""
+    reg = get_registry()
+    for stage, seconds in report.times.as_dict().items():
+        reg.counter(
+            "ev_simulated_stage_seconds_total",
+            "Simulated stage seconds accumulated by matching runs",
+        ).inc(seconds, stage=stage, algorithm=report.algorithm)
+    reg.counter(
+        "ev_match_runs_total", "Matching runs completed"
+    ).inc(algorithm=report.algorithm)
 
 
 def _avg_evidence(results: Mapping[EID, MatchResult]) -> float:

@@ -23,6 +23,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro.core.set_splitting import SetSplitter, SplitConfig
 from repro.core.vid_filtering import FilterConfig, MatchResult, VIDFilter
 from repro.metrics.timing import SimulatedClock
+from repro.obs import get_registry, get_tracer
 from repro.sensing.scenarios import ScenarioKey, ScenarioStore
 from repro.world.entities import EID
 
@@ -83,52 +84,65 @@ class RefiningMatcher:
         """Match ``targets``, refining unacceptable matches round by round."""
         stats = RefiningStats()
         vid_filter = VIDFilter(self.store, self.filter_config, self.clock)
+        extracted_before = self.clock.detections_extracted
+        comparisons_before = self.clock.comparisons
         results: Dict[EID, MatchResult] = {}
         used_keys: Set[ScenarioKey] = set()
         pending: List[EID] = list(targets)
 
+        tracer = get_tracer()
         for round_index in range(self.refining_config.max_rounds):
             if not pending:
                 break
             stats.rounds += 1
             stats.refined_per_round.append(len(pending))
-            splitter = SetSplitter(
-                self.store,
-                replace(self.split_config, seed=self.split_config.seed + round_index),
-                self.clock,
-            )
-            split = splitter.run(
-                pending, universe=universe, exclude=frozenset(used_keys)
-            )
-            stats.total_selected += split.num_selected
-            stats.scenarios_examined += split.scenarios_examined
-            used_keys.update(split.recorded)
+            with tracer.span(
+                "e.refine.round", round=round_index, pending=len(pending)
+            ) as round_span:
+                splitter = SetSplitter(
+                    self.store,
+                    replace(self.split_config, seed=self.split_config.seed + round_index),
+                    self.clock,
+                )
+                split = splitter.run(
+                    pending, universe=universe, exclude=frozenset(used_keys)
+                )
+                stats.total_selected += split.num_selected
+                stats.scenarios_examined += split.scenarios_examined
+                used_keys.update(split.recorded)
 
-            progressed = False
-            for target in pending:
-                fresh = split.evidence.get(target, [])
-                if not fresh:
-                    continue  # keep the previous round's match, if any
-                progressed = True
-                # Each round's product runs over *fresh* scenarios only
-                # (a scenario whose V side misses the target poisons
-                # every product it participates in, so extending a
-                # poisoned list cannot repair it); the rounds' chosen
-                # detections then vote together.
-                candidate = vid_filter.match_one(target, fresh)
-                previous = results.get(target)
-                if previous is None or previous.is_empty:
-                    results[target] = candidate
-                else:
-                    results[target] = vid_filter.pool(previous, candidate)
-            pending = [
-                t
-                for t in pending
-                if t not in results
-                or not results[t].is_acceptable(self.filter_config)
-            ]
+                progressed = False
+                for target in pending:
+                    fresh = split.evidence.get(target, [])
+                    if not fresh:
+                        continue  # keep the previous round's match, if any
+                    progressed = True
+                    # Each round's product runs over *fresh* scenarios only
+                    # (a scenario whose V side misses the target poisons
+                    # every product it participates in, so extending a
+                    # poisoned list cannot repair it); the rounds' chosen
+                    # detections then vote together.
+                    candidate = vid_filter.match_one(target, fresh)
+                    previous = results.get(target)
+                    if previous is None or previous.is_empty:
+                        results[target] = candidate
+                    else:
+                        results[target] = vid_filter.pool(previous, candidate)
+                pending = [
+                    t
+                    for t in pending
+                    if t not in results
+                    or not results[t].is_acceptable(self.filter_config)
+                ]
+                round_span.set(unresolved=len(pending))
             if not progressed:
                 break  # no fresh scenarios exist for the stragglers
+        get_registry().counter(
+            "ev_refine_rounds_total", "Algorithm 2 refining passes executed"
+        ).inc(stats.rounds)
+        # The loop drives match_one directly (bypassing VIDFilter.match),
+        # so fold its V-stage work into the registry here.
+        vid_filter.publish_metrics(extracted_before, comparisons_before)
 
         for target in targets:
             if target not in results:

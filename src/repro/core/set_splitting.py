@@ -34,6 +34,7 @@ nor get other EIDs wrongly eliminated.
 from __future__ import annotations
 
 import enum
+import time
 from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import (
@@ -53,6 +54,7 @@ import numpy as np
 
 from repro.core.partition import EIDPartition, SeparationTracker
 from repro.metrics.timing import SimulatedClock
+from repro.obs import get_registry, get_tracer
 from repro.sensing.scenarios import EScenario, ScenarioKey, ScenarioStore
 from repro.world.entities import EID
 
@@ -275,11 +277,55 @@ class SetSplitter:
             result.evidence[t] = []
         diversity = EvidenceDiversity(self.config.min_gap_ticks)
 
-        if self.config.backend == "bitset":
-            self._run_bitset(result, universe_set, diversity, exclude)
-        else:
-            self._run_python(result, universe_set, diversity, exclude)
+        backend = self.config.backend
+        started = time.perf_counter()
+        with get_tracer().span(
+            "e.split", backend=backend, targets=len(targets)
+        ) as span:
+            if backend == "bitset":
+                self._run_bitset(result, universe_set, diversity, exclude)
+            else:
+                self._run_python(result, universe_set, diversity, exclude)
+            span.set(
+                examined=result.scenarios_examined,
+                recorded=len(result.recorded),
+                distinguished=len(result.distinguished),
+            )
+        self._publish_metrics(result, time.perf_counter() - started)
         return result
+
+    def _publish_metrics(self, result: SplitResult, elapsed_s: float) -> None:
+        """One O(1)-ish registry update per run (never per scenario):
+        the E-stage counters the paper's Figs. 5-7 are built from, plus
+        real kernel time split by backend."""
+        registry = get_registry()
+        backend = self.config.backend
+        registry.counter(
+            "ev_e_scenarios_examined_total",
+            "E-Scenarios inspected by set splitting, effective or not",
+        ).inc(result.scenarios_examined, backend=backend)
+        registry.counter(
+            "ev_e_scenarios_recorded_total",
+            "distinct effective scenarios selected (Fig. 5/6 metric)",
+        ).inc(len(result.recorded), backend=backend)
+        registry.counter(
+            "ev_e_targets_total", "targets submitted to set splitting"
+        ).inc(len(result.targets), backend=backend)
+        registry.counter(
+            "ev_e_targets_distinguished_total",
+            "targets whose candidate set reached a singleton",
+        ).inc(len(result.distinguished), backend=backend)
+        registry.histogram(
+            "ev_e_split_seconds",
+            "real kernel time of one set-splitting run",
+        ).observe(elapsed_s, backend=backend)
+        remaining = registry.histogram(
+            "ev_e_candidates_remaining",
+            "per-target candidate-set size when splitting stopped",
+            buckets=(1, 2, 4, 8, 16, 64, 256, 1024),
+        )
+        for target in result.targets:
+            remaining.observe(len(result.candidates.get(target, ())))
 
     def _run_python(
         self,

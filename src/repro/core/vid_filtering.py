@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.caches import ByteBudgetLRU
 from repro.metrics.timing import SimulatedClock
+from repro.obs import get_registry, get_tracer
 from repro.sensing.scenarios import Detection, ScenarioKey, ScenarioStore
 from repro.world.entities import EID
 
@@ -185,6 +186,9 @@ class VIDFilter:
         self._membership_cache: ByteBudgetLRU[np.ndarray] = ByteBudgetLRU(
             self.config.membership_cache_bytes, lambda a: a.nbytes
         )
+        # Last-published cumulative counters, so repeated match() calls
+        # on one filter emit monotone deltas into the registry.
+        self._published: Dict[str, float] = {}
 
     def match(
         self,
@@ -205,22 +209,70 @@ class VIDFilter:
         those remain unmatched" (Sec. IV-A).
         """
         results: Dict[EID, MatchResult] = {}
-        if not use_exclusion:
-            for eid in sorted(evidence.keys()):
-                results[eid] = self.match_one(eid, evidence[eid])
-            return results
-
-        claimed: List[np.ndarray] = []
-        order = sorted(
-            evidence.keys(), key=lambda e: (len(evidence[e]), e)
-        )
-        for eid in order:
-            result = self.match_one(eid, evidence[eid], claimed=claimed)
-            results[eid] = result
-            centroid = self._claim_centroid(result)
-            if centroid is not None:
-                claimed.append(centroid)
+        extracted_before = self.clock.detections_extracted
+        comparisons_before = self.clock.comparisons
+        with get_tracer().span(
+            "v.filter", targets=len(evidence), exclusion=use_exclusion
+        ) as span:
+            if not use_exclusion:
+                for eid in sorted(evidence.keys()):
+                    results[eid] = self.match_one(eid, evidence[eid])
+            else:
+                claimed: List[np.ndarray] = []
+                order = sorted(
+                    evidence.keys(), key=lambda e: (len(evidence[e]), e)
+                )
+                for eid in order:
+                    result = self.match_one(eid, evidence[eid], claimed=claimed)
+                    results[eid] = result
+                    centroid = self._claim_centroid(result)
+                    if centroid is not None:
+                        claimed.append(centroid)
+            span.set(
+                detections_extracted=(
+                    self.clock.detections_extracted - extracted_before
+                ),
+                comparisons=self.clock.comparisons - comparisons_before,
+            )
+        self.publish_metrics(extracted_before, comparisons_before)
         return results
+
+    def publish_metrics(
+        self, extracted_before: int = 0, comparisons_before: int = 0
+    ) -> None:
+        """Fold this match() call's V-stage work and cache activity
+        into the process registry (deltas, so a long-lived filter in
+        ``repro serve`` keeps its counters monotone)."""
+        registry = get_registry()
+        registry.counter(
+            "ev_v_detections_extracted_total",
+            "human figures feature-extracted in selected V-Scenarios",
+        ).inc(self.clock.detections_extracted - extracted_before)
+        registry.counter(
+            "ev_v_comparisons_total", "feature-vector comparisons charged"
+        ).inc(self.clock.comparisons - comparisons_before)
+        report = self.cache_report()
+        for cache_name, stats in report.items():
+            for counter_name, metric, help_text in (
+                ("hits", "ev_cache_hits_total", "V-stage cache hits"),
+                ("misses", "ev_cache_misses_total", "V-stage cache misses"),
+                ("evictions", "ev_cache_evictions_total", "V-stage cache evictions"),
+            ):
+                cumulative = stats[counter_name]
+                key = f"{cache_name}.{counter_name}"
+                delta = cumulative - self._published.get(key, 0.0)
+                self._published[key] = cumulative
+                if delta > 0:
+                    registry.counter(metric, help_text).inc(delta, cache=cache_name)
+            registry.gauge(
+                "ev_cache_bytes", "V-stage cache resident payload bytes"
+            ).set(stats["current_bytes"], cache=cache_name)
+            registry.gauge(
+                "ev_cache_peak_bytes", "V-stage cache peak payload bytes"
+            ).set(stats["peak_bytes"], cache=cache_name)
+            registry.gauge(
+                "ev_cache_hit_rate", "V-stage cache lifetime hit rate"
+            ).set(stats["hit_rate"], cache=cache_name)
 
     def match_one(
         self,
@@ -240,6 +292,15 @@ class VIDFilter:
             return MatchResult(
                 eid=eid, scenario_keys=(), chosen=(), scores=(), agreement=0.0
             )
+        with get_tracer().span("v.match_one", eid=eid.index, evidence=len(keys)):
+            return self._match_one_inner(eid, keys, claimed)
+
+    def _match_one_inner(
+        self,
+        eid: EID,
+        keys: List[ScenarioKey],
+        claimed: Optional[Sequence[np.ndarray]] = None,
+    ) -> MatchResult:
         for key in keys:
             self._ensure_extracted(key)
 

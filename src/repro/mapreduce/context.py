@@ -17,6 +17,7 @@ from repro.mapreduce.accumulators import Accumulator, AccumulatorRegistry
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.job import JobMetrics, MapReduceJob
 from repro.mapreduce.rdd import RDD, _Narrow, _Node, _Shuffle, _Source, _Union
+from repro.obs import get_registry
 
 
 class EVSparkContext:
@@ -94,6 +95,7 @@ class EVSparkContext:
                 job, base_name, self._fresh_name("narrow-out")
             )
             self.job_log.append(metrics)
+            self._publish_accumulators()
             return handle.name
         if isinstance(node, _Shuffle):
             base_name = self.materialize(node.parent)
@@ -110,8 +112,24 @@ class EVSparkContext:
                 job, base_name, self._fresh_name(f"{node.label}-out")
             )
             self.job_log.append(metrics)
+            self._publish_accumulators()
             return handle.name
         raise TypeError(f"unknown lineage node {type(node).__name__}")
+
+    def _publish_accumulators(self) -> None:
+        """Mirror numeric accumulator values into the metrics registry.
+
+        Runs after every job so ``mr_accumulator`` gauges track the
+        driver-side counters as lineage materializes; non-numeric
+        accumulators (custom combine types) are skipped.
+        """
+        gauge = get_registry().gauge(
+            "mr_accumulator", "Driver-side accumulator values, by name"
+        )
+        for name, value in self.accumulators.snapshot().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            gauge.set(float(value), name=name)
 
     @staticmethod
     def _narrow_chain(node: _Narrow):

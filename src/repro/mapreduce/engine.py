@@ -22,11 +22,13 @@ task's accumulated cost onto the :class:`~repro.mapreduce.cluster.SimulatedClust
 
 from __future__ import annotations
 
+import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.mapreduce.cluster import SimulatedCluster
+from repro.obs import get_registry, get_tracer
 from repro.mapreduce.failures import (
     FailureInjector,
     FailurePolicy,
@@ -94,14 +96,65 @@ class MapReduceEngine:
         num_map_tasks = self.dfs.num_partitions(input_name)
         metrics.records_in = self.dfs.handle(input_name).num_records
 
-        if job.reducer is None:
-            handle = self._run_map_only(job, input_name, output_name, metrics)
-        else:
-            handle = self._run_full(job, input_name, output_name, metrics)
-        metrics.map_tasks = num_map_tasks
-        metrics.wall_time = time.perf_counter() - started
-        metrics.records_out = handle.num_records
+        with get_tracer().span(
+            "mr.job", job=job.name, map_tasks=num_map_tasks
+        ) as span:
+            if job.reducer is None:
+                handle = self._run_map_only(job, input_name, output_name, metrics)
+            else:
+                handle = self._run_full(job, input_name, output_name, metrics)
+            metrics.map_tasks = num_map_tasks
+            metrics.wall_time = time.perf_counter() - started
+            metrics.records_out = handle.num_records
+            span.set(
+                records_in=metrics.records_in,
+                records_out=metrics.records_out,
+                pairs_shuffled=metrics.pairs_shuffled,
+            )
+        self._publish_job_metrics(metrics)
         return handle, metrics
+
+    def _publish_job_metrics(self, metrics: JobMetrics) -> None:
+        """Fold one job's counters into the default metrics registry."""
+        reg = get_registry()
+        reg.counter("mr_jobs_total", "MapReduce jobs completed").inc()
+        reg.counter(
+            "mr_records_in_total", "Records read by MapReduce jobs"
+        ).inc(metrics.records_in)
+        reg.counter(
+            "mr_records_out_total", "Records written by MapReduce jobs"
+        ).inc(metrics.records_out)
+        reg.counter(
+            "mr_pairs_shuffled_total", "Key/value pairs moved in shuffles"
+        ).inc(metrics.pairs_shuffled)
+        tasks = reg.counter("mr_tasks_total", "Tasks that ran, by stage")
+        retries = reg.counter(
+            "mr_task_retries_total", "Failed attempts that were retried, by stage"
+        )
+        tasks.inc(metrics.map_tasks, stage="map")
+        retries.inc(max(0, metrics.map_attempts - metrics.map_tasks), stage="map")
+        if metrics.reduce_tasks:
+            tasks.inc(metrics.reduce_tasks, stage="reduce")
+            retries.inc(
+                max(0, metrics.reduce_attempts - metrics.reduce_tasks),
+                stage="reduce",
+            )
+        sim = reg.counter(
+            "mr_simulated_seconds_total",
+            "Simulated stage makespan accumulated by jobs, by stage",
+        )
+        spec = reg.counter(
+            "mr_speculative_copies_total", "Speculative backup copies launched"
+        )
+        for stage, stats in (
+            ("map", metrics.map_stats),
+            ("reduce", metrics.reduce_stats),
+        ):
+            if stats is None:
+                continue
+            sim.inc(stats.makespan, stage=stage)
+            if stats.speculative_copies:
+                spec.inc(stats.speculative_copies, stage=stage)
 
     # ------------------------------------------------------------------
     def _run_map_only(
@@ -237,31 +290,48 @@ class MapReduceEngine:
         """
         attempts_total = 0
         costs: List[float] = []
+        tracer = get_tracer()
 
         def attempt_task(index: int) -> Tuple[Any, float, int, List[float]]:
             policy = self.injector.policy
             local_costs: List[float] = []
-            for attempt in range(1, policy.max_attempts + 1):
-                try:
-                    self.injector.check(stage_id, index, attempt)
-                    result, cost = task(index)
-                    local_costs.append(cost)
-                    return result, cost, attempt, local_costs
-                except InjectedTaskFailure:
-                    # The dead attempt still burned a slot for roughly
-                    # the task's duration; charge it when the task
-                    # eventually succeeds (cost known then).
-                    local_costs.append(-1.0)
-                    continue
-            raise JobFailedError(
-                f"{stage_id} task {index} failed {policy.max_attempts} attempts"
-            )
+            with tracer.span("mr.task", stage=stage_id, task=index) as span:
+                for attempt in range(1, policy.max_attempts + 1):
+                    try:
+                        self.injector.check(stage_id, index, attempt)
+                        result, cost = task(index)
+                        local_costs.append(cost)
+                        span.set(attempts=attempt, sim_cost=cost)
+                        return result, cost, attempt, local_costs
+                    except InjectedTaskFailure:
+                        # The dead attempt still burned a slot for roughly
+                        # the task's duration; charge it when the task
+                        # eventually succeeds (cost known then).
+                        local_costs.append(-1.0)
+                        continue
+                raise JobFailedError(
+                    f"{stage_id} task {index} failed {policy.max_attempts} attempts"
+                )
 
-        if self.executor == "threads" and num_tasks > 1:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                outcomes = list(pool.map(attempt_task, range(num_tasks)))
-        else:
-            outcomes = [attempt_task(i) for i in range(num_tasks)]
+        with tracer.span("mr.stage", stage=stage_id, tasks=num_tasks):
+            if self.executor == "threads" and num_tasks > 1:
+                # Worker threads start with an empty contextvars context,
+                # which would orphan the task spans; snapshot the caller's
+                # context (holding the current stage span) per task so each
+                # mr.task span parents correctly regardless of which thread
+                # runs it.
+                contexts = [
+                    contextvars.copy_context() for _ in range(num_tasks)
+                ]
+                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                    outcomes = list(
+                        pool.map(
+                            lambda i: contexts[i].run(attempt_task, i),
+                            range(num_tasks),
+                        )
+                    )
+            else:
+                outcomes = [attempt_task(i) for i in range(num_tasks)]
 
         results: List[Any] = []
         for result, cost, attempts, local_costs in outcomes:

@@ -20,6 +20,7 @@ comparison; the benchmark shapes are insensitive to the exact values.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,11 @@ class StageTimes:
         if factor < 0:
             raise ValueError(f"factor must be non-negative, got {factor}")
         return StageTimes(e_time=self.e_time * factor, v_time=self.v_time * factor)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Stage-keyed seconds, the shape the metrics registry and JSON
+        reports consume (``{"e": ..., "v": ..., "total": ...}``)."""
+        return {"e": self.e_time, "v": self.v_time, "total": self.total}
 
 
 class SimulatedClock:

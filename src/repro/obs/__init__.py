@@ -1,0 +1,59 @@
+"""``repro.obs`` — unified observability: metrics registry + tracing.
+
+The pipeline's internal quantities (E-Scenarios examined, candidate
+shrink, detections extracted, cache hit rates, MapReduce task times)
+are exactly what the paper's evaluation plots, so they are first-class
+here rather than ad-hoc ``perf_counter`` calls:
+
+* :mod:`repro.obs.registry` — thread-safe named counters / gauges /
+  histograms with labels, a process-global default registry, a no-op
+  mode, and Prometheus-style text exposition;
+* :mod:`repro.obs.tracing` — hierarchical spans (context-manager and
+  decorator APIs, contextvar propagation across thread pools),
+  exportable as Chrome trace-event JSON and as a text tree.
+
+``repro.obs`` sits below every other package (it imports nothing from
+``repro``) so core, mapreduce, and service can all record to it.  The
+metric name catalogue lives in ``docs/architecture.md``
+("Observability").
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    nearest_rank,
+    null_registry,
+    set_registry,
+)
+from repro.obs.tracing import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    null_tracer,
+    set_tracer,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "nearest_rank",
+    "null_registry",
+    "null_tracer",
+    "set_registry",
+    "set_tracer",
+    "traced",
+]

@@ -1,0 +1,320 @@
+"""Hierarchical span tracing for the E/V pipeline and the engine.
+
+The span half of :mod:`repro.obs`: a :class:`Tracer` produces nested
+:class:`Span`\\ s via a context-manager (``with tracer.span("e.split")``)
+or decorator (``@traced("v.filter")``) API.  The *current* span is a
+``contextvars.ContextVar``, so nesting follows call structure
+automatically — including across the MapReduce engine's thread pool,
+which snapshots the driver's context per task
+(``contextvars.copy_context()``) so task spans parent under their
+stage span even though they run on worker threads.
+
+Two export shapes:
+
+* :meth:`Tracer.to_chrome_trace` — Chrome trace-event JSON (the
+  ``chrome://tracing`` / Perfetto format: complete events, ``ph: "X"``,
+  microsecond timestamps, real thread ids), written by
+  ``repro match --trace out.json``;
+* :meth:`Tracer.render_tree` — an indented text tree with durations,
+  for terminals and test failures.
+
+The default process tracer is a shared :class:`NullTracer` whose
+``span()`` returns one reusable no-op object — instrumented hot paths
+pay a method call and no allocation when tracing is off.  Enable with
+``set_tracer(Tracer())``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class Span:
+    """One timed, named region; a node in the trace tree."""
+
+    __slots__ = (
+        "name", "args", "tid", "parent", "children",
+        "start_s", "end_s",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional["Span"],
+        start_s: float,
+        args: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: List["Span"] = []
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.tid = threading.get_ident()
+        self.args = args
+
+    def set(self, **args: Any) -> None:
+        """Attach arguments discovered while the span is open (counts,
+        outcomes) — they land in the Chrome event's ``args``."""
+        self.args.update(args)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.2f}ms)"
+
+
+class _NoopSpan:
+    """The shared do-nothing span: context manager + ``set`` no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, **args: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    """Context manager guarding one span's lifetime + contextvar."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Span:
+        self._token = self._tracer._current.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        span = self._span
+        span.end_s = self._tracer._clock()
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+        self._tracer._record(span)
+        return False
+
+
+class Tracer:
+    """Collects nested spans; exports Chrome trace JSON / a text tree.
+
+    Thread-safe: spans may open and close on any thread.  Parenting is
+    taken from the contextvar unless an explicit ``parent=`` is given
+    (how the engine parents worker-thread tasks when a caller opts out
+    of context snapshots).
+    """
+
+    def __init__(self) -> None:
+        self._clock = time.perf_counter
+        self._epoch = self._clock()
+        self._current: "contextvars.ContextVar[Optional[Span]]" = (
+            contextvars.ContextVar(f"repro-obs-span-{id(self)}", default=None)
+        )
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._roots: List[Span] = []
+
+    # -- recording -------------------------------------------------------
+    def span(
+        self, name: str, parent: Optional[Span] = None, **args: Any
+    ) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("name") as s:``."""
+        effective_parent = parent if parent is not None else self._current.get()
+        span = Span(name, effective_parent, self._clock(), dict(args))
+        return _SpanContext(self, span)
+
+    def trace(self, name: Optional[str] = None) -> Callable:
+        """Decorator form: the wrapped call body becomes one span."""
+
+        def decorator(fn: Callable) -> Callable:
+            label = name if name is not None else fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.span(label):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorator
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this thread's context, if any."""
+        return self._current.get()
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+            if span.parent is None:
+                self._roots.append(span)
+            else:
+                span.parent.children.append(span)
+
+    # -- reading ---------------------------------------------------------
+    @property
+    def spans(self) -> List[Span]:
+        """Finished spans in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    @property
+    def roots(self) -> List[Span]:
+        """Finished spans with no parent, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self._roots.clear()
+        self._epoch = self._clock()
+
+    # -- exports ---------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The run as Chrome trace-event JSON (complete ``"X"`` events).
+
+        Load in ``chrome://tracing`` or https://ui.perfetto.dev;
+        ``ts`` / ``dur`` are microseconds since the tracer's epoch.
+        """
+        pid = os.getpid()
+        events = []
+        for span in self.spans:
+            events.append({
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (span.start_s - self._epoch) * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": pid,
+                "tid": span.tid,
+                "args": {k: _jsonable(v) for k, v in span.args.items()},
+            })
+        events.sort(key=lambda e: e["ts"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def render_tree(self, max_children: int = 12) -> str:
+        """An indented text tree of the trace, durations in ms.
+
+        Sibling runs past ``max_children`` are elided with a count —
+        a universal match traces thousands of per-target spans and a
+        terminal dump should stay readable.
+        """
+        lines: List[str] = []
+        for root in self.roots:
+            self._render_node(root, 0, max_children, lines)
+        return "\n".join(lines)
+
+    def _render_node(
+        self, span: Span, depth: int, max_children: int, lines: List[str]
+    ) -> None:
+        indent = "  " * depth
+        args = ""
+        if span.args:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(span.args.items()))
+            args = f"  [{rendered}]"
+        lines.append(f"{indent}{span.name}  {span.duration_s * 1e3:.2f}ms{args}")
+        children = sorted(span.children, key=lambda s: s.start_s)
+        for child in children[:max_children]:
+            self._render_node(child, depth + 1, max_children, lines)
+        hidden = len(children) - max_children
+        if hidden > 0:
+            lines.append(f"{'  ' * (depth + 1)}... {hidden} more")
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class NullTracer:
+    """The zero-overhead tracer: every ``span()`` is the same no-op
+    object, nothing is recorded, exports are empty."""
+
+    def span(
+        self, name: str, parent: Optional[Span] = None, **args: Any
+    ) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def trace(self, name: Optional[str] = None) -> Callable:
+        def decorator(fn: Callable) -> Callable:
+            return fn
+
+        return decorator
+
+    def current_span(self) -> Optional[Span]:
+        return None
+
+    @property
+    def spans(self) -> Tuple[Span, ...]:
+        return ()
+
+    @property
+    def roots(self) -> Tuple[Span, ...]:
+        return ()
+
+    def reset(self) -> None:
+        pass
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def render_tree(self, max_children: int = 12) -> str:
+        return ""
+
+
+_NULL_TRACER = NullTracer()
+_default_tracer: "Tracer | NullTracer" = _NULL_TRACER
+_default_lock = threading.Lock()
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The process-global tracer (a no-op unless someone enabled one)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: "Tracer | NullTracer") -> "Tracer | NullTracer":
+    """Swap the process-global tracer; returns the previous one."""
+    global _default_tracer
+    with _default_lock:
+        previous = _default_tracer
+        _default_tracer = tracer
+    return previous
+
+
+def null_tracer() -> NullTracer:
+    """The shared no-op tracer."""
+    return _NULL_TRACER
+
+
+def traced(name: str) -> Callable:
+    """Decorator binding to the *current* global tracer at call time
+    (so enabling tracing after import still captures the function)."""
+
+    def decorator(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with get_tracer().span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorator

@@ -19,6 +19,7 @@ from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.failures import FailurePolicy
 from repro.metrics.accuracy import AccuracyReport, accuracy_of
+from repro.obs import get_tracer
 from repro.metrics.timing import CostModel, StageTimes
 from repro.parallel.edp_job import ParallelEDP
 from repro.parallel.filter_job import ParallelFilterStats, ParallelVIDFilter
@@ -89,14 +90,18 @@ class ParallelEVMatcher:
     ) -> ParallelMatchReport:
         """Distributed set splitting + VID filtering."""
         engine = self._engine()
-        splitter = ParallelSetSplitter(
-            self.store, engine, self.split_config, self.cost_model
-        )
-        split, split_stats = splitter.run(targets, universe=universe)
-        vid_filter = ParallelVIDFilter(
-            self.store, engine, self.filter_config, self.cost_model
-        )
-        results, filter_stats = vid_filter.match(split.evidence)
+        with get_tracer().span(
+            "match", algorithm="ss", engine="mapreduce", targets=len(targets)
+        ):
+            splitter = ParallelSetSplitter(
+                self.store, engine, self.split_config, self.cost_model
+            )
+            split, split_stats = splitter.run(targets, universe=universe)
+            vid_filter = ParallelVIDFilter(
+                self.store, engine, self.filter_config, self.cost_model
+            )
+            with get_tracer().span("v.filter", targets=len(split.evidence)):
+                results, filter_stats = vid_filter.match(split.evidence)
         return ParallelMatchReport(
             algorithm="ss",
             targets=tuple(targets),
@@ -119,12 +124,19 @@ class ParallelEVMatcher:
     ) -> ParallelMatchReport:
         """Distributed EDP baseline (one mapper per EID) + shared V stage."""
         engine = self._engine()
-        edp = ParallelEDP(self.store, engine, self.edp_config, self.cost_model)
-        e_result, edp_stats = edp.run(targets, universe=universe)
-        vid_filter = ParallelVIDFilter(
-            self.store, engine, self.filter_config, self.cost_model
-        )
-        results, filter_stats = vid_filter.match(e_result.evidence)
+        with get_tracer().span(
+            "match", algorithm="edp", engine="mapreduce", targets=len(targets)
+        ):
+            with get_tracer().span("e.edp", targets=len(targets)):
+                edp = ParallelEDP(
+                    self.store, engine, self.edp_config, self.cost_model
+                )
+                e_result, edp_stats = edp.run(targets, universe=universe)
+            vid_filter = ParallelVIDFilter(
+                self.store, engine, self.filter_config, self.cost_model
+            )
+            with get_tracer().span("v.filter", targets=len(e_result.evidence)):
+                results, filter_stats = vid_filter.match(e_result.evidence)
         return ParallelMatchReport(
             algorithm="edp",
             targets=tuple(targets),

@@ -42,6 +42,7 @@ from repro.core.set_splitting import SplitConfig, SplitResult
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.job import JobMetrics, MapReduceJob
 from repro.metrics.timing import CostModel
+from repro.obs import get_tracer
 from repro.sensing.scenarios import ScenarioKey, ScenarioStore
 from repro.world.entities import EID
 
@@ -127,6 +128,7 @@ class ParallelSetSplitter:
         ticks = list(self.store.ticks)
         rng.shuffle(ticks)  # type: ignore[arg-type]
 
+        tracer = get_tracer()
         for tick in ticks:
             if not active:
                 break
@@ -134,12 +136,22 @@ class ParallelSetSplitter:
             if not batch:
                 continue
             stats.iterations += 1
-            signatures = self._signature_job(partition, batch, stats)
-            partition, next_partition_id = self._merge_job(
-                signatures, partition, next_partition_id, stats
-            )
-            self._update_targets(batch, candidates, active, result)
-            stats.partition_sets = len(partition)
+            with tracer.span(
+                "e.split.round",
+                round=stats.iterations - 1,
+                tick=tick,
+                batch=len(batch),
+                active=len(active),
+            ) as round_span:
+                signatures = self._signature_job(partition, batch, stats)
+                partition, next_partition_id = self._merge_job(
+                    signatures, partition, next_partition_id, stats
+                )
+                self._update_targets(batch, candidates, active, result)
+                stats.partition_sets = len(partition)
+                round_span.set(
+                    partition_sets=len(partition), undistinguished=len(active)
+                )
 
         result.candidates = {t: frozenset(candidates[t]) for t in targets}
         return result, stats

@@ -12,6 +12,9 @@ Composition (see ``docs/architecture.md``, "Serving layer")::
       ├── MatchBatcher            in-flight dedup + union batching
       ├── ShardedDataset          region-banded standing indexes
       ├── ServiceMetrics          counters + latency percentiles
+      │                           (on a repro.obs MetricsRegistry;
+      │                           the ``metrics`` verb renders it as
+      │                           Prometheus text)
       └── IncrementalMatcher      the ingest-fed watch-list
 
 :mod:`repro.service.loadgen` drives it for benchmarks;
@@ -29,6 +32,7 @@ from repro.service.api import (
     InvestigateResponse,
     MatchRequest,
     MatchResponse,
+    MetricsResponse,
     ServiceOverloaded,
     StatsResponse,
     TargetMatch,
@@ -37,13 +41,14 @@ from repro.service.batcher import MatchBatcher
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.dataset_shards import DatasetShard, ShardedDataset
 from repro.service.loadgen import LoadConfig, LoadReport, run_load
-from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.metrics import EndpointMetrics, LatencyHistogram, ServiceMetrics
 from repro.service.server import MatchService, ServiceConfig
 
 __all__ = [
     "ALGORITHMS",
     "CacheStats",
     "DatasetShard",
+    "EndpointMetrics",
     "IngestTickRequest",
     "IngestTickResponse",
     "InvestigateRequest",
@@ -55,6 +60,7 @@ __all__ = [
     "MatchRequest",
     "MatchResponse",
     "MatchService",
+    "MetricsResponse",
     "ResultCache",
     "STATUS_ERROR",
     "STATUS_OK",

@@ -11,7 +11,10 @@ system would be consumed in production:
   through the :class:`~repro.core.incremental.IncrementalMatcher`
   watch-list, and invalidate affected cache entries;
 * ``stats`` — the service's metrics snapshot (counters + latency
-  percentiles per endpoint).
+  percentiles per endpoint);
+* ``metrics`` — the same data (plus the process-global ``ev_*`` /
+  ``mr_*`` pipeline counters) as Prometheus text exposition, the
+  scrape-endpoint analog.
 
 Every request is a frozen dataclass with a stable :meth:`cache_key`, so
 the cache and the in-flight deduplication table agree on what
@@ -198,3 +201,16 @@ class StatsResponse:
     """The ``stats`` endpoint: one coherent metrics snapshot."""
 
     snapshot: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+@dataclass
+class MetricsResponse:
+    """The ``metrics`` endpoint: Prometheus text exposition.
+
+    ``text`` concatenates the service's own instrument family
+    (``service_*``) with the process-global registry's pipeline
+    counters (``ev_*``, ``mr_*``), so one scrape sees both the serving
+    behaviour and the matching work it caused.
+    """
+
+    text: str = ""

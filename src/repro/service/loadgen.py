@@ -25,6 +25,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.registry import nearest_rank
 from repro.service.api import (
     STATUS_OK,
     STATUS_SHED,
@@ -188,9 +189,9 @@ def run_load(service, targets: Sequence[EID], config: LoadConfig) -> LoadReport:
 
 
 def percentile(latencies: Sequence[float], q: float) -> float:
-    """Convenience for reporting a latency percentile of a run."""
-    if not latencies:
-        return 0.0
-    ordered = sorted(latencies)
-    rank = int(round((q / 100.0) * (len(ordered) - 1)))
-    return ordered[rank]
+    """Convenience for reporting a latency percentile of a run.
+
+    Follows the repo-wide nearest-rank convention (see
+    :func:`repro.obs.registry.nearest_rank`).
+    """
+    return nearest_rank(latencies, q)

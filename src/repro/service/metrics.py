@@ -1,4 +1,4 @@
-"""Per-endpoint serving metrics: counters + latency percentiles.
+"""Per-endpoint serving metrics, re-based on :mod:`repro.obs`.
 
 The ``stats`` endpoint exposes, for each of ``match`` / ``investigate``
 / ``ingest`` / ``stats``:
@@ -9,57 +9,64 @@ The ``stats`` endpoint exposes, for each of ``match`` / ``investigate``
   deduplicated against an in-flight twin),
 * latency percentiles (p50 / p95 / p99) over a bounded reservoir.
 
-Everything is thread-safe: the worker pool and client threads record
-concurrently.  The reservoir keeps the most recent ``max_samples``
-latencies per endpoint — a serving-side compromise (exact percentiles
-over a sliding window) that keeps memory bounded under sustained load.
+All of it is stored in a :class:`~repro.obs.registry.MetricsRegistry`
+— by default a **private** one per :class:`ServiceMetrics`, so two
+services in one process don't mix counts — under stable Prometheus
+names (``service_requests_total{endpoint=...}``,
+``service_responses_total{endpoint=...,outcome=...}``,
+``service_cache_total``, ``service_coalesced_total``,
+``service_latency_seconds``).  The ``metrics`` verb renders this
+registry (plus the process-global one holding the ``ev_*`` / ``mr_*``
+pipeline counters) as text exposition; :meth:`ServiceMetrics.snapshot`
+keeps the historical per-endpoint dict shape the ``stats`` endpoint
+and its tests rely on.
+
+Percentile convention (pinned): **nearest rank** — the q-th percentile
+of ``n`` retained samples is the ``max(1, ceil(q/100 * n))``-th
+smallest, so p50 of ``[1, 2, 3, 4]`` is deterministically 2.  See
+:func:`repro.obs.registry.nearest_rank`.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import deque
-from typing import Deque, Dict, Iterable, Tuple
+from typing import Dict, Optional, Tuple
+
+from repro.obs.registry import (
+    DEFAULT_MAX_SAMPLES,
+    Histogram,
+    MetricsRegistry,
+)
 
 
-class LatencyHistogram:
-    """Bounded reservoir of latency samples with exact percentiles."""
+class LatencyHistogram(Histogram):
+    """Bounded reservoir of latency samples with exact percentiles.
 
-    def __init__(self, max_samples: int = 4096) -> None:
-        if max_samples <= 0:
-            raise ValueError(f"max_samples must be positive, got {max_samples}")
-        self._samples: Deque[float] = deque(maxlen=max_samples)
-        self._count = 0
-        self._total = 0.0
+    A thin veneer over :class:`repro.obs.registry.Histogram` that keeps
+    the serving layer's historical API: ``record()``, a ``count``
+    *property* (total observations, not just retained ones), no-label
+    ``mean()`` / ``percentile()``.  Percentiles follow the pinned
+    nearest-rank convention.
+    """
+
+    def __init__(
+        self,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        name: str = "latency_seconds",
+        help: str = "",
+    ) -> None:
+        super().__init__(name, help, max_samples=max_samples)
 
     def record(self, latency_s: float) -> None:
-        self._samples.append(latency_s)
-        self._count += 1
-        self._total += latency_s
+        self.observe(latency_s)
 
-    @property
-    def count(self) -> int:
-        return self._count
-
-    def mean(self) -> float:
-        return self._total / self._count if self._count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0-100) over the retained window."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = int(round((q / 100.0) * (len(ordered) - 1)))
-        return ordered[rank]
-
-    def percentiles(self, qs: Iterable[float] = (50.0, 95.0, 99.0)) -> Dict[str, float]:
-        return {f"p{q:g}": self.percentile(q) for q in qs}
+    @property  # type: ignore[misc]
+    def count(self) -> int:  # type: ignore[override]
+        return Histogram.count(self)
 
 
 class EndpointMetrics:
-    """Counters and latency histogram of one endpoint."""
+    """Read view of one endpoint's series inside a :class:`ServiceMetrics`."""
 
     COUNTERS: Tuple[str, ...] = (
         "requests",
@@ -72,41 +79,99 @@ class EndpointMetrics:
         "deduplicated",
     )
 
-    def __init__(self, max_samples: int = 4096) -> None:
-        self.counts: Dict[str, int] = {name: 0 for name in self.COUNTERS}
-        self.latency = LatencyHistogram(max_samples)
+    def __init__(self, owner: "ServiceMetrics", endpoint: str) -> None:
+        self._owner = owner
+        self.endpoint = endpoint
+
+    def count(self, counter: str) -> int:
+        return self._owner._count(self.endpoint, counter)
 
     def snapshot(self) -> Dict[str, float]:
-        out: Dict[str, float] = dict(self.counts)
-        out["latency_mean_s"] = self.latency.mean()
-        for name, value in self.latency.percentiles().items():
+        out: Dict[str, float] = {
+            name: self._owner._count(self.endpoint, name)
+            for name in self.COUNTERS
+        }
+        latency = self._owner.latency
+        out["latency_mean_s"] = latency.mean(endpoint=self.endpoint)
+        for name, value in latency.percentiles(endpoint=self.endpoint).items():
             out[f"latency_{name}_s"] = value
         return out
 
 
 class ServiceMetrics:
-    """All endpoints' metrics behind one lock.
+    """All endpoints' metrics, stored as labelled registry instruments.
 
     Args:
         max_samples: latency reservoir size per endpoint.
+        registry: the registry to create instruments in.  Defaults to a
+            fresh private one so per-service counts stay isolated; pass
+            :func:`repro.obs.get_registry` to share the process-global
+            family instead.
     """
 
-    def __init__(self, max_samples: int = 4096) -> None:
+    def __init__(
+        self,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._lock = threading.Lock()
-        self._max_samples = max_samples
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._endpoints: Dict[str, EndpointMetrics] = {}
+        self.requests = self.registry.counter(
+            "service_requests_total", "Requests seen, by endpoint"
+        )
+        self.responses = self.registry.counter(
+            "service_responses_total", "Responses, by endpoint and outcome"
+        )
+        self.cache = self.registry.counter(
+            "service_cache_total", "Result-cache hits/misses, by endpoint"
+        )
+        self.coalesced = self.registry.counter(
+            "service_coalesced_total",
+            "Requests answered by a shared or in-flight Matcher call",
+        )
+        self.latency = self.registry.histogram(
+            "service_latency_seconds",
+            "Submit-to-resolution latency, by endpoint",
+            max_samples=max_samples,
+        )
 
-    def _endpoint(self, name: str) -> EndpointMetrics:
-        try:
-            return self._endpoints[name]
-        except KeyError:
-            metrics = EndpointMetrics(self._max_samples)
-            self._endpoints[name] = metrics
-            return metrics
+    def endpoint(self, name: str) -> EndpointMetrics:
+        with self._lock:
+            view = self._endpoints.get(name)
+            if view is None:
+                view = EndpointMetrics(self, name)
+                self._endpoints[name] = view
+            return view
+
+    # Legacy counter names map onto (instrument, extra labels).
+    def _count(self, endpoint: str, counter: str) -> int:
+        if counter == "requests":
+            return int(self.requests.value(endpoint=endpoint))
+        if counter in ("ok", "shed", "errors"):
+            outcome = "error" if counter == "errors" else counter
+            return int(self.responses.value(endpoint=endpoint, outcome=outcome))
+        if counter in ("cache_hits", "cache_misses"):
+            event = "hit" if counter == "cache_hits" else "miss"
+            return int(self.cache.value(endpoint=endpoint, event=event))
+        if counter in ("batched", "deduplicated"):
+            return int(self.coalesced.value(endpoint=endpoint, how=counter))
+        raise KeyError(f"unknown counter {counter!r}")
 
     def incr(self, endpoint: str, counter: str, by: int = 1) -> None:
-        with self._lock:
-            self._endpoint(endpoint).counts[counter] += by
+        self.endpoint(endpoint)
+        if counter == "requests":
+            self.requests.inc(by, endpoint=endpoint)
+        elif counter in ("ok", "shed", "errors"):
+            outcome = "error" if counter == "errors" else counter
+            self.responses.inc(by, endpoint=endpoint, outcome=outcome)
+        elif counter in ("cache_hits", "cache_misses"):
+            event = "hit" if counter == "cache_hits" else "miss"
+            self.cache.inc(by, endpoint=endpoint, event=event)
+        elif counter in ("batched", "deduplicated"):
+            self.coalesced.inc(by, endpoint=endpoint, how=counter)
+        else:
+            raise KeyError(f"unknown counter {counter!r}")
 
     def observe(
         self,
@@ -117,28 +182,28 @@ class ServiceMetrics:
         deduplicated: bool = False,
         batched: bool = False,
     ) -> None:
-        """Record one finished request in a single locked step."""
-        with self._lock:
-            metrics = self._endpoint(endpoint)
-            metrics.counts["requests"] += 1
-            if status in ("ok", "shed"):
-                metrics.counts[status if status == "shed" else "ok"] += 1
-            else:
-                metrics.counts["errors"] += 1
-            if cached:
-                metrics.counts["cache_hits"] += 1
-            elif status == "ok" and endpoint in ("match", "investigate"):
-                metrics.counts["cache_misses"] += 1
-            if deduplicated:
-                metrics.counts["deduplicated"] += 1
-            if batched:
-                metrics.counts["batched"] += 1
-            metrics.latency.record(latency_s)
+        """Record one finished request."""
+        self.endpoint(endpoint)
+        self.requests.inc(endpoint=endpoint)
+        outcome = status if status in ("ok", "shed") else "error"
+        self.responses.inc(endpoint=endpoint, outcome=outcome)
+        if cached:
+            self.cache.inc(endpoint=endpoint, event="hit")
+        elif status == "ok" and endpoint in ("match", "investigate"):
+            self.cache.inc(endpoint=endpoint, event="miss")
+        if deduplicated:
+            self.coalesced.inc(endpoint=endpoint, how="deduplicated")
+        if batched:
+            self.coalesced.inc(endpoint=endpoint, how="batched")
+        self.latency.observe(latency_s, endpoint=endpoint)
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        """One coherent copy of every endpoint's counters/percentiles."""
+        """Every endpoint's counters/percentiles, in the historical
+        ``stats`` dict shape."""
         with self._lock:
-            return {
-                name: metrics.snapshot()
-                for name, metrics in sorted(self._endpoints.items())
-            }
+            endpoints = sorted(self._endpoints.items())
+        return {name: view.snapshot() for name, view in endpoints}
+
+    def render_prometheus(self) -> str:
+        """This service's instrument family as text exposition."""
+        return self.registry.render_prometheus()

@@ -41,6 +41,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.incremental import IncrementalMatcher
 from repro.core.matcher import EVMatcher, MatcherConfig, MatchReport
+from repro.obs import get_registry
 from repro.sensing.scenarios import EVScenario, ScenarioStore
 from repro.service.api import (
     STATUS_ERROR,
@@ -52,6 +53,7 @@ from repro.service.api import (
     InvestigateResponse,
     MatchRequest,
     MatchResponse,
+    MetricsResponse,
     ServiceOverloaded,
     StatsResponse,
 )
@@ -379,12 +381,10 @@ class MatchService:
         )
 
     # -- stats -------------------------------------------------------------
-    def stats(self) -> StatsResponse:
-        """Metrics snapshot plus service-level gauges."""
-        started = time.perf_counter()
-        snapshot = self.metrics.snapshot()
+    def _service_gauges(self) -> dict:
+        """Point-in-time service-level gauges (shared by stats/metrics)."""
         balance = self.shards.balance()
-        snapshot["service"] = {
+        return {
             "cache_entries": float(len(self.cache)),
             "cache_hit_rate": self.cache.stats.hit_rate(),
             "cache_invalidated": float(self.cache.stats.invalidated),
@@ -398,8 +398,36 @@ class MatchService:
             "watch_pending": float(self.watch_pending),
             "watch_emitted": float(self.watch_emitted),
         }
+
+    def stats(self) -> StatsResponse:
+        """Metrics snapshot plus service-level gauges."""
+        started = time.perf_counter()
+        snapshot = self.metrics.snapshot()
+        snapshot["service"] = self._service_gauges()
         self.metrics.observe("stats", STATUS_OK, time.perf_counter() - started)
         return StatsResponse(snapshot=snapshot)
+
+    def metrics_text(self) -> MetricsResponse:
+        """The ``metrics`` verb: Prometheus text exposition.
+
+        Renders the service's private registry (``service_*`` counters,
+        latencies, and the gauges the ``stats`` endpoint reports)
+        followed by the process-global registry — which is where the
+        matching pipeline publishes its ``ev_*`` / ``mr_*`` counters —
+        skipping the latter when the service was built to share it.
+        """
+        started = time.perf_counter()
+        gauge = self.metrics.registry.gauge(
+            "service_gauge", "Service-level point-in-time gauges, by name"
+        )
+        for name, value in self._service_gauges().items():
+            gauge.set(value, name=name)
+        parts = [self.metrics.render_prometheus()]
+        global_registry = get_registry()
+        if global_registry is not self.metrics.registry:
+            parts.append(global_registry.render_prometheus())
+        self.metrics.observe("metrics", STATUS_OK, time.perf_counter() - started)
+        return MetricsResponse(text="".join(parts))
 
     # -- worker pool -------------------------------------------------------
     def _worker_loop(self) -> None:
