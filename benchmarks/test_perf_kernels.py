@@ -18,7 +18,6 @@ filter hot paths, cache hit rates), so CI keeps a perf trajectory.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -26,7 +25,7 @@ import numpy as np
 import pytest
 from conftest import emit
 
-from repro.bench.reporting import render_rows
+from repro.bench.reporting import render_rows, write_bench_artifact
 from repro.core.accel import matrix_for
 from repro.core.matcher import EVMatcher, MatcherConfig
 from repro.core.set_splitting import SelectionStrategy, SetSplitter, SplitConfig
@@ -57,7 +56,7 @@ def bench_trajectory():
     """Collect every measurement and write ``BENCH_kernels.json``."""
     yield
     if _RESULTS:
-        BENCH_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True))
+        write_bench_artifact(BENCH_PATH, _RESULTS)
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,9 @@ replays a world tick by tick through the IncrementalMatcher:
 * watch targets get matched the moment their evidence suffices;
 * add a new target mid-stream (a tip comes in while monitoring);
 * report per-target latency: how much observation time each match
-  needed.
+  needed;
+* stand up the query service over the same world and read its
+  rolling-window health verdict (the ``health`` verb's SLO checks).
 
 Run:
     python examples/live_monitoring.py
@@ -16,6 +18,13 @@ Run:
 
 from repro import ExperimentConfig, IncrementalMatcher, build_dataset
 from repro.core.set_splitting import SplitConfig
+from repro.service import (
+    LoadConfig,
+    MatchService,
+    ServiceConfig,
+    SLOConfig,
+    run_load,
+)
 
 
 def main() -> None:
@@ -73,6 +82,37 @@ def main() -> None:
               f"(tracking began at t={tip_tick * dt:.0f}s).")
     print(f"Still pending: {len(stream.pending)} targets "
           "(would match as more footage arrives).")
+
+    # An operations room also needs "is the service healthy right
+    # now?" — serve the same world, push a burst of investigator
+    # traffic through it, and read the rolling-window SLO verdict.
+    print("\nStanding up the query service for a health check...")
+    config = ServiceConfig(
+        workers=2,
+        slo=SLOConfig(latency_p99_s=2.0, max_shed_rate=0.10),
+    )
+    with MatchService.from_dataset(dataset, config) as service:
+        report = run_load(
+            service,
+            targets,
+            LoadConfig(num_clients=3, requests_per_client=12, seed=3),
+        )
+        health = service.health()
+        verdict = "HEALTHY" if health.healthy else "UNHEALTHY"
+        print(
+            f"{report.issued} requests served "
+            f"({report.achieved_qps:.0f} q/s); service is {verdict} "
+            f"over the last {health.window_s:.0f}s "
+            f"({health.samples} samples)."
+        )
+        for check in health.checks:
+            state = "ok  " if check.ok else "FAIL"
+            print(
+                f"  {state} {check.name}: observed {check.observed:.4f} "
+                f"vs objective {check.objective:.4f}"
+            )
+        if health.note:
+            print(f"  note: {health.note}")
 
 
 if __name__ == "__main__":

@@ -1,29 +1,43 @@
 #!/usr/bin/env python
-"""Fail CI when a benchmark forgets to emit its BENCH_*.json artifact.
+"""Fail CI when a benchmark's BENCH_*.json artifact is missing or malformed.
 
 Every perf-tier benchmark that advertises a trajectory file (any
 ``BENCH_<name>.json`` mentioned in its source) must actually have
 written it — a bench that silently stops emitting would otherwise
 break the perf trajectory without failing anything.
 
+Each declared file must exist at the repo root, parse as JSON, and
+satisfy the trajectory schema enforced at write time by
+:func:`repro.bench.reporting.validate_bench_payload`: a non-empty
+object whose leaves are all finite numbers (nested string-keyed
+objects allowed for grouping).
+
 Usage (after running the benchmarks)::
 
     python scripts/check_bench_artifacts.py [bench_file.py ...]
+    python scripts/check_bench_artifacts.py --report sample_report.md
 
-With no arguments, every ``benchmarks/test_*.py`` that mentions a
-``BENCH_*.json`` name is checked.  For each declared name the file
-must exist at the repo root, parse as JSON, and be a non-empty object.
-Exit status 0 when all declared artifacts are present and valid.
+With no positional arguments, every ``benchmarks/test_*.py`` that
+mentions a ``BENCH_*.json`` name is checked.  ``--report`` additionally
+validates a flight-recorder run report (``repro match --report`` /
+``repro report --from-events``): the file must carry every pinned
+section heading.  Exit status 0 when everything passes.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.reporting import validate_bench_payload  # noqa: E402
+from repro.obs import RUN_REPORT_SECTIONS  # noqa: E402
+
 BENCH_NAME = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
 
 
@@ -55,24 +69,56 @@ def check(sources) -> int:
             print(f"INVALID {name}: not JSON ({exc})")
             failures += 1
             continue
-        if not isinstance(payload, dict) or not payload:
-            print(f"EMPTY   {name}: expected a non-empty JSON object")
+        try:
+            validate_bench_payload(payload, name=name)
+        except ValueError as exc:
+            print(f"INVALID {name}: {exc}")
             failures += 1
             continue
         print(f"ok      {name}: {len(payload)} measurements (from {owner})")
     return 1 if failures else 0
 
 
+def check_report(path: Path) -> int:
+    """Validate a flight-recorder run report's pinned sections."""
+    if not path.is_file():
+        print(f"MISSING report {path}")
+        return 1
+    text = path.read_text()
+    failures = 0
+    for section in RUN_REPORT_SECTIONS:
+        if section not in text:
+            print(f"INVALID report {path.name}: missing section {section!r}")
+            failures += 1
+    if not text.lstrip().startswith("# Run report:"):
+        print(f"INVALID report {path.name}: missing run-report title")
+        failures += 1
+    if not failures:
+        print(f"ok      {path.name}: all {len(RUN_REPORT_SECTIONS)} sections present")
+    return 1 if failures else 0
+
+
 def main(argv) -> int:
-    if argv:
-        sources = [Path(arg) for arg in argv]
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("sources", nargs="*", help="bench files to scan")
+    parser.add_argument(
+        "--report",
+        type=Path,
+        help="also validate a run-report markdown file's sections",
+    )
+    args = parser.parse_args(argv)
+    if args.sources:
+        sources = [Path(arg) for arg in args.sources]
         missing = [p for p in sources if not p.is_file()]
         if missing:
             print("no such bench file:", ", ".join(str(p) for p in missing))
             return 2
     else:
         sources = sorted((REPO_ROOT / "benchmarks").glob("test_*.py"))
-    return check(sources)
+    status = check(sources)
+    if args.report is not None:
+        status = max(status, check_report(args.report))
+    return status
 
 
 if __name__ == "__main__":

@@ -1,110 +1,15 @@
-"""One-shot report generation: every experiment into one markdown file.
+"""Compatibility alias for :mod:`repro.bench.reporting`.
 
-``python -m repro report --out results.md`` reruns the full evaluation
-(all tables and figures plus the paper-shape checklist) and writes a
-self-contained markdown report — the artifact a reproduction hand-off
-actually needs.  Respects ``REPRO_BENCH_SCALE``.
+The one-shot report generator used to live here; it was folded into
+``reporting`` so the bench output path (tables, the full markdown
+report, BENCH_*.json artifacts) has a single owner.  Existing imports
+keep working::
+
+    from repro.bench.report import REPORT_SECTIONS, generate_report
 """
 
 from __future__ import annotations
 
-import time
-from pathlib import Path
-from typing import List, Tuple, Union
+from repro.bench.reporting import REPORT_SECTIONS, generate_report, render_rows
 
-from repro.bench import experiments as exp_mod
-from repro.bench import datasets as ds_mod
-from repro.bench.reporting import render_rows
-
-#: (experiment id, title, function, expected-shape note)
-REPORT_SECTIONS: Tuple[Tuple[str, str, object, str], ...] = (
-    (
-        "fig5",
-        "Fig. 5 — selected scenarios vs matched EIDs",
-        exp_mod.fig5_scenarios_vs_eids,
-        "SS far below EDP; SS sublinear, EDP roughly linear.",
-    ),
-    (
-        "fig6",
-        "Fig. 6 — selected scenarios vs density",
-        exp_mod.fig6_scenarios_vs_density,
-        "SS falls and converges as density rises; EDP does not.",
-    ),
-    (
-        "fig7",
-        "Fig. 7 — selected scenarios per matched EID",
-        exp_mod.fig7_scenarios_per_eid,
-        "SS needs about one more scenario per EID than EDP, flat in size.",
-    ),
-    (
-        "fig8",
-        "Fig. 8 — processing time vs matched EIDs (14x4 cluster)",
-        exp_mod.fig8_time_vs_eids,
-        "E negligible; V dominates; SS total below EDP everywhere.",
-    ),
-    (
-        "fig9",
-        "Fig. 9 — processing time vs density (14x4 cluster)",
-        exp_mod.fig9_time_vs_density,
-        "Both rise with density; SS stays a multiple below EDP.",
-    ),
-    (
-        "table1",
-        "Table I — accuracy vs matched EIDs",
-        exp_mod.table1_accuracy_vs_eids,
-        "Both algorithms high and comparable (paper: 88-93%).",
-    ),
-    (
-        "table2",
-        "Table II — accuracy vs density",
-        exp_mod.table2_accuracy_vs_density,
-        "Mild decline over a 5x density range.",
-    ),
-    (
-        "fig10",
-        "Fig. 10 — accuracy vs EID missing rate",
-        exp_mod.fig10_accuracy_vs_eid_missing,
-        "Gentle degradation; SS useful even at 50% missing.",
-    ),
-    (
-        "fig11",
-        "Fig. 11 — accuracy vs VID missing rate",
-        exp_mod.fig11_accuracy_vs_vid_missing,
-        "Steeper than Fig. 10; refined SS stays above ~80% and beats EDP.",
-    ),
-)
-
-
-def generate_report(out_path: Union[str, Path]) -> Path:
-    """Run every experiment and write the markdown report.
-
-    Returns the path written.  Runtime is a few minutes at the
-    ``paper`` scale and well under a minute at ``smoke``.
-    """
-    out_path = Path(out_path)
-    lines: List[str] = [
-        "# EV-Matching reproduction — experiment report",
-        "",
-        f"Scale: `{ds_mod.scale()}`.  All runs are seeded and deterministic.",
-        "",
-    ]
-    started = time.perf_counter()
-    for exp_id, title, fn, shape in REPORT_SECTIONS:
-        t0 = time.perf_counter()
-        columns, rows = fn()
-        elapsed = time.perf_counter() - t0
-        lines.append(f"## {title}")
-        lines.append("")
-        lines.append(f"Expected shape: {shape}")
-        lines.append("")
-        lines.append("```")
-        lines.append(render_rows(title, columns, rows))
-        lines.append("```")
-        lines.append("")
-        lines.append(f"_({len(rows)} rows in {elapsed:.1f}s)_")
-        lines.append("")
-    total = time.perf_counter() - started
-    lines.append(f"Total experiment time: {total:.1f}s.")
-    lines.append("")
-    out_path.write_text("\n".join(lines))
-    return out_path
+__all__ = ["REPORT_SECTIONS", "generate_report", "render_rows"]

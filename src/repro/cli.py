@@ -82,6 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the metrics registry as Prometheus text after the run",
     )
+    match.add_argument(
+        "--events",
+        metavar="OUT.jsonl",
+        help="flight recorder: stream structured events (one JSON object "
+        "per line) to this file, with run-manifest/metrics/span footer "
+        "records so the stream alone can rebuild a run report",
+    )
+    match.add_argument(
+        "--report",
+        metavar="OUT.md",
+        help="write a markdown run report (manifest, metrics, span tree, "
+        "event timeline, match provenance) after the run",
+    )
     _add_backend_arg(match)
 
     experiment = sub.add_parser(
@@ -116,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="run every experiment and write a markdown report"
     )
     report.add_argument("--out", default="results.md", help="output path")
+    report.add_argument(
+        "--from-events",
+        dest="from_events",
+        metavar="RUN.jsonl",
+        help="instead of re-running experiments, render the run report "
+        "from a flight-recorder stream written by 'match --events'",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -226,46 +246,91 @@ def run_match(args: argparse.Namespace, out=None) -> int:
     if engine == "mapreduce" and args.refine:
         print("--refine is not supported with --engine mapreduce", file=sys.stderr)
         return 2
+    events_path = getattr(args, "events", None)
+    report_path = getattr(args, "report", None)
+    recording = bool(events_path or report_path)
     dataset = _world_from_args(args, out)
     targets = list(dataset.sample_targets(min(args.targets, len(dataset.eids)), seed=1))
 
+    # The flight recorder needs real spans so every event carries a
+    # span_id, so --events/--report imply an installed Tracer.
     tracer = previous_tracer = None
-    if getattr(args, "trace", None):
+    if getattr(args, "trace", None) or recording:
         from repro.obs import Tracer, set_tracer
 
         tracer = Tracer()
         previous_tracer = set_tracer(tracer)
+    event_log = run = previous_log = previous_run = None
+    if recording:
+        from repro.obs import (
+            EventLog,
+            new_run_context,
+            set_event_log,
+            set_run_context,
+        )
+
+        event_log = EventLog(sink=events_path)
+        previous_log = set_event_log(event_log)
+        run = new_run_context(
+            "match",
+            parameters={
+                "dataset": getattr(args, "dataset", None) or "",
+                "people": args.people,
+                "cells": args.cells,
+                "targets": len(targets),
+                "duration": args.duration,
+                "algorithm": args.algorithm,
+                "engine": engine,
+                "refine": bool(args.refine),
+            },
+            seed=args.seed,
+            backend=getattr(args, "backend", "bitset"),
+        )
+        previous_run = set_run_context(run)
     try:
-        if engine == "mapreduce":
-            from repro.parallel.driver import ParallelEVMatcher
+        from contextlib import nullcontext
 
-            backend = getattr(args, "backend", "bitset")
-            matcher = ParallelEVMatcher(
-                dataset.store,
-                split_config=SplitConfig(backend=backend),
-                edp_config=EDPConfig(backend=backend),
-            )
-        else:
-            matcher_config = _matcher_config(
-                args, refining=RefiningConfig(max_rounds=4) if args.refine else None
-            )
-            matcher = EVMatcher(dataset.store, matcher_config)
+        root = tracer.span("run", command="match") if recording else nullcontext()
+        with root:
+            if engine == "mapreduce":
+                from repro.parallel.driver import ParallelEVMatcher
 
-        rows: List[dict] = []
-        if args.algorithm in ("ss", "both"):
-            report = matcher.match(targets)
-            rows.append(_report_row("ss", report, dataset))
-        if args.algorithm in ("edp", "both"):
-            report = matcher.match_edp(targets)
-            rows.append(_report_row("edp", report, dataset))
+                backend = getattr(args, "backend", "bitset")
+                matcher = ParallelEVMatcher(
+                    dataset.store,
+                    split_config=SplitConfig(backend=backend),
+                    edp_config=EDPConfig(backend=backend),
+                )
+            else:
+                matcher_config = _matcher_config(
+                    args, refining=RefiningConfig(max_rounds=4) if args.refine else None
+                )
+                matcher = EVMatcher(dataset.store, matcher_config)
+
+            rows: List[dict] = []
+            if args.algorithm in ("ss", "both"):
+                report = matcher.match(targets)
+                rows.append(_report_row("ss", report, dataset))
+            if args.algorithm in ("edp", "both"):
+                report = matcher.match_edp(targets)
+                rows.append(_report_row("edp", report, dataset))
     finally:
+        if recording:
+            from repro.obs import set_event_log, set_run_context
+
+            run.finish()
+            _write_flight_recorder(
+                run, event_log, tracer, events_path, report_path, out
+            )
+            set_event_log(previous_log)
+            set_run_context(previous_run)
         if tracer is not None:
             from repro.obs import set_tracer
 
             set_tracer(previous_tracer)
     columns = ("algorithm", "accuracy_pct", "selected", "per_eid", "sim_v_time_s")
     print(render_rows(f"match {len(targets)} EIDs", columns, rows), file=out)
-    if tracer is not None:
+    if tracer is not None and getattr(args, "trace", None):
         _write_trace(tracer, args.trace, out)
     if getattr(args, "metrics", False):
         from repro.obs import get_registry
@@ -273,6 +338,44 @@ def run_match(args: argparse.Namespace, out=None) -> int:
         print("", file=out)
         print(get_registry().render_prometheus(), file=out, end="")
     return 0
+
+
+def _write_flight_recorder(
+    run, event_log, tracer, events_path, report_path, out
+) -> None:
+    """Seal a recorded run: footer records + optional markdown report.
+
+    The footer (manifest, metrics snapshot, span tree) makes the JSONL
+    stream self-contained — ``repro report --from-events`` can rebuild
+    the full report from the file alone.
+    """
+    from repro.obs import events as ev
+    from repro.obs import get_registry, render_run_report
+
+    snapshot = get_registry().snapshot()
+    span_tree = tracer.render_tree()
+    event_log.emit(ev.RUN_MANIFEST, **run.manifest())
+    event_log.emit(ev.RUN_METRICS, snapshot=snapshot)
+    event_log.emit(ev.RUN_SPANS, tree=span_tree)
+    timeline = event_log.events()
+    event_log.close()
+    if events_path:
+        print(
+            f"wrote {event_log.emitted} events to {events_path} "
+            f"({event_log.dropped} dropped from the ring)",
+            file=out,
+        )
+    if report_path:
+        rendered = render_run_report(
+            run.manifest(),
+            metrics_snapshot=snapshot,
+            span_tree=span_tree,
+            events=timeline,
+            provenance=tuple(run.provenance),
+        )
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        print(f"wrote run report to {report_path}", file=out)
 
 
 def _write_trace(tracer, path: str, out) -> None:
@@ -579,6 +682,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "loadtest":
         return run_loadtest(args)
     if args.command == "report":
+        if getattr(args, "from_events", None):
+            from repro.obs import render_report_from_events
+
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(render_report_from_events(args.from_events))
+            print(f"wrote {args.out}")
+            return 0
         from repro.bench.report import generate_report
 
         written = generate_report(args.out)

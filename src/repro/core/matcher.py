@@ -25,7 +25,14 @@ from repro.core.set_splitting import SetSplitter, SplitConfig
 from repro.core.vid_filtering import FilterConfig, MatchResult, VIDFilter
 from repro.metrics.accuracy import AccuracyReport, accuracy_of
 from repro.metrics.timing import CostModel, SimulatedClock, StageTimes
-from repro.obs import get_registry, get_tracer
+from repro.obs import (
+    EvidenceItem,
+    ProvenanceRecord,
+    get_registry,
+    get_tracer,
+    provenance_listening,
+    record_provenance,
+)
 from repro.sensing.scenarios import ScenarioStore
 from repro.world.entities import EID, VID
 
@@ -168,11 +175,19 @@ class EVMatcher:
                     scenarios_examined=split.scenarios_examined,
                     times=clock.times(cfg.parallelism),
                 )
+                candidates = {
+                    eid: len(members)
+                    for eid, members in split.candidates.items()
+                }
             span.set(
                 num_selected=report.num_selected,
                 scenarios_examined=report.scenarios_examined,
             )
-        _record_report(report)
+        _record_report(
+            report,
+            store=self.store,
+            candidates=None if cfg.refining is not None else candidates,
+        )
         return report
 
     def match_one(
@@ -221,12 +236,89 @@ class EVMatcher:
                 num_selected=report.num_selected,
                 scenarios_examined=report.scenarios_examined,
             )
-        _record_report(report)
+        _record_report(report, store=self.store)
         return report
 
 
-def _record_report(report: MatchReport) -> None:
-    """Fold one run's simulated stage times into the default registry."""
+#: Evidence items kept per provenance record (audits need examples,
+#: not a universal target's full list).
+MAX_PROVENANCE_EVIDENCE = 8
+
+
+def provenance_of(
+    algorithm: str,
+    results: Mapping[EID, MatchResult],
+    store: Optional[ScenarioStore] = None,
+    candidates: Optional[Mapping[EID, int]] = None,
+) -> Tuple[ProvenanceRecord, ...]:
+    """Build per-match "why this EID→VID" records from V-stage results.
+
+    The per-candidate score map aggregates each chosen detection's
+    probability product under its true VID (the best score wins), so
+    the argmax of ``scores`` is the predicted VID and the runners-up
+    show how contested the decision was.  ``candidates`` carries the
+    E stage's final candidate-set sizes when the caller has them.
+    """
+    records = []
+    for eid in sorted(results.keys()):
+        result = results[eid]
+        best = result.best
+        scores: Dict[int, float] = {}
+        for detection, score in zip(result.chosen, result.scores):
+            vid = detection.true_vid
+            if vid is not None:
+                scores[vid.index] = max(
+                    scores.get(vid.index, 0.0), float(score)
+                )
+        evidence = []
+        for i, key in enumerate(
+            result.scenario_keys[:MAX_PROVENANCE_EVIDENCE]
+        ):
+            chosen = result.chosen[i] if i < len(result.chosen) else None
+            detections = (
+                len(store.v_scenario(key)) if store is not None else 0
+            )
+            evidence.append(
+                EvidenceItem(
+                    cell_id=key.cell_id,
+                    tick=key.tick,
+                    detections=detections,
+                    claimed=(
+                        best is not None
+                        and chosen is not None
+                        and chosen.true_vid == best.true_vid
+                    ),
+                )
+            )
+        records.append(
+            ProvenanceRecord(
+                eid_index=eid.index,
+                eid_mac=eid.mac,
+                algorithm=algorithm,
+                predicted_vid=(
+                    None
+                    if best is None or best.true_vid is None
+                    else best.true_vid.index
+                ),
+                agreement=result.agreement,
+                scenarios_used=len(result.scenario_keys),
+                scores=scores,
+                evidence=tuple(evidence),
+                candidates_remaining=(
+                    None if candidates is None else candidates.get(eid)
+                ),
+            )
+        )
+    return tuple(records)
+
+
+def _record_report(
+    report: MatchReport,
+    store: Optional[ScenarioStore] = None,
+    candidates: Optional[Mapping[EID, int]] = None,
+) -> None:
+    """Fold one run's simulated stage times into the default registry
+    and, when a run/event audience exists, its provenance records."""
     reg = get_registry()
     for stage, seconds in report.times.as_dict().items():
         reg.counter(
@@ -236,6 +328,15 @@ def _record_report(report: MatchReport) -> None:
     reg.counter(
         "ev_match_runs_total", "Matching runs completed"
     ).inc(algorithm=report.algorithm)
+    if provenance_listening():
+        record_provenance(
+            provenance_of(
+                report.algorithm,
+                report.results,
+                store=store,
+                candidates=candidates,
+            )
+        )
 
 
 def _avg_evidence(results: Mapping[EID, MatchResult]) -> float:

@@ -23,7 +23,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro.core.set_splitting import SetSplitter, SplitConfig
 from repro.core.vid_filtering import FilterConfig, MatchResult, VIDFilter
 from repro.metrics.timing import SimulatedClock
-from repro.obs import get_registry, get_tracer
+from repro.obs import get_event_log, get_registry, get_tracer
+from repro.obs import events as ev
 from repro.sensing.scenarios import ScenarioKey, ScenarioStore
 from repro.world.entities import EID
 
@@ -96,9 +97,16 @@ class RefiningMatcher:
                 break
             stats.rounds += 1
             stats.refined_per_round.append(len(pending))
+            log = get_event_log()
             with tracer.span(
                 "e.refine.round", round=round_index, pending=len(pending)
             ) as round_span:
+                if log.enabled:
+                    log.emit(
+                        ev.E_REFINE_ROUND_STARTED,
+                        round=round_index,
+                        pending=len(pending),
+                    )
                 splitter = SetSplitter(
                     self.store,
                     replace(self.split_config, seed=self.split_config.seed + round_index),
@@ -135,6 +143,15 @@ class RefiningMatcher:
                     or not results[t].is_acceptable(self.filter_config)
                 ]
                 round_span.set(unresolved=len(pending))
+                if log.enabled:
+                    log.emit(
+                        ev.E_REFINE_ROUND_FINISHED,
+                        round=round_index,
+                        selected=split.num_selected,
+                        examined=split.scenarios_examined,
+                        unresolved=len(pending),
+                        progressed=progressed,
+                    )
             if not progressed:
                 break  # no fresh scenarios exist for the stragglers
         get_registry().counter(

@@ -54,7 +54,8 @@ import numpy as np
 
 from repro.core.partition import EIDPartition, SeparationTracker
 from repro.metrics.timing import SimulatedClock
-from repro.obs import get_registry, get_tracer
+from repro.obs import get_event_log, get_registry, get_tracer
+from repro.obs import events as ev
 from repro.sensing.scenarios import EScenario, ScenarioKey, ScenarioStore
 from repro.world.entities import EID
 
@@ -282,6 +283,15 @@ class SetSplitter:
         with get_tracer().span(
             "e.split", backend=backend, targets=len(targets)
         ) as span:
+            log = get_event_log()
+            if log.enabled:
+                log.emit(
+                    ev.E_SPLIT_STARTED,
+                    backend=backend,
+                    strategy=self.config.strategy.value,
+                    targets=len(targets),
+                    universe=len(universe_set),
+                )
             if backend == "bitset":
                 self._run_bitset(result, universe_set, diversity, exclude)
             else:
@@ -291,6 +301,24 @@ class SetSplitter:
                 recorded=len(result.recorded),
                 distinguished=len(result.distinguished),
             )
+            if log.enabled:
+                distinguished = result.distinguished
+                for target in result.targets:
+                    if target in distinguished:
+                        log.emit(
+                            ev.E_TARGET_DISTINGUISHED,
+                            eid=target.index,
+                            mac=target.mac,
+                            evidence=len(result.evidence.get(target, ())),
+                        )
+                log.emit(
+                    ev.E_SPLIT_CONVERGED,
+                    backend=backend,
+                    examined=result.scenarios_examined,
+                    recorded=len(result.recorded),
+                    distinguished=len(distinguished),
+                    unresolved=len(result.unresolved),
+                )
         self._publish_metrics(result, time.perf_counter() - started)
         return result
 
@@ -389,6 +417,14 @@ class SetSplitter:
             for target in helped:
                 result.evidence[target].append(key)
                 diversity.record(target, key)
+            log = get_event_log()
+            if log.enabled:
+                log.emit(
+                    ev.E_SCENARIO_SELECTED,
+                    cell_id=key.cell_id,
+                    tick=key.tick,
+                    helped=len(helped),
+                )
             return True
 
         def score_fn(key: ScenarioKey) -> int:
@@ -453,6 +489,14 @@ class SetSplitter:
             diversity.record(target, key)
             if len(candidates[target]) == 1:
                 active.discard(target)
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                ev.E_SCENARIO_SELECTED,
+                cell_id=key.cell_id,
+                tick=key.tick,
+                helped=len(helped),
+            )
         return True
 
     def _run_streaming(

@@ -35,7 +35,8 @@ import numpy as np
 
 from repro.core.caches import ByteBudgetLRU
 from repro.metrics.timing import SimulatedClock
-from repro.obs import get_registry, get_tracer
+from repro.obs import get_event_log, get_registry, get_tracer
+from repro.obs import events as ev
 from repro.sensing.scenarios import Detection, ScenarioKey, ScenarioStore
 from repro.world.entities import EID
 
@@ -287,13 +288,35 @@ class VIDFilter:
         to any of them are suppressed (unless that would leave a
         scenario with no candidate at all).
         """
-        keys = self._usable_keys(scenario_keys)
+        keys = self._usable_keys(scenario_keys, eid=eid)
+        log = get_event_log()
         if not keys:
+            if log.enabled:
+                log.emit(
+                    ev.V_MATCH_DECIDED,
+                    eid=eid.index,
+                    mac=eid.mac,
+                    predicted_vid=None,
+                    scenarios=0,
+                    agreement=0.0,
+                )
             return MatchResult(
                 eid=eid, scenario_keys=(), chosen=(), scores=(), agreement=0.0
             )
         with get_tracer().span("v.match_one", eid=eid.index, evidence=len(keys)):
-            return self._match_one_inner(eid, keys, claimed)
+            result = self._match_one_inner(eid, keys, claimed)
+        if log.enabled:
+            best = result.best
+            log.emit(
+                ev.V_MATCH_DECIDED,
+                eid=eid.index,
+                mac=eid.mac,
+                predicted_vid=None if best is None else best.true_vid,
+                scenarios=len(result.scenario_keys),
+                agreement=result.agreement,
+                best_score=None if not result.scores else max(result.scores),
+            )
+        return result
 
     def _match_one_inner(
         self,
@@ -390,7 +413,9 @@ class VIDFilter:
 
     # ------------------------------------------------------------------
     def _usable_keys(
-        self, scenario_keys: Sequence[ScenarioKey]
+        self,
+        scenario_keys: Sequence[ScenarioKey],
+        eid: Optional[EID] = None,
     ) -> List[ScenarioKey]:
         """Drop duplicate and detection-less scenarios; apply the cap.
 
@@ -398,6 +423,7 @@ class VIDFilter:
         would zero out every candidate's product, so it is unusable
         evidence (this happens under heavy VID missing).
         """
+        log = get_event_log()
         seen: Set[ScenarioKey] = set()
         keys: List[ScenarioKey] = []
         for key in scenario_keys:
@@ -406,6 +432,14 @@ class VIDFilter:
             seen.add(key)
             if len(self.store.v_scenario(key)) > 0:
                 keys.append(key)
+            elif log.enabled:
+                log.emit(
+                    ev.V_SCENARIO_DROPPED,
+                    eid=None if eid is None else eid.index,
+                    cell_id=key.cell_id,
+                    tick=key.tick,
+                    reason="no_detections",
+                )
         if self.config.max_evidence is not None:
             keys = keys[: self.config.max_evidence]
         return keys

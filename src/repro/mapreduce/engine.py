@@ -28,7 +28,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.mapreduce.cluster import SimulatedCluster
-from repro.obs import get_registry, get_tracer
+from repro.obs import get_event_log, get_registry, get_tracer
+from repro.obs import events as ev
 from repro.mapreduce.failures import (
     FailureInjector,
     FailurePolicy,
@@ -146,6 +147,7 @@ class MapReduceEngine:
         spec = reg.counter(
             "mr_speculative_copies_total", "Speculative backup copies launched"
         )
+        log = get_event_log()
         for stage, stats in (
             ("map", metrics.map_stats),
             ("reduce", metrics.reduce_stats),
@@ -155,6 +157,29 @@ class MapReduceEngine:
             sim.inc(stats.makespan, stage=stage)
             if stats.speculative_copies:
                 spec.inc(stats.speculative_copies, stage=stage)
+                if log.enabled:
+                    log.emit(
+                        ev.MR_STAGE_SPECULATION,
+                        job=metrics.job_name,
+                        stage=stage,
+                        speculative_copies=stats.speculative_copies,
+                        wasted_work=getattr(stats, "wasted_work", 0.0),
+                        makespan=stats.makespan,
+                    )
+        if log.enabled:
+            log.emit(
+                ev.MR_JOB_FINISHED,
+                job=metrics.job_name,
+                map_tasks=metrics.map_tasks,
+                reduce_tasks=metrics.reduce_tasks,
+                map_retries=max(0, metrics.map_attempts - metrics.map_tasks),
+                reduce_retries=max(
+                    0, metrics.reduce_attempts - metrics.reduce_tasks
+                ),
+                records_in=metrics.records_in,
+                records_out=metrics.records_out,
+                pairs_shuffled=metrics.pairs_shuffled,
+            )
 
     # ------------------------------------------------------------------
     def _run_map_only(
@@ -308,6 +333,15 @@ class MapReduceEngine:
                         # the task's duration; charge it when the task
                         # eventually succeeds (cost known then).
                         local_costs.append(-1.0)
+                        log = get_event_log()
+                        if log.enabled:
+                            log.emit(
+                                ev.MR_TASK_RETRY,
+                                stage=stage_id,
+                                task=index,
+                                attempt=attempt,
+                                max_attempts=policy.max_attempts,
+                            )
                         continue
                 raise JobFailedError(
                     f"{stage_id} task {index} failed {policy.max_attempts} attempts"

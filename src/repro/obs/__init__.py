@@ -1,4 +1,4 @@
-"""``repro.obs`` — unified observability: metrics registry + tracing.
+"""``repro.obs`` — unified observability: metrics, tracing, events, runs.
 
 The pipeline's internal quantities (E-Scenarios examined, candidate
 shrink, detections extracted, cache hit rates, MapReduce task times)
@@ -10,14 +10,31 @@ here rather than ad-hoc ``perf_counter`` calls:
   mode, and Prometheus-style text exposition;
 * :mod:`repro.obs.tracing` — hierarchical spans (context-manager and
   decorator APIs, contextvar propagation across thread pools),
-  exportable as Chrome trace-event JSON and as a text tree.
+  exportable as Chrome trace-event JSON and as a text tree;
+* :mod:`repro.obs.events` — the flight recorder: a typed, thread-safe
+  structured event log (bounded ring + JSONL file sink) correlated to
+  the active run and span;
+* :mod:`repro.obs.runs` — run manifests (:class:`RunContext`) and
+  per-match :class:`ProvenanceRecord`\\ s answering "why this
+  EID→VID";
+* :mod:`repro.obs.report` — the markdown run-report renderer joining
+  manifest + metrics + span tree + event timeline + provenance.
 
 ``repro.obs`` sits below every other package (it imports nothing from
 ``repro``) so core, mapreduce, and service can all record to it.  The
-metric name catalogue lives in ``docs/architecture.md``
+metric / span / event catalogues live in ``docs/architecture.md``
 ("Observability").
 """
 
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventLog,
+    NullEventLog,
+    get_event_log,
+    load_events,
+    null_event_log,
+    set_event_log,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -28,6 +45,23 @@ from repro.obs.registry import (
     nearest_rank,
     null_registry,
     set_registry,
+)
+from repro.obs.report import (
+    REPORT_SECTIONS as RUN_REPORT_SECTIONS,
+    load_run_records,
+    markdown_table,
+    render_report_from_events,
+    render_run_report,
+)
+from repro.obs.runs import (
+    EvidenceItem,
+    ProvenanceRecord,
+    RunContext,
+    get_run_context,
+    new_run_context,
+    provenance_listening,
+    record_provenance,
+    set_run_context,
 )
 from repro.obs.tracing import (
     NullTracer,
@@ -42,18 +76,38 @@ from repro.obs.tracing import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "EVENT_TYPES",
+    "EventLog",
+    "EvidenceItem",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullEventLog",
     "NullTracer",
+    "ProvenanceRecord",
+    "RUN_REPORT_SECTIONS",
+    "RunContext",
     "Span",
     "Tracer",
+    "get_event_log",
     "get_registry",
+    "get_run_context",
     "get_tracer",
+    "load_events",
+    "load_run_records",
+    "markdown_table",
     "nearest_rank",
+    "new_run_context",
+    "null_event_log",
     "null_registry",
     "null_tracer",
+    "provenance_listening",
+    "record_provenance",
+    "render_report_from_events",
+    "render_run_report",
+    "set_event_log",
     "set_registry",
+    "set_run_context",
     "set_tracer",
     "traced",
 ]

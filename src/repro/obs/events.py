@@ -1,0 +1,264 @@
+"""Structured event log — the flight recorder of :mod:`repro.obs`.
+
+Metrics say *how much* and spans say *how long*; neither answers the
+operator's "what happened, in order, and why".  This module is the
+third observability pillar: a thread-safe log of **typed events**
+(plain dicts with a stable envelope) that the E stage, the V stage,
+the MapReduce engine, and the serving layer emit at their decision
+points — scenario selected, target distinguished, match decided, task
+retried, request shed.
+
+Every event carries:
+
+* ``seq`` — a process-monotone sequence number (total order even when
+  two threads emit in the same clock tick);
+* ``ts`` — wall-clock seconds (``time.time()``), so a JSONL stream can
+  be correlated with external logs;
+* ``type`` — one of the :data:`EVENT_TYPES` catalogue names;
+* ``run_id`` — the active :class:`~repro.obs.runs.RunContext`'s id
+  (``""`` when no run is active);
+* ``span_id`` — the innermost open span's id on the emitting thread
+  (``None`` when tracing is off), which is what lets a report join the
+  event timeline against the span tree;
+* ``fields`` — the event type's own payload.
+
+Retention is a bounded ring buffer (old events fall off; a universal
+match emits thousands) plus an optional **JSONL file sink** that keeps
+everything — ``repro match --events out.jsonl`` wires one up.  The
+process default is a shared :class:`NullEventLog` whose ``emit`` is a
+no-op, so instrumented hot paths pay one method call when the recorder
+is off; hot loops additionally guard bulk emission on
+:attr:`EventLog.enabled`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import IO, Any, Deque, Dict, List, Optional, Union
+
+#: Default ring-buffer capacity.
+DEFAULT_CAPACITY = 4096
+
+#: The event-type catalogue (documented in ``docs/architecture.md``).
+#: E stage (set splitting / refining):
+E_SPLIT_STARTED = "e.split.started"
+E_SPLIT_CONVERGED = "e.split.converged"
+E_SCENARIO_SELECTED = "e.scenario.selected"
+E_TARGET_DISTINGUISHED = "e.target.distinguished"
+E_REFINE_ROUND_STARTED = "e.refine.round.started"
+E_REFINE_ROUND_FINISHED = "e.refine.round.finished"
+#: V stage (VID filtering):
+V_SCENARIO_DROPPED = "v.scenario.dropped"
+V_MATCH_DECIDED = "v.match.decided"
+#: Matcher-level provenance:
+MATCH_PROVENANCE = "match.provenance"
+#: MapReduce engine:
+MR_TASK_RETRY = "mr.task.retry"
+MR_STAGE_SPECULATION = "mr.stage.speculation"
+MR_JOB_FINISHED = "mr.job.finished"
+#: Serving layer:
+SERVICE_REQUEST_SHED = "service.request.shed"
+SERVICE_CACHE_EVICTED = "service.cache.evicted"
+SERVICE_SHARD_ASSIGNED = "service.shard.assigned"
+#: Run bookkeeping (footer records a JSONL stream carries so a report
+#: can be re-rendered offline from the file alone):
+RUN_MANIFEST = "run.manifest"
+RUN_METRICS = "run.metrics"
+RUN_SPANS = "run.spans"
+BENCH_ARTIFACT = "bench.artifact"
+
+EVENT_TYPES = (
+    E_SPLIT_STARTED,
+    E_SPLIT_CONVERGED,
+    E_SCENARIO_SELECTED,
+    E_TARGET_DISTINGUISHED,
+    E_REFINE_ROUND_STARTED,
+    E_REFINE_ROUND_FINISHED,
+    V_SCENARIO_DROPPED,
+    V_MATCH_DECIDED,
+    MATCH_PROVENANCE,
+    MR_TASK_RETRY,
+    MR_STAGE_SPECULATION,
+    MR_JOB_FINISHED,
+    SERVICE_REQUEST_SHED,
+    SERVICE_CACHE_EVICTED,
+    SERVICE_SHARD_ASSIGNED,
+    RUN_MANIFEST,
+    RUN_METRICS,
+    RUN_SPANS,
+    BENCH_ARTIFACT,
+)
+
+_seq = itertools.count(1)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class EventLog:
+    """Bounded, thread-safe recorder with an optional JSONL sink.
+
+    Args:
+        capacity: ring-buffer size; the sink, if any, keeps everything.
+        sink: a path (opened for append-less write) or an open text
+            stream to mirror every event into, one JSON object per
+            line.  ``None`` keeps events in memory only.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        sink: Optional[Union[str, IO[str]]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._emitted = 0
+        self._dropped = 0
+        self._sink: Optional[IO[str]] = None
+        self._owns_sink = False
+        if isinstance(sink, str):
+            self._sink = open(sink, "w", encoding="utf-8")
+            self._owns_sink = True
+        elif sink is not None:
+            self._sink = sink
+
+    # -- recording -------------------------------------------------------
+    def emit(self, type: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event, correlating it to the active run + span."""
+        from repro.obs.runs import get_run_context
+        from repro.obs.tracing import get_tracer
+
+        context = get_run_context()
+        span = get_tracer().current_span()
+        event: Dict[str, Any] = {
+            "seq": next(_seq),
+            "ts": time.time(),
+            "type": type,
+            "run_id": context.run_id if context is not None else "",
+            "span_id": getattr(span, "span_id", None),
+            "fields": {k: _jsonable(v) for k, v in fields.items()},
+        }
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
+            self._ring.append(event)
+            self._emitted += 1
+            if self._sink is not None:
+                self._sink.write(json.dumps(event) + "\n")
+        return event
+
+    # -- reading ---------------------------------------------------------
+    def events(self, type: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Retained events in emission order, optionally one type."""
+        with self._lock:
+            retained = list(self._ring)
+        if type is None:
+            return retained
+        return [e for e in retained if e["type"] == type]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def emitted(self) -> int:
+        """Events emitted over the log's lifetime (ring + fallen-off)."""
+        with self._lock:
+            return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring (still in the sink, if any)."""
+        with self._lock:
+            return self._dropped
+
+    # -- lifecycle -------------------------------------------------------
+    def flush(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+
+    def close(self) -> None:
+        """Flush and, if this log opened its sink path, close it."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+                if self._owns_sink:
+                    self._sink.close()
+                self._sink = None
+
+
+class NullEventLog:
+    """The zero-overhead recorder: accepts every emit, retains nothing."""
+
+    enabled = False
+    capacity = 0
+
+    def emit(self, type: str, **fields: Any) -> None:
+        return None
+
+    def events(self, type: Optional[str] = None) -> List[Dict[str, Any]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    emitted = 0
+    dropped = 0
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+_NULL_EVENT_LOG = NullEventLog()
+_default_log: "EventLog | NullEventLog" = _NULL_EVENT_LOG
+_default_lock = threading.Lock()
+
+
+def get_event_log() -> "EventLog | NullEventLog":
+    """The process-global event log (a no-op unless one was enabled)."""
+    return _default_log
+
+
+def set_event_log(log: "EventLog | NullEventLog") -> "EventLog | NullEventLog":
+    """Swap the process-global event log; returns the previous one."""
+    global _default_log
+    with _default_lock:
+        previous = _default_log
+        _default_log = log
+    return previous
+
+
+def null_event_log() -> NullEventLog:
+    """The shared no-op event log."""
+    return _NULL_EVENT_LOG
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL event stream written by an :class:`EventLog` sink."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

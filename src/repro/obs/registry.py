@@ -80,8 +80,21 @@ def _label_key(labels: Dict[str, str]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and line-feed must be backslash-escaped."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and line-feed (not double-quote)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in key]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in key]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -106,7 +119,7 @@ class _Instrument:
     def _header(self) -> List[str]:
         lines = []
         if self.help:
-            lines.append(f"# HELP {self.name} {self.help}")
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
         lines.append(f"# TYPE {self.name} {self.kind}")
         return lines
 

@@ -1,0 +1,231 @@
+"""Markdown run reports: manifest + metrics + spans + events + provenance.
+
+One run produces four correlated artifacts — a manifest
+(:class:`~repro.obs.runs.RunContext`), a metrics snapshot
+(:meth:`~repro.obs.registry.MetricsRegistry.snapshot`), a span tree
+(:meth:`~repro.obs.tracing.Tracer.render_tree`), and an event stream
+(:class:`~repro.obs.events.EventLog`).  This module joins them into a
+single self-contained markdown report so "what happened during this
+run" is one file, not four scrapes.
+
+The renderer is pure (dicts/strings in, markdown out) so it serves
+both the live path (``repro match --report out.md``) and the offline
+path (``repro report --from-events run.jsonl``) — an event stream
+written with a file sink carries ``run.manifest``/``run.metrics``/
+``run.spans`` footer records, and :func:`load_run_records` recovers
+everything the renderer needs from the JSONL alone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.events import (
+    MATCH_PROVENANCE,
+    RUN_MANIFEST,
+    RUN_METRICS,
+    RUN_SPANS,
+    load_events,
+)
+from repro.obs.runs import ProvenanceRecord
+
+#: Section headings, in order — pinned so CI can validate a report.
+REPORT_SECTIONS = (
+    "## Run manifest",
+    "## Metrics",
+    "## Span tree",
+    "## Event timeline",
+    "## Match provenance",
+)
+
+#: Row caps keep reports readable for universal-scale runs.
+MAX_EVENT_ROWS = 200
+MAX_PROVENANCE_RECORDS = 25
+MAX_METRIC_ROWS = 120
+
+
+def markdown_table(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        cells = [str(cell).replace("|", "\\|").replace("\n", " ") for cell in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, dict):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+def _manifest_section(manifest: Mapping[str, Any]) -> List[str]:
+    rows = []
+    for key in sorted(manifest):
+        value = manifest[key]
+        if value is None:
+            continue
+        rows.append((key, _fmt_value(value)))
+    return [REPORT_SECTIONS[0], "", markdown_table(("key", "value"), rows)]
+
+def _metrics_section(snapshot: Mapping[str, Mapping[str, Any]]) -> List[str]:
+    rows: List[Tuple[str, str, str]] = []
+    for metric in sorted(snapshot):
+        for labels, value in sorted(snapshot[metric].items()):
+            rows.append((metric, labels or "-", _fmt_value(value)))
+    elided = ""
+    if len(rows) > MAX_METRIC_ROWS:
+        elided = f"\n\n_{len(rows) - MAX_METRIC_ROWS} series elided._"
+        rows = rows[:MAX_METRIC_ROWS]
+    if not rows:
+        return [REPORT_SECTIONS[1], "", "_No metrics recorded._"]
+    table = markdown_table(("metric", "labels", "value"), rows)
+    return [REPORT_SECTIONS[1], "", table + elided]
+
+
+def _span_section(span_tree: Optional[str]) -> List[str]:
+    if not span_tree or not span_tree.strip():
+        return [REPORT_SECTIONS[2], "", "_Tracing was not enabled._"]
+    return [REPORT_SECTIONS[2], "", "```", span_tree.rstrip(), "```"]
+
+
+def _event_section(events: Sequence[Mapping[str, Any]]) -> List[str]:
+    timeline = [
+        e for e in events
+        if e.get("type") not in (RUN_MANIFEST, RUN_METRICS, RUN_SPANS)
+    ]
+    if not timeline:
+        return [REPORT_SECTIONS[3], "", "_No events recorded._"]
+    t0 = timeline[0].get("ts", 0.0)
+    rows = []
+    shown = timeline[:MAX_EVENT_ROWS]
+    for event in shown:
+        fields = event.get("fields", {})
+        if event.get("type") == MATCH_PROVENANCE:
+            # Provenance gets its own section; keep the timeline row terse.
+            fields = {
+                "eid_mac": fields.get("eid_mac"),
+                "predicted_vid": fields.get("predicted_vid"),
+            }
+        rendered = ", ".join(
+            f"{k}={_fmt_value(v)}" for k, v in fields.items() if v is not None
+        )
+        rows.append(
+            (
+                event.get("seq", "-"),
+                f"+{(event.get('ts', t0) - t0) * 1000.0:.1f}ms",
+                event.get("type", "?"),
+                event.get("span_id") if event.get("span_id") is not None else "-",
+                rendered[:160] or "-",
+            )
+        )
+    table = markdown_table(("seq", "t", "type", "span", "fields"), rows)
+    footer = ""
+    if len(timeline) > len(shown):
+        footer = f"\n\n_{len(timeline) - len(shown)} later events elided._"
+    summary = f"{len(timeline)} events recorded."
+    return [REPORT_SECTIONS[3], "", summary, "", table + footer]
+
+
+def _provenance_section(
+    provenance: Sequence[ProvenanceRecord],
+) -> List[str]:
+    if not provenance:
+        return [
+            REPORT_SECTIONS[4],
+            "",
+            "_No provenance records (run did not perform matching)._",
+        ]
+    matched = sum(1 for r in provenance if r.predicted_vid is not None)
+    lines = [
+        REPORT_SECTIONS[4],
+        "",
+        f"{len(provenance)} records, {matched} with a predicted VID.",
+        "",
+    ]
+    for record in list(provenance)[:MAX_PROVENANCE_RECORDS]:
+        lines.append("```")
+        lines.append(record.explain())
+        lines.append("```")
+    if len(provenance) > MAX_PROVENANCE_RECORDS:
+        lines.append(
+            f"_{len(provenance) - MAX_PROVENANCE_RECORDS} records elided._"
+        )
+    return lines
+
+
+def render_run_report(
+    manifest: Mapping[str, Any],
+    metrics_snapshot: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    span_tree: Optional[str] = None,
+    events: Optional[Sequence[Mapping[str, Any]]] = None,
+    provenance: Optional[Sequence[ProvenanceRecord]] = None,
+) -> str:
+    """Join a run's artifacts into one self-contained markdown report."""
+    title = manifest.get("command", "run")
+    run_id = manifest.get("run_id", "?")
+    parts: List[str] = [f"# Run report: `{title}` ({run_id})", ""]
+    parts.extend(_manifest_section(manifest))
+    parts.append("")
+    parts.extend(_metrics_section(metrics_snapshot or {}))
+    parts.append("")
+    parts.extend(_span_section(span_tree))
+    parts.append("")
+    parts.extend(_event_section(events or []))
+    parts.append("")
+    parts.extend(_provenance_section(provenance or []))
+    parts.append("")
+    return "\n".join(parts)
+
+
+def load_run_records(path: str) -> Dict[str, Any]:
+    """Recover a report's inputs from a JSONL event stream.
+
+    Returns ``{"manifest", "metrics", "span_tree", "events",
+    "provenance"}`` — the footer records the CLI appends before
+    closing the sink carry the manifest/metrics/spans, and
+    ``match.provenance`` events reconstruct the provenance records.
+    """
+    events = load_events(path)
+    manifest: Dict[str, Any] = {}
+    metrics: Dict[str, Any] = {}
+    span_tree: Optional[str] = None
+    provenance: List[ProvenanceRecord] = []
+    for event in events:
+        etype = event.get("type")
+        fields = event.get("fields", {})
+        if etype == RUN_MANIFEST:
+            manifest = dict(fields)
+        elif etype == RUN_METRICS:
+            metrics = dict(fields.get("snapshot", {}))
+        elif etype == RUN_SPANS:
+            span_tree = fields.get("tree")
+        elif etype == MATCH_PROVENANCE:
+            provenance.append(ProvenanceRecord.from_dict(fields))
+    if not manifest and events:
+        manifest = {"run_id": events[0].get("run_id", "?"), "command": "unknown"}
+    return {
+        "manifest": manifest,
+        "metrics": metrics,
+        "span_tree": span_tree,
+        "events": events,
+        "provenance": provenance,
+    }
+
+
+def render_report_from_events(path: str) -> str:
+    """Offline rendering: JSONL stream in, markdown report out."""
+    records = load_run_records(path)
+    return render_run_report(
+        records["manifest"],
+        metrics_snapshot=records["metrics"],
+        span_tree=records["span_tree"],
+        events=records["events"],
+        provenance=records["provenance"],
+    )

@@ -1,0 +1,279 @@
+"""Run manifests and match provenance.
+
+A *run* is one top-level invocation — ``repro match``, ``repro serve``,
+a benchmark — and its :class:`RunContext` is the manifest an auditor
+needs to reproduce it: the command, its parameters, the seed, the
+backend, and the environment (interpreter, platform, numpy) it ran
+under.  Every event the :mod:`repro.obs.events` log records while a
+run is active carries that run's ``run_id``, which is what makes a
+JSONL stream from one process joinable against metrics scraped from
+the same process.
+
+The second half of this module is **provenance**: per-match
+:class:`ProvenanceRecord` objects that answer the operator question
+"why did EID x get matched to VID y" with the concrete evidence — the
+E-Scenarios that carried the decision, the per-candidate scores, and
+the agreement ratio (paper Sec. IV-C).  Records attach to the active
+run context and are rendered into the provenance section of
+``repro report``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import platform
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.events import MATCH_PROVENANCE, get_event_log
+
+_run_counter = itertools.count(1)
+
+
+@dataclass
+class EvidenceItem:
+    """One scenario's contribution to a match decision."""
+
+    cell_id: int
+    tick: int
+    detections: int
+    claimed: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell_id": self.cell_id,
+            "tick": self.tick,
+            "detections": self.detections,
+            "claimed": self.claimed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EvidenceItem":
+        return cls(
+            cell_id=int(payload["cell_id"]),
+            tick=int(payload["tick"]),
+            detections=int(payload["detections"]),
+            claimed=bool(payload["claimed"]),
+        )
+
+
+@dataclass
+class ProvenanceRecord:
+    """Why one EID was (or was not) matched to a VID.
+
+    ``scores`` holds the final per-candidate agreement scores; the
+    predicted VID is the argmax.  ``evidence`` lists the E-Scenarios
+    the decision was computed over, flagged by whether the winning
+    candidate claimed membership in each.
+    """
+
+    eid_index: int
+    eid_mac: str
+    algorithm: str
+    predicted_vid: Optional[int]
+    agreement: float
+    scenarios_used: int
+    scores: Dict[int, float] = field(default_factory=dict)
+    evidence: Tuple[EvidenceItem, ...] = ()
+    candidates_remaining: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "eid_index": self.eid_index,
+            "eid_mac": self.eid_mac,
+            "algorithm": self.algorithm,
+            "predicted_vid": self.predicted_vid,
+            "agreement": self.agreement,
+            "scenarios_used": self.scenarios_used,
+            "scores": {str(vid): score for vid, score in self.scores.items()},
+            "evidence": [item.to_dict() for item in self.evidence],
+            "candidates_remaining": self.candidates_remaining,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ProvenanceRecord":
+        predicted = payload.get("predicted_vid")
+        return cls(
+            eid_index=int(payload["eid_index"]),
+            eid_mac=str(payload["eid_mac"]),
+            algorithm=str(payload["algorithm"]),
+            predicted_vid=None if predicted is None else int(predicted),
+            agreement=float(payload["agreement"]),
+            scenarios_used=int(payload["scenarios_used"]),
+            scores={
+                int(vid): float(score)
+                for vid, score in payload.get("scores", {}).items()
+            },
+            evidence=tuple(
+                EvidenceItem.from_dict(item)
+                for item in payload.get("evidence", [])
+            ),
+            candidates_remaining=payload.get("candidates_remaining"),
+        )
+
+    def explain(self) -> str:
+        """A human-readable "why this EID→VID" audit paragraph."""
+        lines: List[str] = []
+        if self.predicted_vid is None:
+            lines.append(
+                f"EID {self.eid_mac} (#{self.eid_index}): no VID matched "
+                f"({self.algorithm}, {self.scenarios_used} scenarios examined)."
+            )
+            return "\n".join(lines)
+        lines.append(
+            f"EID {self.eid_mac} (#{self.eid_index}) → VID "
+            f"{self.predicted_vid} via {self.algorithm}: agreement "
+            f"{self.agreement:.3f} over {self.scenarios_used} scenarios."
+        )
+        if self.candidates_remaining is not None:
+            lines.append(
+                f"  E stage narrowed the candidate set to "
+                f"{self.candidates_remaining} VID(s) before filtering."
+            )
+        if self.scores:
+            ranked = sorted(
+                self.scores.items(), key=lambda item: (-item[1], item[0])
+            )
+            runners = ", ".join(
+                f"VID {vid}={score:.3f}" for vid, score in ranked[:4]
+            )
+            lines.append(f"  Final scores: {runners}.")
+            if len(ranked) > 1 and ranked[0][1] > ranked[1][1]:
+                margin = ranked[0][1] - ranked[1][1]
+                lines.append(
+                    f"  Winner led the runner-up by {margin:.3f}."
+                )
+        claimed = [item for item in self.evidence if item.claimed]
+        if self.evidence:
+            lines.append(
+                f"  Evidence: winner claimed {len(claimed)} of "
+                f"{len(self.evidence)} scenario(s), e.g. "
+                + "; ".join(
+                    f"cell {item.cell_id} @ tick {item.tick} "
+                    f"({item.detections} detections)"
+                    for item in (claimed or list(self.evidence))[:3]
+                )
+                + "."
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class RunContext:
+    """Manifest for one top-level invocation."""
+
+    run_id: str
+    command: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    backend: Optional[str] = None
+    started_unix: float = 0.0
+    finished_unix: Optional[float] = None
+    environment: Dict[str, str] = field(default_factory=dict)
+    provenance: List[ProvenanceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def add_provenance(self, records: Iterable[ProvenanceRecord]) -> None:
+        with self._lock:
+            self.provenance.extend(records)
+
+    def finish(self) -> None:
+        self.finished_unix = time.time()
+
+    def manifest(self) -> Dict[str, Any]:
+        """The JSON-ready manifest (provenance travels separately)."""
+        with self._lock:
+            recorded = len(self.provenance)
+        return {
+            "run_id": self.run_id,
+            "command": self.command,
+            "parameters": dict(self.parameters),
+            "seed": self.seed,
+            "backend": self.backend,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "duration_s": (
+                None
+                if self.finished_unix is None
+                else self.finished_unix - self.started_unix
+            ),
+            "environment": dict(self.environment),
+            "provenance_records": recorded,
+        }
+
+
+def _environment() -> Dict[str, str]:
+    env = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "pid": str(os.getpid()),
+    }
+    try:
+        import numpy
+
+        env["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a baked-in dep
+        env["numpy"] = "unavailable"
+    return env
+
+
+def new_run_context(
+    command: str,
+    parameters: Optional[Dict[str, Any]] = None,
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> RunContext:
+    """Build a RunContext with a fresh process-unique run id."""
+    started = time.time()
+    run_id = f"{int(started):x}-{os.getpid():x}-{next(_run_counter)}"
+    return RunContext(
+        run_id=run_id,
+        command=command,
+        parameters=dict(parameters or {}),
+        seed=seed,
+        backend=backend,
+        started_unix=started,
+        environment=_environment(),
+    )
+
+
+_current_run: Optional[RunContext] = None
+_current_lock = threading.Lock()
+
+
+def get_run_context() -> Optional[RunContext]:
+    """The process-global active run, or ``None`` outside a run."""
+    return _current_run
+
+
+def set_run_context(context: Optional[RunContext]) -> Optional[RunContext]:
+    """Swap the process-global run context; returns the previous one."""
+    global _current_run
+    with _current_lock:
+        previous = _current_run
+        _current_run = context
+    return previous
+
+
+def record_provenance(records: Sequence[ProvenanceRecord]) -> None:
+    """Attach records to the active run and mirror them as events."""
+    if not records:
+        return
+    context = get_run_context()
+    if context is not None:
+        context.add_provenance(records)
+    log = get_event_log()
+    if log.enabled:
+        for record in records:
+            log.emit(MATCH_PROVENANCE, **record.to_dict())
+
+
+def provenance_listening() -> bool:
+    """True when building provenance records would reach an audience."""
+    return get_run_context() is not None or get_event_log().enabled

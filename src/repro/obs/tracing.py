@@ -28,10 +28,15 @@ from __future__ import annotations
 
 import contextvars
 import functools
+import itertools
 import os
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Process-unique span ids — the join key between a span and the
+#: events (:mod:`repro.obs.events`) emitted while it was open.
+_span_ids = itertools.count(1)
 
 
 class Span:
@@ -39,7 +44,7 @@ class Span:
 
     __slots__ = (
         "name", "args", "tid", "parent", "children",
-        "start_s", "end_s",
+        "start_s", "end_s", "span_id",
     )
 
     def __init__(
@@ -49,6 +54,7 @@ class Span:
         start_s: float,
         args: Dict[str, Any],
     ) -> None:
+        self.span_id = next(_span_ids)
         self.name = name
         self.parent = parent
         self.children: List["Span"] = []
@@ -76,6 +82,8 @@ class _NoopSpan:
     """The shared do-nothing span: context manager + ``set`` no-op."""
 
     __slots__ = ()
+
+    span_id = None
 
     def __enter__(self) -> "_NoopSpan":
         return self

@@ -19,7 +19,7 @@ from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.failures import FailurePolicy
 from repro.metrics.accuracy import AccuracyReport, accuracy_of
-from repro.obs import get_tracer
+from repro.obs import get_tracer, provenance_listening, record_provenance
 from repro.metrics.timing import CostModel, StageTimes
 from repro.parallel.edp_job import ParallelEDP
 from repro.parallel.filter_job import ParallelFilterStats, ParallelVIDFilter
@@ -83,6 +83,23 @@ class ParallelEVMatcher:
             failure_policy=self.failure_policy,
         )
 
+    def _record_provenance(
+        self,
+        algorithm: str,
+        results: Dict[EID, MatchResult],
+        candidates: Optional[Mapping[EID, int]],
+    ) -> None:
+        """Same audit trail as the local matcher, engine-agnostic."""
+        if not provenance_listening():
+            return
+        from repro.core.matcher import provenance_of
+
+        record_provenance(
+            provenance_of(
+                algorithm, results, store=self.store, candidates=candidates
+            )
+        )
+
     def match(
         self,
         targets: Sequence[EID],
@@ -102,6 +119,11 @@ class ParallelEVMatcher:
             )
             with get_tracer().span("v.filter", targets=len(split.evidence)):
                 results, filter_stats = vid_filter.match(split.evidence)
+        self._record_provenance(
+            "ss",
+            results,
+            {eid: len(members) for eid, members in split.candidates.items()},
+        )
         return ParallelMatchReport(
             algorithm="ss",
             targets=tuple(targets),
@@ -137,6 +159,7 @@ class ParallelEVMatcher:
             )
             with get_tracer().span("v.filter", targets=len(e_result.evidence)):
                 results, filter_stats = vid_filter.match(e_result.evidence)
+        self._record_provenance("edp", results, None)
         return ParallelMatchReport(
             algorithm="edp",
             targets=tuple(targets),

@@ -15,6 +15,8 @@ Composition (see ``docs/architecture.md``, "Serving layer")::
       │                           (on a repro.obs MetricsRegistry;
       │                           the ``metrics`` verb renders it as
       │                           Prometheus text)
+      ├── HealthTracker           rolling-window SLO verdicts
+      │                           (the ``health`` verb)
       └── IncrementalMatcher      the ingest-fed watch-list
 
 :mod:`repro.service.loadgen` drives it for benchmarks;
@@ -26,6 +28,7 @@ from repro.service.api import (
     STATUS_ERROR,
     STATUS_OK,
     STATUS_SHED,
+    HealthResponse,
     IngestTickRequest,
     IngestTickResponse,
     InvestigateRequest,
@@ -34,12 +37,14 @@ from repro.service.api import (
     MatchResponse,
     MetricsResponse,
     ServiceOverloaded,
+    SLOCheck,
     StatsResponse,
     TargetMatch,
 )
 from repro.service.batcher import MatchBatcher
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.dataset_shards import DatasetShard, ShardedDataset
+from repro.service.health import HealthTracker, SLOConfig
 from repro.service.loadgen import LoadConfig, LoadReport, run_load
 from repro.service.metrics import EndpointMetrics, LatencyHistogram, ServiceMetrics
 from repro.service.server import MatchService, ServiceConfig
@@ -49,6 +54,8 @@ __all__ = [
     "CacheStats",
     "DatasetShard",
     "EndpointMetrics",
+    "HealthResponse",
+    "HealthTracker",
     "IngestTickRequest",
     "IngestTickResponse",
     "InvestigateRequest",
@@ -65,6 +72,8 @@ __all__ = [
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_SHED",
+    "SLOCheck",
+    "SLOConfig",
     "ServiceConfig",
     "ServiceMetrics",
     "ServiceOverloaded",

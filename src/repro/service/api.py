@@ -214,3 +214,34 @@ class MetricsResponse:
     """
 
     text: str = ""
+
+
+@dataclass(frozen=True)
+class SLOCheck:
+    """One objective's verdict over the health window."""
+
+    name: str
+    objective: float
+    observed: float
+    ok: bool
+
+
+@dataclass
+class HealthResponse:
+    """The ``health`` endpoint: rolling-window SLO pass/fail.
+
+    Attributes:
+        healthy: every declared objective held over the window (also
+            ``True`` below ``min_samples`` — an idle service is not a
+            failing one; ``note`` says so).
+        window_s: the rolling window the verdict covers.
+        samples: request outcomes the verdict was computed from.
+        checks: per-objective verdicts (empty when under-sampled).
+        note: why the checks are empty, when they are.
+    """
+
+    healthy: bool
+    window_s: float
+    samples: int
+    checks: Tuple[SLOCheck, ...] = ()
+    note: str = ""

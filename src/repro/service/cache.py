@@ -28,6 +28,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, FrozenSet, Hashable, Iterable, Optional
 
+from repro.obs import get_event_log
+from repro.obs import events as ev
 from repro.world.entities import EID
 
 
@@ -115,9 +117,20 @@ class ResultCache:
             self._entries[key] = _Entry(
                 value=value, eids=frozenset(eids), inserted_at=self._clock()
             )
+            evicted = []
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
+                evicted.append(evicted_key)
                 self.stats.evicted_lru += 1
+        log = get_event_log()
+        if evicted and log.enabled:
+            for evicted_key in evicted:
+                log.emit(
+                    ev.SERVICE_CACHE_EVICTED,
+                    key=repr(evicted_key),
+                    reason="lru",
+                    capacity=self.capacity,
+                )
 
     def invalidate_eids(self, eids: Iterable[EID]) -> int:
         """Drop every entry whose tagged EIDs intersect ``eids``.

@@ -32,6 +32,8 @@ import threading
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.accel import matrix_for
+from repro.obs import get_event_log
+from repro.obs import events as ev
 from repro.sensing.scenarios import EVScenario, ScenarioKey, ScenarioStore
 from repro.world.cells import CellGrid, HexCellGrid
 from repro.world.entities import EID
@@ -129,9 +131,19 @@ class ShardedDataset:
     def _route(self, key: ScenarioKey, eids: Iterable[EID]) -> None:
         shard_id = self._cell_to_shard.get(key.cell_id)
         if shard_id is None:
+            # A cell no band claims (grid-less store, or a camera that
+            # came online after shard layout): round-robin fallback.
             shard_id = key.cell_id % len(self._shards)
             self._cell_to_shard[key.cell_id] = shard_id
             self._shards[shard_id].cell_ids.add(key.cell_id)
+            log = get_event_log()
+            if log.enabled:
+                log.emit(
+                    ev.SERVICE_SHARD_ASSIGNED,
+                    cell_id=key.cell_id,
+                    shard=shard_id,
+                    reason="unbanded_cell",
+                )
         eids = tuple(eids)
         self._shards[shard_id].add(key, eids)
         for eid in eids:

@@ -1,0 +1,157 @@
+"""Rolling-window SLO tracking for :class:`~repro.service.server.MatchService`.
+
+The serving layer's metrics are cumulative — good for dashboards,
+useless for "is the service healthy *right now*".  This module keeps a
+bounded rolling window of recent request outcomes and judges it
+against declared objectives:
+
+* **p99 latency** (nearest-rank, same convention as the registry's
+  histograms and ``loadgen.percentile``);
+* **shed rate** — the fraction of requests answered ``shed`` because
+  the admission queue was full;
+* **error rate** — the fraction answered ``error``.
+
+:meth:`HealthTracker.snapshot` returns a
+:class:`~repro.service.api.HealthResponse`: overall pass/fail plus the
+individual :class:`~repro.service.api.SLOCheck` verdicts, so a load
+balancer can act on the bit and an operator can read the why.  Until
+``min_samples`` outcomes arrive the tracker reports healthy-by-default
+(``insufficient data``): an idle service is not a failing one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Tuple
+
+from repro.obs import nearest_rank
+from repro.service.api import STATUS_ERROR, STATUS_SHED, HealthResponse, SLOCheck
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Declared service-level objectives.
+
+    Attributes:
+        latency_p99_s: p99 latency objective over the window, seconds.
+        max_shed_rate: tolerated fraction of shed requests.
+        max_error_rate: tolerated fraction of errored requests.
+        window_s: rolling-window width, seconds.
+        min_samples: outcomes required before the SLOs are judged at
+            all; below this the service reports healthy with
+            ``samples`` exposing how thin the evidence is.
+        max_window_samples: hard cap on retained outcomes, so a
+            traffic spike cannot grow the window unboundedly.
+    """
+
+    latency_p99_s: float = 0.5
+    max_shed_rate: float = 0.05
+    max_error_rate: float = 0.01
+    window_s: float = 60.0
+    min_samples: int = 20
+    max_window_samples: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.latency_p99_s <= 0:
+            raise ValueError(
+                f"latency_p99_s must be positive, got {self.latency_p99_s}"
+            )
+        for name in ("max_shed_rate", "max_error_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {self.window_s}")
+        if self.min_samples <= 0:
+            raise ValueError(
+                f"min_samples must be positive, got {self.min_samples}"
+            )
+        if self.max_window_samples < self.min_samples:
+            raise ValueError(
+                "max_window_samples must be >= min_samples, got "
+                f"{self.max_window_samples} < {self.min_samples}"
+            )
+
+
+class HealthTracker:
+    """Thread-safe rolling window of request outcomes, judged on demand."""
+
+    def __init__(
+        self,
+        slo: SLOConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.slo = slo
+        self._clock = clock
+        self._lock = threading.Lock()
+        # (timestamp, status, latency_s); shed requests never entered a
+        # worker so their latency is the (tiny) admission time.
+        self._window: Deque[Tuple[float, str, float]] = deque(
+            maxlen=slo.max_window_samples
+        )
+
+    def record(self, status: str, latency_s: float) -> None:
+        """Record one finished request's outcome."""
+        now = self._clock()
+        with self._lock:
+            self._window.append((now, status, latency_s))
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.slo.window_s
+        window = self._window
+        while window and window[0][0] < horizon:
+            window.popleft()
+
+    def snapshot(self) -> HealthResponse:
+        """Judge the current window against the declared objectives."""
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            outcomes = list(self._window)
+        samples = len(outcomes)
+        if samples < self.slo.min_samples:
+            return HealthResponse(
+                healthy=True,
+                window_s=self.slo.window_s,
+                samples=samples,
+                checks=(),
+                note=(
+                    f"insufficient data: {samples} < "
+                    f"{self.slo.min_samples} samples"
+                ),
+            )
+        latencies = [latency for _, _, latency in outcomes]
+        shed = sum(1 for _, status, _ in outcomes if status == STATUS_SHED)
+        errors = sum(1 for _, status, _ in outcomes if status == STATUS_ERROR)
+        p99 = nearest_rank(latencies, 99.0)
+        checks = (
+            SLOCheck(
+                name="latency_p99_s",
+                objective=self.slo.latency_p99_s,
+                observed=p99,
+                ok=p99 <= self.slo.latency_p99_s,
+            ),
+            SLOCheck(
+                name="shed_rate",
+                objective=self.slo.max_shed_rate,
+                observed=shed / samples,
+                ok=shed / samples <= self.slo.max_shed_rate,
+            ),
+            SLOCheck(
+                name="error_rate",
+                objective=self.slo.max_error_rate,
+                observed=errors / samples,
+                ok=errors / samples <= self.slo.max_error_rate,
+            ),
+        )
+        return HealthResponse(
+            healthy=all(check.ok for check in checks),
+            window_s=self.slo.window_s,
+            samples=samples,
+            checks=checks,
+            note="",
+        )

@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.obs.registry import nearest_rank
 from repro.service.api import (
     STATUS_OK,
     STATUS_SHED,
+    HealthResponse,
     InvestigateRequest,
     MatchRequest,
 )
@@ -86,6 +87,9 @@ class LoadReport:
             observed from the client side.
         duration_s: wall-clock time from first to last request.
         latencies_s: every request's client-observed latency.
+        final_health: the service's rolling-window SLO verdict taken
+            right after the run (``None`` when the driven object has
+            no ``health`` verb — fakes in tests).
     """
 
     issued: int = 0
@@ -97,6 +101,7 @@ class LoadReport:
     batched: int = 0
     duration_s: float = 0.0
     latencies_s: List[float] = field(default_factory=list)
+    final_health: Optional[HealthResponse] = None
 
     @property
     def achieved_qps(self) -> float:
@@ -185,6 +190,9 @@ def run_load(service, targets: Sequence[EID], config: LoadConfig) -> LoadReport:
     total = LoadReport(duration_s=time.perf_counter() - started)
     for report in reports:
         total.merge(report)
+    health = getattr(service, "health", None)
+    if callable(health):
+        total.final_health = health()
     return total
 
 

@@ -41,12 +41,14 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.incremental import IncrementalMatcher
 from repro.core.matcher import EVMatcher, MatcherConfig, MatchReport
-from repro.obs import get_registry
+from repro.obs import get_event_log, get_registry
+from repro.obs import events as ev
 from repro.sensing.scenarios import EVScenario, ScenarioStore
 from repro.service.api import (
     STATUS_ERROR,
     STATUS_OK,
     STATUS_SHED,
+    HealthResponse,
     IngestTickRequest,
     IngestTickResponse,
     InvestigateRequest,
@@ -60,6 +62,7 @@ from repro.service.api import (
 from repro.service.batcher import MatchBatcher, Waiter
 from repro.service.cache import ResultCache
 from repro.service.dataset_shards import ShardedDataset
+from repro.service.health import HealthTracker, SLOConfig
 from repro.service.metrics import ServiceMetrics
 from repro.world.cells import CellGrid, HexCellGrid
 from repro.world.entities import EID
@@ -83,6 +86,8 @@ class ServiceConfig:
         matcher: the algorithm configuration queries run with.
         worker_delay_s: artificial per-request service time; a testing
             hook for overload/shedding scenarios (0 in production).
+        slo: declared objectives the ``health`` verb judges the
+            rolling request window against.
     """
 
     workers: int = 2
@@ -93,6 +98,7 @@ class ServiceConfig:
     num_shards: int = 4
     matcher: MatcherConfig = MatcherConfig()
     worker_delay_s: float = 0.0
+    slo: SLOConfig = SLOConfig()
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -173,6 +179,7 @@ class MatchService:
             capacity=self.config.cache_capacity, ttl_s=self.config.cache_ttl_s
         )
         self.metrics = ServiceMetrics()
+        self.health_tracker = HealthTracker(self.config.slo)
         matcher_cfg = self.config.matcher
         coupled = matcher_cfg.use_exclusion or matcher_cfg.refining is not None
         self.batcher = MatchBatcher(
@@ -244,6 +251,42 @@ class MatchService:
     def watch_emitted(self) -> int:
         return len(self._watch.emissions)
 
+    # -- observation -------------------------------------------------------
+    def _observe(
+        self,
+        endpoint: str,
+        status: str,
+        latency_s: float,
+        cached: bool = False,
+        deduplicated: bool = False,
+        batched: bool = False,
+    ) -> None:
+        """One data-plane outcome: feeds both the cumulative service
+        metrics and the rolling health window (meta endpoints like
+        ``stats`` report to metrics only and bypass this)."""
+        self.metrics.observe(
+            endpoint,
+            status,
+            latency_s,
+            cached=cached,
+            deduplicated=deduplicated,
+            batched=batched,
+        )
+        self.health_tracker.record(status, latency_s)
+        if status == STATUS_SHED:
+            log = get_event_log()
+            if log.enabled:
+                log.emit(
+                    ev.SERVICE_REQUEST_SHED,
+                    endpoint=endpoint,
+                    queue_depth=self.queue_depth,
+                    queue_size=self.config.queue_size,
+                )
+
+    def health(self) -> HealthResponse:
+        """The ``health`` verb: SLO pass/fail over the rolling window."""
+        return self.health_tracker.snapshot()
+
     # -- async API ---------------------------------------------------------
     def submit(self, request: Request) -> "Future":
         """Enqueue one query; the future resolves to its response.
@@ -271,7 +314,7 @@ class MatchService:
                     latency_s=latency,
                 )
             )
-            self.metrics.observe("match", STATUS_OK, latency, cached=True)
+            self._observe("match", STATUS_OK, latency, cached=True)
             return future
         waiter = Waiter(future=future, started=started)
         if not self.batcher.admit(request, waiter):
@@ -294,7 +337,7 @@ class MatchService:
         if cached is not None:
             latency = time.perf_counter() - started
             future.set_result(replace(cached, cached=True, latency_s=latency))
-            self.metrics.observe("investigate", STATUS_OK, latency, cached=True)
+            self._observe("investigate", STATUS_OK, latency, cached=True)
             return future
         waiter = Waiter(future=future, started=started)
         try:
@@ -306,7 +349,7 @@ class MatchService:
                     status=STATUS_SHED, eid=request.eid, latency_s=latency
                 )
             )
-            self.metrics.observe("investigate", STATUS_SHED, latency)
+            self._observe("investigate", STATUS_SHED, latency)
         return future
 
     # -- sync convenience --------------------------------------------------
@@ -363,7 +406,7 @@ class MatchService:
                 affected.update(scenario.e.eids)
         except Exception as exc:
             latency = time.perf_counter() - started
-            self.metrics.observe("ingest", STATUS_ERROR, latency)
+            self._observe("ingest", STATUS_ERROR, latency)
             return IngestTickResponse(
                 status=STATUS_ERROR, latency_s=latency, error=str(exc)
             )
@@ -371,7 +414,7 @@ class MatchService:
             self._rw.release_write()
         invalidated = self.cache.invalidate_eids(affected)
         latency = time.perf_counter() - started
-        self.metrics.observe("ingest", STATUS_OK, latency)
+        self._observe("ingest", STATUS_OK, latency)
         return IngestTickResponse(
             status=STATUS_OK,
             ingested=len(request.scenarios),
@@ -493,7 +536,7 @@ class MatchService:
         self, request: MatchRequest, waiter: Waiter, response: MatchResponse
     ) -> None:
         response.latency_s = time.perf_counter() - waiter.started
-        self.metrics.observe(
+        self._observe(
             "match",
             response.status,
             response.latency_s,
@@ -530,5 +573,5 @@ class MatchService:
             self.cache.put(request.cache_key(), response, eids=(request.eid,))
         response = replace(response)  # cached template stays latency-free
         response.latency_s = time.perf_counter() - waiter.started
-        self.metrics.observe("investigate", response.status, response.latency_s)
+        self._observe("investigate", response.status, response.latency_s)
         waiter.future.set_result(response)

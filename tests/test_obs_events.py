@@ -1,0 +1,298 @@
+"""The flight recorder: event log, run/provenance plumbing, reports.
+
+Covers the event envelope contract (run + span correlation, including
+across threads), the bounded ring and JSONL sink, provenance records
+surviving the MapReduce engine path, the CLI's --events/--report run
+artifacts, and the Prometheus label-escaping regression.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+
+import pytest
+
+from repro.core.matcher import EVMatcher
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    NullEventLog,
+    RUN_REPORT_SECTIONS,
+    Tracer,
+    get_event_log,
+    load_events,
+    new_run_context,
+    null_registry,
+    render_report_from_events,
+    set_event_log,
+    set_registry,
+    set_run_context,
+    set_tracer,
+)
+from repro.obs import events as ev
+from repro.parallel.driver import ParallelEVMatcher
+
+
+@pytest.fixture()
+def event_log():
+    """A fresh in-memory log installed as the process default."""
+    log = EventLog(capacity=64)
+    previous = set_event_log(log)
+    try:
+        yield log
+    finally:
+        set_event_log(previous)
+
+
+@pytest.fixture()
+def run_context():
+    run = new_run_context("test", parameters={"k": 1}, seed=7, backend="bitset")
+    previous = set_run_context(run)
+    try:
+        yield run
+    finally:
+        set_run_context(previous)
+
+
+@pytest.fixture()
+def tracer():
+    fresh = Tracer()
+    previous = set_tracer(fresh)
+    try:
+        yield fresh
+    finally:
+        set_tracer(previous)
+
+
+# -- envelope + ring -------------------------------------------------------
+class TestEventLog:
+    def test_envelope_carries_run_and_span(self, event_log, run_context, tracer):
+        with tracer.span("outer") as span:
+            event_log.emit("test.event", answer=42)
+        (event,) = event_log.events()
+        assert event["type"] == "test.event"
+        assert event["fields"] == {"answer": 42}
+        assert event["run_id"] == run_context.run_id
+        assert event["span_id"] == span.span_id
+        assert event["seq"] > 0 and event["ts"] > 0
+
+    def test_no_run_no_span_defaults(self, event_log):
+        event_log.emit("test.bare")
+        (event,) = event_log.events()
+        assert event["run_id"] == ""
+        assert event["span_id"] is None
+
+    def test_ring_is_bounded(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("test.tick", i=i)
+        assert len(log) == 4
+        assert log.emitted == 10
+        assert log.dropped == 6
+        assert [e["fields"]["i"] for e in log.events()] == [6, 7, 8, 9]
+
+    def test_type_filter(self, event_log):
+        event_log.emit("test.a")
+        event_log.emit("test.b")
+        event_log.emit("test.a")
+        assert len(event_log.events("test.a")) == 2
+
+    def test_null_log_is_disabled_noop(self):
+        log = NullEventLog()
+        assert log.enabled is False
+        log.emit("test.ignored")
+        assert log.events() == [] and len(log) == 0
+
+    def test_default_is_null(self):
+        assert get_event_log().enabled is False
+
+    def test_jsonl_sink_roundtrip(self, tmp_path, run_context):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=2, sink=str(path))
+        for i in range(5):
+            log.emit("test.tick", i=i)
+        log.close()
+        # The ring drops, the sink keeps everything.
+        loaded = load_events(str(path))
+        assert [e["fields"]["i"] for e in loaded] == list(range(5))
+        assert all(e["run_id"] == run_context.run_id for e in loaded)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_cross_thread_span_correlation(self, event_log, tracer):
+        """Events emitted on a worker thread that entered the driver's
+        context parent under the driver's active span — the engine's
+        copy_context pattern."""
+        recorded = {}
+
+        def worker():
+            event_log.emit("test.worker", where="thread")
+
+        with tracer.span("driver") as span:
+            recorded["span_id"] = span.span_id
+            snapshot = contextvars.copy_context()
+            thread = threading.Thread(target=lambda: snapshot.run(worker))
+            thread.start()
+            thread.join()
+        (event,) = event_log.events("test.worker")
+        assert event["span_id"] == recorded["span_id"]
+
+
+# -- pipeline emission + provenance ---------------------------------------
+class TestPipelineEvents:
+    def test_local_match_emits_and_records(
+        self, ideal_dataset, event_log, run_context, tracer
+    ):
+        targets = list(ideal_dataset.sample_targets(6, seed=1))
+        EVMatcher(ideal_dataset.store).match(targets)
+        types = {e["type"] for e in event_log.events()}
+        assert ev.E_SPLIT_STARTED in types
+        assert ev.E_SPLIT_CONVERGED in types
+        assert ev.V_MATCH_DECIDED in types
+        assert ev.MATCH_PROVENANCE in types
+        assert len(run_context.provenance) == len(targets)
+        for record in run_context.provenance:
+            assert record.predicted_vid is None or isinstance(
+                record.predicted_vid, int
+            )
+            assert "EID" in record.explain()
+
+    def test_provenance_survives_mapreduce_engine(
+        self, ideal_dataset, event_log, run_context
+    ):
+        targets = list(ideal_dataset.sample_targets(5, seed=1))
+        report = ParallelEVMatcher(ideal_dataset.store).match(targets)
+        assert len(run_context.provenance) == len(targets)
+        macs = {r.eid_mac for r in run_context.provenance}
+        assert macs == {t.mac for t in targets}
+        # Mirrored as events, each carrying the run id.
+        mirrored = event_log.events(ev.MATCH_PROVENANCE)
+        assert len(mirrored) == len(targets)
+        assert all(e["run_id"] == run_context.run_id for e in mirrored)
+        # The engine's own lifecycle event rode along.
+        assert event_log.events(ev.MR_JOB_FINISHED)
+        assert report.results
+
+    def test_provenance_skipped_when_nobody_listens(self, ideal_dataset):
+        targets = list(ideal_dataset.sample_targets(3, seed=1))
+        EVMatcher(ideal_dataset.store).match(targets)
+        # No run context, no event log: nothing recorded anywhere.
+        assert get_event_log().events() == []
+
+
+# -- CLI artifacts ---------------------------------------------------------
+class TestCliFlightRecorder:
+    def test_match_events_and_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        events_path = tmp_path / "run.jsonl"
+        report_path = tmp_path / "report.md"
+        code = main(
+            [
+                "match", "--people", "100", "--cells", "3",
+                "--targets", "8", "--duration", "300",
+                "--algorithm", "ss",
+                "--events", str(events_path), "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        events = load_events(str(events_path))
+        assert events
+        run_ids = {e["run_id"] for e in events}
+        assert len(run_ids) == 1 and "" not in run_ids
+        footers = {ev.RUN_MANIFEST, ev.RUN_METRICS, ev.RUN_SPANS}
+        for event in events:
+            assert "span_id" in event
+            if event["type"] not in footers:
+                assert event["span_id"] is not None
+        assert footers <= {e["type"] for e in events}
+
+        text = report_path.read_text()
+        for section in RUN_REPORT_SECTIONS:
+            assert section in text
+        # The provenance section answers "why this EID→VID" for at
+        # least one matched pair.
+        assert "→ VID" in text
+
+        # The stream alone rebuilds an equivalent report offline.
+        offline = render_report_from_events(str(events_path))
+        for section in RUN_REPORT_SECTIONS:
+            assert section in offline
+        assert "→ VID" in offline
+
+    def test_report_from_events_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        events_path = tmp_path / "run.jsonl"
+        out_path = tmp_path / "offline.md"
+        assert main(
+            [
+                "match", "--people", "100", "--cells", "3",
+                "--targets", "5", "--duration", "300",
+                "--algorithm", "ss", "--events", str(events_path),
+            ]
+        ) == 0
+        assert main(
+            ["report", "--from-events", str(events_path), "--out", str(out_path)]
+        ) == 0
+        text = out_path.read_text()
+        for section in RUN_REPORT_SECTIONS:
+            assert section in text
+
+    def test_globals_restored_after_run(self, tmp_path):
+        from repro.cli import main
+        from repro.obs import get_run_context, get_tracer
+
+        main(
+            [
+                "match", "--people", "100", "--cells", "3",
+                "--targets", "3", "--duration", "300",
+                "--algorithm", "ss",
+                "--events", str(tmp_path / "run.jsonl"),
+            ]
+        )
+        assert get_event_log().enabled is False
+        assert get_run_context() is None
+        assert not isinstance(get_tracer(), Tracer)
+
+
+# -- Prometheus escaping regression ---------------------------------------
+class TestPrometheusEscaping:
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("test_escape_total", help="counts\nthings\\here")
+        counter.inc(path='va"l\\ue\nz')
+        text = registry.render_prometheus()
+        # The exposition format demands \" \\ \n inside label values
+        # and \\ \n in HELP text — no raw newlines mid-line.
+        assert 'path="va\\"l\\\\ue\\nz"' in text
+        assert "# HELP test_escape_total counts\\nthings\\\\here" in text
+        # Every sample stays on one parseable line despite the hostile
+        # label value — the raw newline never reaches the exposition.
+        import re
+
+        samples = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(samples) == 1
+        assert re.fullmatch(r"\S+\{.*\} \S+", samples[0])
+
+    def test_escaped_exposition_stays_line_oriented(self):
+        registry = MetricsRegistry()
+        registry.counter("test_lines_total").inc(who="a\nb")
+        lines = registry.render_prometheus().splitlines()
+        samples = [l for l in lines if not l.startswith("#")]
+        assert len(samples) == 1
+        assert samples[0] == 'test_lines_total{who="a\\nb"} 1'
+
+
+@pytest.fixture(autouse=True)
+def quiet_registry():
+    """Keep pipeline metrics out of the module-global registry."""
+    previous = set_registry(null_registry())
+    try:
+        yield
+    finally:
+        set_registry(previous)
