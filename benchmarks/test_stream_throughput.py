@@ -1,0 +1,203 @@
+"""Streaming ingestion throughput and stability.
+
+Not a paper figure — this pins the service-scale behaviour of
+``repro.stream``:
+
+* a full-throttle trace replay (``speedup=0``, no pacing) through the
+  synchronous pipeline sustains a healthy events/sec into a
+  :class:`~repro.sensing.scenarios.ScenarioStore`, and matches the
+  batch builder's store exactly;
+* bounded out-of-orderness (jitter within ``allowed_lateness``) keeps
+  the peak open-window count bounded by ``lateness + 2`` windows while
+  still reproducing the batch store with a zero late-drop rate;
+* *insufficient* lateness drops late events instead of blocking — the
+  late-drop rate is recorded so CI tracks the shed/accuracy trade-off.
+
+Besides the assertions, every measurement lands in
+``BENCH_stream.json`` at the repo root (sustained events/sec, peak
+open-window counts, late-drop rates), so CI keeps a perf trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+from conftest import emit
+
+from repro.bench.datasets import scale
+from repro.bench.reporting import render_rows, write_bench_artifact
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import build_dataset
+from repro.sensing.scenarios import ScenarioStore
+from repro.stream import (
+    ReplayConfig,
+    StoreSink,
+    StreamConfig,
+    StreamPipeline,
+    TraceReplaySource,
+    diff_stores,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+_RESULTS: dict = {}
+
+
+def _world_config() -> ExperimentConfig:
+    if scale() == "smoke":
+        return ExperimentConfig(
+            num_people=60,
+            cells_per_side=3,
+            duration=300.0,
+            sample_dt=10.0,
+            seed=29,
+        )
+    return ExperimentConfig(
+        num_people=300,
+        cells_per_side=5,
+        duration=1200.0,
+        sample_dt=10.0,
+        seed=29,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_trajectory():
+    """Collect every measurement and write ``BENCH_stream.json``."""
+    yield
+    if _RESULTS:
+        write_bench_artifact(BENCH_PATH, _RESULTS)
+
+
+@pytest.fixture(scope="module")
+def stream_world():
+    """One dataset shared by every streaming measurement."""
+    return build_dataset(_world_config())
+
+
+def _replay(dataset, *, jitter=0, lateness=0, seed=0):
+    """Run one full-throttle replay; returns (report, store, elapsed)."""
+    store = ScenarioStore([])
+    pipeline = StreamPipeline(
+        TraceReplaySource.from_dataset(
+            dataset, ReplayConfig(jitter_ticks=jitter, seed=seed)
+        ),
+        StoreSink(store),
+        StreamConfig.from_builder(
+            dataset.config.builder_config(),
+            synchronous=True,
+            allowed_lateness=lateness,
+        ),
+    )
+    started = time.perf_counter()
+    report = pipeline.run()
+    elapsed = time.perf_counter() - started
+    return report, store, elapsed
+
+
+def test_sustained_replay_throughput(stream_world):
+    """In-order full-throttle replay: events/sec into the store, with
+    the batch-equivalent end state."""
+    report, store, elapsed = _replay(stream_world)
+    assert diff_stores(stream_world.store, store) == []
+    assert report.late_dropped == 0
+    events_per_sec = report.events_applied / max(elapsed, 1e-9)
+    # Even the smoke world should stream thousands of events/sec; the
+    # floor is deliberately loose (CI machines vary widely).
+    assert events_per_sec > 200.0
+    _RESULTS["throughput"] = {
+        "events_total": report.events_applied,
+        "events_per_sec": events_per_sec,
+        "scenarios_emitted": report.scenarios_applied,
+        "elapsed_s": elapsed,
+    }
+    emit(
+        render_rows(
+            "streaming throughput (in-order replay)",
+            ["events", "events/sec", "scenarios", "elapsed s"],
+            [
+                {
+                    "events": report.events_applied,
+                    "events/sec": round(events_per_sec),
+                    "scenarios": report.scenarios_applied,
+                    "elapsed s": round(elapsed, 3),
+                }
+            ],
+        )
+    )
+
+
+def test_peak_open_windows_bounded_under_jitter(stream_world):
+    """Jitter within lateness: the assembler buffers at most
+    ``lateness + 2`` open windows (windows linger ``lateness`` ticks
+    past their end, and the watermark-advancing event opens its own
+    window before the close fires), and still matches batch exactly."""
+    rows = []
+    for jitter in (1, 2, 4):
+        report, store, elapsed = _replay(
+            stream_world, jitter=jitter, lateness=jitter, seed=17
+        )
+        assert report.late_dropped == 0
+        assert diff_stores(stream_world.store, store) == []
+        assert report.peak_open_windows <= jitter + 2
+        rows.append(
+            {
+                "jitter": jitter,
+                "lateness": jitter,
+                "peak windows": report.peak_open_windows,
+                "events/sec": round(report.events_applied / max(elapsed, 1e-9)),
+            }
+        )
+    _RESULTS["open_windows"] = {
+        f"jitter_{row['jitter']}": {
+            "peak_open_windows": row["peak windows"],
+            "events_per_sec": row["events/sec"],
+        }
+        for row in rows
+    }
+    emit(
+        render_rows(
+            "peak open windows under bounded jitter",
+            ["jitter", "lateness", "peak windows", "events/sec"],
+            rows,
+        )
+    )
+
+
+def test_late_drop_rate_under_insufficient_lateness(stream_world):
+    """Jitter beyond lateness: late events are dropped, not blocked on;
+    the drop rate is the accuracy price of the tighter watermark."""
+    jitter = 4
+    rows = []
+    for lateness in (0, 2, jitter):
+        report, _store, _elapsed = _replay(
+            stream_world, jitter=jitter, lateness=lateness, seed=23
+        )
+        total = report.events_applied + report.late_dropped
+        drop_rate = report.late_dropped / max(total, 1)
+        rows.append(
+            {
+                "jitter": jitter,
+                "lateness": lateness,
+                "late dropped": report.late_dropped,
+                "drop rate": round(drop_rate, 4),
+            }
+        )
+        if lateness >= jitter:
+            assert report.late_dropped == 0
+        _RESULTS[f"late_drops_lateness_{lateness}"] = {
+            "late_dropped": report.late_dropped,
+            "drop_rate": drop_rate,
+        }
+    # Tightening the watermark can only drop more.
+    drops = [row["late dropped"] for row in rows]
+    assert drops == sorted(drops, reverse=True)
+    emit(
+        render_rows(
+            "late-drop rate vs allowed lateness (jitter=4)",
+            ["jitter", "lateness", "late dropped", "drop rate"],
+            rows,
+        )
+    )

@@ -1,15 +1,26 @@
-"""Compatibility alias for :mod:`repro.bench.reporting`.
+"""Deprecated compatibility alias for :mod:`repro.bench.reporting`.
 
 The one-shot report generator used to live here; it was folded into
 ``reporting`` so the bench output path (tables, the full markdown
 report, BENCH_*.json artifacts) has a single owner.  Existing imports
-keep working::
+keep working but warn::
 
     from repro.bench.report import REPORT_SECTIONS, generate_report
+
+New code should import from :mod:`repro.bench.reporting` directly.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.bench.reporting import REPORT_SECTIONS, generate_report, render_rows
+
+warnings.warn(
+    "repro.bench.report is deprecated; import from repro.bench.reporting "
+    "instead (same names: REPORT_SECTIONS, generate_report, render_rows)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["REPORT_SECTIONS", "generate_report", "render_rows"]

@@ -183,6 +183,61 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--shards", type=int, default=4)
     _add_backend_arg(loadtest)
 
+    stream = sub.add_parser(
+        "stream",
+        help="stream sensor events through the windowed assembler "
+        "(replay or live), with checkpoint/restore",
+    )
+    stream.add_argument("--dataset", help="load a saved world instead of building")
+    stream.add_argument("--people", type=int, default=200)
+    stream.add_argument("--cells", type=int, default=4)
+    stream.add_argument("--duration", type=float, default=600.0)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--live", action="store_true",
+        help="generate events live (no trace replay, no batch reference)",
+    )
+    stream.add_argument(
+        "--windows", type=int, default=10,
+        help="windows to generate in --live mode",
+    )
+    stream.add_argument(
+        "--speedup", type=float, default=0.0,
+        help="pace delivery at N× real time (0 = as fast as possible)",
+    )
+    stream.add_argument(
+        "--jitter", type=int, default=0,
+        help="bounded out-of-order arrival horizon, in ticks",
+    )
+    stream.add_argument(
+        "--lateness", type=int, default=None,
+        help="allowed lateness in ticks (default: match --jitter)",
+    )
+    stream.add_argument(
+        "--queue-size", type=int, default=1024,
+        help="bounded admission queue capacity",
+    )
+    stream.add_argument(
+        "--policy", choices=("block", "shed"), default="block",
+        help="queue overflow policy",
+    )
+    stream.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="snapshot resumable state here (and restore from it if present)",
+    )
+    stream.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint every N window closes",
+    )
+    stream.add_argument(
+        "--max-events", type=int, default=None,
+        help="stop (simulating a crash) after applying N events",
+    )
+    stream.add_argument(
+        "--events", default=None, metavar="OUT.jsonl",
+        help="record the flight-recorder event log here",
+    )
+
     inspect = sub.add_parser(
         "inspect", help="profile a synthetic world (stats + occupancy heatmap)"
     )
@@ -616,6 +671,134 @@ def run_serve(args: argparse.Namespace, out=None) -> int:
     return 0
 
 
+def run_stream(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    from repro.sensing.scenarios import ScenarioStore
+    from repro.stream import (
+        DurableStoreSink,
+        ReplayConfig,
+        StoreSink,
+        StreamConfig,
+        StreamPipeline,
+        SyntheticLiveSource,
+        TraceReplaySource,
+        stores_equivalent,
+    )
+
+    replay = ReplayConfig(
+        speedup=args.speedup, jitter_ticks=args.jitter, seed=args.seed
+    )
+    lateness = args.lateness if args.lateness is not None else args.jitter
+    batch_store = None
+    if args.live:
+        config = ExperimentConfig(
+            num_people=args.people,
+            cells_per_side=args.cells,
+            duration=args.duration,
+            seed=args.seed,
+        )
+        print(
+            f"live stream: {config.num_people} people, "
+            f"{args.windows} windows (seed {config.seed})",
+            file=out,
+        )
+        source = SyntheticLiveSource(
+            config, max_windows=args.windows, replay=replay
+        )
+        builder_config = config.builder_config()
+    else:
+        dataset = _world_from_args(args, out)
+        if dataset.traces is None:
+            print(
+                "saved worlds carry no traces to replay; "
+                "rebuild with --people/--duration or use --live",
+                file=sys.stderr,
+            )
+            return 2
+        source = TraceReplaySource.from_dataset(dataset, replay=replay)
+        builder_config = dataset.config.builder_config()
+        batch_store = dataset.store
+
+    stream_config = StreamConfig.from_builder(
+        builder_config,
+        allowed_lateness=lateness,
+        queue_capacity=args.queue_size,
+        overflow=args.policy,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every_windows=args.checkpoint_every,
+        max_events=args.max_events,
+    )
+
+    tracer = previous_tracer = None
+    event_log = run = previous_log = previous_run = None
+    recording = bool(args.events)
+    if recording:
+        from repro.obs import (
+            EventLog,
+            Tracer,
+            new_run_context,
+            set_event_log,
+            set_run_context,
+            set_tracer,
+        )
+
+        tracer = Tracer()
+        previous_tracer = set_tracer(tracer)
+        event_log = EventLog(sink=args.events)
+        previous_log = set_event_log(event_log)
+        run = new_run_context(
+            "stream",
+            parameters={
+                "live": args.live,
+                "speedup": args.speedup,
+                "jitter": args.jitter,
+                "lateness": lateness,
+                "policy": args.policy,
+                "checkpoint": args.checkpoint or "",
+            },
+            seed=args.seed,
+        )
+        previous_run = set_run_context(run)
+    try:
+        store = ScenarioStore([])
+        if args.checkpoint:
+            # Durable sink: the journal beside the checkpoint lets a
+            # restarted process resume with the store it had.
+            sink = DurableStoreSink(store, args.checkpoint + ".store.jsonl")
+            if sink.reloaded:
+                print(
+                    f"reloaded {sink.reloaded} scenarios from "
+                    f"{sink.journal_path}",
+                    file=out,
+                )
+        else:
+            sink = StoreSink(store)
+        pipeline = StreamPipeline(source, sink, stream_config)
+        report = pipeline.run()
+    finally:
+        if recording:
+            from repro.obs import set_event_log, set_run_context, set_tracer
+
+            run.finish()
+            _write_flight_recorder(
+                run, event_log, tracer, args.events, None, out
+            )
+            set_event_log(previous_log)
+            set_run_context(previous_run)
+            set_tracer(previous_tracer)
+    print(report.render(), file=out)
+    if batch_store is not None and not report.killed:
+        equal = stores_equivalent(batch_store, store)
+        print(
+            f"batch equivalence      {'OK' if equal else 'MISMATCH'}"
+            f" ({len(store)}/{len(batch_store)} scenarios)",
+            file=out,
+        )
+        if not equal and report.late_dropped == 0 and report.shed == 0:
+            return 1
+    return 0
+
+
 def run_loadtest(args: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     from repro.service import LoadConfig, MatchService, ServiceConfig, run_load
@@ -681,6 +864,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_serve(args)
     if args.command == "loadtest":
         return run_loadtest(args)
+    if args.command == "stream":
+        return run_stream(args)
     if args.command == "report":
         if getattr(args, "from_events", None):
             from repro.obs import render_report_from_events
@@ -689,7 +874,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 fh.write(render_report_from_events(args.from_events))
             print(f"wrote {args.out}")
             return 0
-        from repro.bench.report import generate_report
+        from repro.bench.reporting import generate_report
 
         written = generate_report(args.out)
         print(f"wrote {written}")

@@ -92,6 +92,8 @@ class IncrementalMatcher:
         self._evidence: Dict[EID, List[ScenarioKey]] = {}
         self._emitted: Dict[EID, Emission] = {}
         self._scenarios_consumed = 0
+        self._seen_keys: Set[ScenarioKey] = set()
+        self._duplicates_ignored = 0
         self._bitset = self.split_config.backend == "bitset"
         if self._bitset:
             # The universe is fixed at construction, so unlike the
@@ -134,9 +136,24 @@ class IncrementalMatcher:
     def scenarios_consumed(self) -> int:
         return self._scenarios_consumed
 
+    @property
+    def duplicates_ignored(self) -> int:
+        """Re-observed ``(cell, tick)`` keys dropped by idempotence."""
+        return self._duplicates_ignored
+
     # -- the stream ----------------------------------------------------------
     def observe(self, scenario: EVScenario) -> List[Emission]:
-        """Consume one arriving EV-Scenario; return any matches it fired."""
+        """Consume one arriving EV-Scenario; return any matches it fired.
+
+        Idempotent per ``(cell, tick)`` key: re-observing an
+        already-consumed snapshot (a replayed window after a crash
+        restore, an at-least-once transport) is ignored — no clock
+        charge, no evidence growth, no emissions.
+        """
+        if scenario.key in self._seen_keys:
+            self._duplicates_ignored += 1
+            return []
+        self._seen_keys.add(scenario.key)
         self._scenarios_consumed += 1
         self.clock.charge_e_scenarios(1)
         if self.split_config.treat_vague_as_inclusive:

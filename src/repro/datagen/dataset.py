@@ -75,31 +75,43 @@ class EVDataset:
         return tuple(eids[i] for i in sorted(picked.tolist()))
 
 
-def build_dataset(config: ExperimentConfig) -> EVDataset:
-    """Generate the world, simulate movement and sensing, build scenarios."""
-    population = Population(config.population_config())
-    region = BoundingBox.square(config.region_side)
+def make_grid(
+    config: ExperimentConfig, region: BoundingBox
+) -> "CellGrid | HexCellGrid":
+    """The cell decomposition ``config`` asks for (shared with the
+    streaming layer's live source, which builds worlds tick by tick)."""
     if config.cell_shape == "hex":
-        grid = HexCellGrid(
+        return HexCellGrid(
             region,
             hex_radius=config.hex_radius,
             vague_width=config.vague_width,
         )
-    else:
-        grid = CellGrid(
-            region,
-            cells_per_side=config.cells_per_side,
-            vague_width=config.vague_width,
-        )
-    model: MobilityModel
+    return CellGrid(
+        region,
+        cells_per_side=config.cells_per_side,
+        vague_width=config.vague_width,
+    )
+
+
+def make_mobility_model(
+    config: ExperimentConfig, region: BoundingBox
+) -> MobilityModel:
+    """The mobility model ``config`` asks for."""
     if config.mobility_model == "random_walk":
-        model = RandomWalk(region)
-    elif config.mobility_model == "gauss_markov":
-        model = GaussMarkov(region)
-    elif config.mobility_model == "hotspot":
-        model = HotspotWaypoint(region, config.mobility)
-    else:
-        model = RandomWaypoint(region, config.mobility)
+        return RandomWalk(region)
+    if config.mobility_model == "gauss_markov":
+        return GaussMarkov(region)
+    if config.mobility_model == "hotspot":
+        return HotspotWaypoint(region, config.mobility)
+    return RandomWaypoint(region, config.mobility)
+
+
+def build_dataset(config: ExperimentConfig) -> EVDataset:
+    """Generate the world, simulate movement and sensing, build scenarios."""
+    population = Population(config.population_config())
+    region = BoundingBox.square(config.region_side)
+    grid = make_grid(config, region)
+    model = make_mobility_model(config, region)
     traces = generate_traces(
         model,
         person_ids=[p.person_id for p in population.people],

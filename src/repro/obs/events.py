@@ -64,6 +64,13 @@ MR_JOB_FINISHED = "mr.job.finished"
 SERVICE_REQUEST_SHED = "service.request.shed"
 SERVICE_CACHE_EVICTED = "service.cache.evicted"
 SERVICE_SHARD_ASSIGNED = "service.shard.assigned"
+#: Streaming ingestion (:mod:`repro.stream`):
+STREAM_WINDOW_CLOSED = "stream.window.closed"
+STREAM_EVENT_LATE = "stream.event.late"
+STREAM_EVENT_SHED = "stream.event.shed"
+STREAM_SCENARIO_EMITTED = "stream.scenario.emitted"
+STREAM_CHECKPOINT_SAVED = "stream.checkpoint.saved"
+STREAM_CHECKPOINT_RESTORED = "stream.checkpoint.restored"
 #: Run bookkeeping (footer records a JSONL stream carries so a report
 #: can be re-rendered offline from the file alone):
 RUN_MANIFEST = "run.manifest"
@@ -87,6 +94,12 @@ EVENT_TYPES = (
     SERVICE_REQUEST_SHED,
     SERVICE_CACHE_EVICTED,
     SERVICE_SHARD_ASSIGNED,
+    STREAM_WINDOW_CLOSED,
+    STREAM_EVENT_LATE,
+    STREAM_EVENT_SHED,
+    STREAM_SCENARIO_EMITTED,
+    STREAM_CHECKPOINT_SAVED,
+    STREAM_CHECKPOINT_RESTORED,
     RUN_MANIFEST,
     RUN_METRICS,
     RUN_SPANS,

@@ -25,11 +25,19 @@ from repro.sensing.scenarios import (
 )
 from repro.sensing.e_sensing import ESensingConfig, ESensingModel, ESighting
 from repro.sensing.v_sensing import VSensingConfig, VSensingModel
-from repro.sensing.builder import ScenarioBuilder, ScenarioBuilderConfig
+from repro.sensing.builder import (
+    CellSighting,
+    ScenarioBuilder,
+    ScenarioBuilderConfig,
+    VFrame,
+    WindowSensing,
+    attribute_eids,
+)
 from repro.sensing.index import ScenarioIndex
 from repro.sensing.stats import StoreStats, store_stats
 
 __all__ = [
+    "CellSighting",
     "Detection",
     "EScenario",
     "ESensingConfig",
@@ -38,6 +46,9 @@ __all__ = [
     "EVScenario",
     "ScenarioBuilder",
     "ScenarioBuilderConfig",
+    "VFrame",
+    "WindowSensing",
+    "attribute_eids",
     "ScenarioIndex",
     "StoreStats",
     "store_stats",

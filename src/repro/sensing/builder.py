@@ -25,18 +25,26 @@ inclusive iff truly inside the cell at the instant.
 **V side.**  Detections are taken at the window's middle tick from the
 people *truly* present in the cell (cameras do not drift), thinned by
 the V-sensing miss rate, with noisy appearance features.
+
+The raw per-window sensor output is exposed as
+:meth:`ScenarioBuilder.sense_window` (a :class:`WindowSensing` of
+:class:`CellSighting` and :class:`VFrame` records) so that the
+streaming ingestion layer (:mod:`repro.stream`) can replay *exactly*
+the events this builder would aggregate — the batch-equivalence
+guarantee is structural, not coincidental.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.mobility.trace import TraceSet
 from repro.sensing.e_sensing import ESensingModel
 from repro.sensing.scenarios import (
+    Detection,
     EScenario,
     EVScenario,
     ScenarioKey,
@@ -46,9 +54,96 @@ from repro.sensing.scenarios import (
 from repro.sensing.v_sensing import VSensingModel
 from repro.world.cells import CellGrid, HexCellGrid, ZoneKind
 from repro.world.entities import EID, VID
+from repro.world.geometry import Point
 from repro.world.population import Population
 
 CellDecomposition = Union[CellGrid, HexCellGrid]
+
+
+@dataclass(frozen=True)
+class CellSighting:
+    """One cell-attributed electronic sighting: the E-side unit of raw
+    sensor output (and the E-side stream event of :mod:`repro.stream`).
+
+    Attributes:
+        tick: the trace sample the sighting was captured at (event time).
+        cell_id: the cell the *observed* (possibly drifted) position
+            fell in.
+        eid: the captured electronic identity.
+        vague: whether the observed position fell inside the cell's
+            spatial vague band.
+    """
+
+    tick: int
+    cell_id: int
+    eid: EID
+    vague: bool
+
+
+@dataclass(frozen=True)
+class VFrame:
+    """One cell's camera frame for a window: the V-side unit of raw
+    sensor output (and the V-side stream event of :mod:`repro.stream`).
+
+    A frame exists for every *occupied* cell of its window — a cell
+    with at least one electronic sighting or one truly-present person —
+    even when every detection was missed, because the batch builder
+    records a scenario for exactly those cells.
+
+    Attributes:
+        tick: the window's middle tick (event time).
+        cell_id: the filming cell.
+        detections: the extracted appearance detections (may be empty).
+    """
+
+    tick: int
+    cell_id: int
+    detections: Tuple[Detection, ...]
+
+
+@dataclass(frozen=True)
+class WindowSensing:
+    """Raw sensor output for one window, before aggregation.
+
+    Attributes:
+        window: the window index.
+        sightings: every cell-attributed E sighting of the window's
+            ticks, in capture order.
+        frames: one camera frame per occupied cell, in cell order.
+    """
+
+    window: int
+    sightings: Tuple[CellSighting, ...]
+    frames: Tuple[VFrame, ...]
+
+
+def attribute_eids(
+    counts: Mapping[EID, int],
+    vague_counts: Mapping[EID, int],
+    window_ticks: int,
+    inclusive_threshold: float,
+    vague_threshold: float,
+) -> Tuple[List[EID], List[EID]]:
+    """Classify each seen EID as inclusive / vague / excluded.
+
+    The one attribution rule shared by the batch builder and the
+    streaming window assembler: an EID observed in ``counts`` of the
+    window's ticks is *inclusive* when it appears in at least
+    ``inclusive_threshold`` of them mostly outside the vague band,
+    *vague* when it appears in at least ``vague_threshold`` of them
+    (or meets the inclusive count but mostly inside the band), and
+    excluded otherwise.
+    """
+    inclusive: List[EID] = []
+    vague: List[EID] = []
+    for eid, count in counts.items():
+        frac = count / window_ticks
+        mostly_in_band = vague_counts.get(eid, 0) * 2 > count
+        if frac >= inclusive_threshold and not mostly_in_band:
+            inclusive.append(eid)
+        elif frac >= vague_threshold:
+            vague.append(eid)
+    return inclusive, vague
 
 
 @dataclass(frozen=True)
@@ -123,6 +218,74 @@ class ScenarioBuilder:
             scenarios.extend(self._build_window(traces, window, rng))
         return ScenarioStore(scenarios)
 
+    def sense_window(
+        self,
+        traces: TraceSet,
+        window: int,
+        rng: np.random.Generator,
+    ) -> WindowSensing:
+        """Run the sensors over one window and return the raw output.
+
+        Consumes ``rng`` in exactly the order :meth:`build` does, so a
+        fresh builder replaying windows 0..n-1 produces byte-identical
+        sightings and detections to the batch run — the property the
+        streaming layer's equivalence guarantee rests on.
+        """
+        cfg = self.config
+        first_tick = window * cfg.window_ticks
+        ticks = range(first_tick, first_tick + cfg.window_ticks)
+        snapshots = [
+            (tick, traces.positions_at(tick)) for tick in ticks
+        ]
+        return self._sense_positions(snapshots, window, rng)
+
+    def _sense_positions(
+        self,
+        snapshots: Sequence[Tuple[int, Dict[int, Point]]],
+        window: int,
+        rng: np.random.Generator,
+    ) -> WindowSensing:
+        """Sense one window from ``(tick, {person_id: position})``
+        ground-truth snapshots (one per tick of the window)."""
+        cfg = self.config
+        sightings: List[CellSighting] = []
+        seen_cells = set()
+        for tick, snapshot in snapshots:
+            positions = self._device_positions(snapshot)
+            for sighting in self.e_model.sense(positions, tick, rng):
+                cell, zone = self.grid.classify(sighting.observed_position)
+                seen_cells.add(cell.cell_id)
+                sightings.append(
+                    CellSighting(
+                        tick=tick,
+                        cell_id=cell.cell_id,
+                        eid=sighting.eid,
+                        vague=zone is ZoneKind.VAGUE,
+                    )
+                )
+
+        # V side: truth at the window's middle tick, thinned by misses.
+        middle_tick, middle_snapshot = snapshots[cfg.window_ticks // 2]
+        present: Dict[int, List[VID]] = {}
+        for pid, point in middle_snapshot.items():
+            cell = self.grid.locate(point)
+            present.setdefault(cell.cell_id, []).append(
+                self.population.person(pid).vid
+            )
+        frames: List[VFrame] = []
+        for cell_id in sorted(seen_cells | set(present)):
+            detections = self.v_model.sense(present.get(cell_id, ()), rng)
+            frames.append(
+                VFrame(
+                    tick=middle_tick,
+                    cell_id=cell_id,
+                    detections=tuple(detections),
+                )
+            )
+        return WindowSensing(
+            window=window, sightings=tuple(sightings), frames=tuple(frames)
+        )
+
     def _build_window(
         self,
         traces: TraceSet,
@@ -130,41 +293,36 @@ class ScenarioBuilder:
         rng: np.random.Generator,
     ) -> List[EVScenario]:
         """Build all cells' EV-Scenarios for one window."""
-        cfg = self.config
-        first_tick = window * cfg.window_ticks
-        ticks = range(first_tick, first_tick + cfg.window_ticks)
+        return self.assemble(self.sense_window(traces, window, rng))
 
-        # E side: count per (cell, eid) how often the drifted position
-        # landed in the cell, and how often inside its vague band.
+    def assemble(self, sensing: WindowSensing) -> List[EVScenario]:
+        """Aggregate one window's raw sensor output into EV-Scenarios.
+
+        Counts per (cell, eid) how often the drifted position landed in
+        the cell (and how often inside its vague band), applies the
+        attribution thresholds, and pairs each occupied cell's EID sets
+        with its camera frame.
+        """
+        cfg = self.config
         seen: Dict[int, Dict[EID, int]] = {}
         seen_vague: Dict[int, Dict[EID, int]] = {}
-        for tick in ticks:
-            positions = self._device_positions(traces, tick)
-            for sighting in self.e_model.sense(positions, tick, rng):
-                cell, zone = self.grid.classify(sighting.observed_position)
-                cell_counts = seen.setdefault(cell.cell_id, {})
-                cell_counts[sighting.eid] = cell_counts.get(sighting.eid, 0) + 1
-                if zone is ZoneKind.VAGUE:
-                    vague_counts = seen_vague.setdefault(cell.cell_id, {})
-                    vague_counts[sighting.eid] = vague_counts.get(sighting.eid, 0) + 1
-
-        # V side: truth at the window's middle tick, thinned by misses.
-        middle_tick = first_tick + cfg.window_ticks // 2
-        present: Dict[int, List[VID]] = {}
-        for pid, point in traces.positions_at(middle_tick).items():
-            cell = self.grid.locate(point)
-            present.setdefault(cell.cell_id, []).append(
-                self.population.person(pid).vid
-            )
+        for s in sensing.sightings:
+            cell_counts = seen.setdefault(s.cell_id, {})
+            cell_counts[s.eid] = cell_counts.get(s.eid, 0) + 1
+            if s.vague:
+                vague_counts = seen_vague.setdefault(s.cell_id, {})
+                vague_counts[s.eid] = vague_counts.get(s.eid, 0) + 1
 
         scenarios: List[EVScenario] = []
-        occupied_cells = sorted(set(seen) | set(present))
-        for cell_id in occupied_cells:
-            key = ScenarioKey(cell_id=cell_id, tick=window)
-            inclusive, vague = self._attribute_eids(
-                seen.get(cell_id, {}), seen_vague.get(cell_id, {})
+        for frame in sensing.frames:
+            key = ScenarioKey(cell_id=frame.cell_id, tick=sensing.window)
+            inclusive, vague = attribute_eids(
+                seen.get(frame.cell_id, {}),
+                seen_vague.get(frame.cell_id, {}),
+                cfg.window_ticks,
+                cfg.inclusive_threshold,
+                cfg.vague_threshold,
             )
-            detections = self.v_model.sense(present.get(cell_id, ()), rng)
             scenarios.append(
                 EVScenario(
                     e=EScenario(
@@ -172,34 +330,16 @@ class ScenarioBuilder:
                         inclusive=frozenset(inclusive),
                         vague=frozenset(vague),
                     ),
-                    v=VScenario(key=key, detections=tuple(detections)),
+                    v=VScenario(key=key, detections=frame.detections),
                 )
             )
         return scenarios
 
-    def _device_positions(self, traces: TraceSet, tick: int):
+    def _device_positions(self, snapshot: Dict[int, Point]):
         """Ground-truth positions of every device-carrying person."""
         positions = {}
-        for pid, point in traces.positions_at(tick).items():
+        for pid, point in snapshot.items():
             person = self.population.person(pid)
             for eid in person.all_eids:
                 positions[eid] = point
         return positions
-
-    def _attribute_eids(
-        self,
-        counts: Dict[EID, int],
-        vague_counts: Dict[EID, int],
-    ) -> Tuple[List[EID], List[EID]]:
-        """Classify each seen EID as inclusive / vague / excluded."""
-        cfg = self.config
-        inclusive: List[EID] = []
-        vague: List[EID] = []
-        for eid, count in counts.items():
-            frac = count / cfg.window_ticks
-            mostly_in_band = vague_counts.get(eid, 0) * 2 > count
-            if frac >= cfg.inclusive_threshold and not mostly_in_band:
-                inclusive.append(eid)
-            elif frac >= cfg.vague_threshold:
-                vague.append(eid)
-        return inclusive, vague

@@ -1,0 +1,57 @@
+"""Typed sensor events: the unit of streaming ingestion.
+
+The streaming layer transports exactly the raw sensor records the
+batch :class:`~repro.sensing.builder.ScenarioBuilder` aggregates:
+
+* :class:`~repro.sensing.builder.CellSighting` — one cell-attributed
+  electronic sighting at one trace tick (the E side);
+* :class:`~repro.sensing.builder.VFrame` — one cell's camera frame for
+  a window, stamped with the window's middle tick (the V side).
+
+Both carry their **event time** as a ``tick`` field; arrival order is
+whatever the network delivered (the sources can jitter it), and the
+watermark machinery reconciles the two.  Keeping the stream's event
+types identical to the batch builder's raw output is what makes the
+batch-equivalence guarantee checkable record by record.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.sensing.builder import CellSighting, VFrame, WindowSensing
+
+#: Anything a source may emit and the assembler must accept.
+StreamEvent = Union[CellSighting, VFrame]
+
+
+def event_tick(event: StreamEvent) -> int:
+    """The event's event-time (the trace tick it was captured at)."""
+    return event.tick
+
+
+def event_window(event: StreamEvent, window_ticks: int) -> int:
+    """Which aggregation window the event belongs to."""
+    return event.tick // window_ticks
+
+
+def event_kind(event: StreamEvent) -> str:
+    """``"e"`` for electronic sightings, ``"v"`` for camera frames."""
+    return "e" if isinstance(event, CellSighting) else "v"
+
+
+def flatten_window(sensing: WindowSensing) -> list:
+    """One window's raw sensor output as a flat event list, in the
+    capture order the batch builder would consume it."""
+    return list(sensing.sightings) + list(sensing.frames)
+
+
+__all__ = [
+    "CellSighting",
+    "StreamEvent",
+    "VFrame",
+    "event_kind",
+    "event_tick",
+    "event_window",
+    "flatten_window",
+]

@@ -1,0 +1,324 @@
+"""Sensor-event sources: where the stream comes from.
+
+Two producers, one contract — an iterator of
+:data:`~repro.stream.events.StreamEvent` in arrival order:
+
+* :class:`TraceReplaySource` replays a recorded ground-truth
+  :class:`~repro.mobility.trace.TraceSet` through *fresh* sensing
+  models, reproducing exactly the raw events the batch builder would
+  aggregate (same RNG consumption order), at a configurable
+  ``speedup`` and with optional bounded arrival ``jitter``;
+* :class:`SyntheticLiveSource` steps a mobility model live — no
+  pre-generated traces, optionally unbounded — for soak tests and
+  demos of heavy live traffic.
+
+**Jitter model.**  Each event's arrival key is ``tick + U[0, jitter)``
+and events are delivered in key order, so disorder is *bounded*: an
+event can arrive at most ``jitter_ticks`` ticks of event time after a
+later-stamped one.  An assembler with ``allowed_lateness >=
+jitter_ticks`` therefore never drops one of these events as late, and
+the stream's end state equals the batch builder's — the property the
+hypothesis suite pins.
+
+**Pacing.**  ``speedup > 0`` paces delivery against the wall clock at
+``speedup``× real time (a 10 s-tick trace at ``speedup=50`` delivers
+one tick's events every 200 ms); ``speedup=0`` (default) delivers as
+fast as the consumer can take them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from itertools import islice
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import make_grid, make_mobility_model
+from repro.mobility.trace import TraceSet
+from repro.sensing.builder import ScenarioBuilder, WindowSensing
+from repro.sensing.e_sensing import ESensingModel
+from repro.sensing.v_sensing import VSensingModel
+from repro.stream.events import StreamEvent, flatten_window
+from repro.world.geometry import BoundingBox
+from repro.world.population import Population
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Delivery shaping shared by both sources.
+
+    Attributes:
+        speedup: wall-clock pacing factor; 0 disables pacing.
+        jitter_ticks: bounded out-of-orderness horizon in ticks; 0
+            delivers in capture order.
+        seed: randomness for the per-event jitter draw (independent of
+            the sensing seed so the same world can be replayed under
+            different arrival orders).
+    """
+
+    speedup: float = 0.0
+    jitter_ticks: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.speedup < 0:
+            raise ValueError(f"speedup must be non-negative, got {self.speedup}")
+        if self.jitter_ticks < 0:
+            raise ValueError(
+                f"jitter_ticks must be non-negative, got {self.jitter_ticks}"
+            )
+
+
+class _Pacer:
+    """Sleeps so event-time advances at ``speedup``× wall time.
+
+    Anchored at the first event actually delivered, so a restored
+    pipeline that skips an already-processed prefix does not sleep
+    through it again.
+    """
+
+    def __init__(self, dt: float, speedup: float) -> None:
+        self.dt = dt
+        self.speedup = speedup
+        self._started: Optional[float] = None
+        self._anchor = 0.0
+
+    def pace(self, event_time_ticks: float) -> None:
+        if self.speedup <= 0:
+            return
+        if self._started is None:
+            self._started = time.monotonic()
+            self._anchor = event_time_ticks
+            return
+        due = (
+            self._started
+            + (event_time_ticks - self._anchor) * self.dt / self.speedup
+        )
+        delay = due - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+
+
+def _ordered(
+    windows: Iterable[WindowSensing],
+    window_ticks: int,
+    replay: ReplayConfig,
+) -> Iterator[Tuple[float, StreamEvent]]:
+    """Flatten sensed windows into ``(arrival key, event)`` pairs in
+    arrival order, applying the jitter buffer."""
+    if replay.jitter_ticks == 0:
+        for sensing in windows:
+            for event in flatten_window(sensing):
+                yield float(event.tick), event
+        return
+
+    rng = np.random.default_rng(replay.seed)
+    heap: List[Tuple[float, int, StreamEvent]] = []
+    seq = 0
+    for sensing in windows:
+        for event in flatten_window(sensing):
+            key = event.tick + float(rng.uniform(0.0, replay.jitter_ticks))
+            heapq.heappush(heap, (key, seq, event))
+            seq += 1
+        # Events of later windows all carry ticks >= the next window's
+        # first tick, so anything keyed below it can never be preempted.
+        safe_below = (sensing.window + 1) * window_ticks
+        while heap and heap[0][0] < safe_below:
+            key, _, event = heapq.heappop(heap)
+            yield key, event
+    while heap:
+        key, _, event = heapq.heappop(heap)
+        yield key, event
+
+
+def _deliver(
+    windows: Iterable[WindowSensing],
+    window_ticks: int,
+    dt: float,
+    replay: ReplayConfig,
+    skip: int = 0,
+) -> Iterator[StreamEvent]:
+    """Arrival-ordered event stream with wall-clock pacing.
+
+    ``skip`` drops the first N events *before* pacing, so a restored
+    pipeline resumes immediately instead of sleeping through the
+    already-processed prefix.
+    """
+    pacer = _Pacer(dt, replay.speedup)
+    for key, event in islice(_ordered(windows, window_ticks, replay), skip, None):
+        pacer.pace(key)
+        yield event
+
+
+class TraceReplaySource:
+    """Replay a recorded trace through fresh sensing models.
+
+    Args:
+        population: the ground-truth people (appearance + devices).
+        grid: the cell decomposition.
+        traces: the recorded trajectories to replay.
+        config: the experiment configuration the dataset was built
+            with; its sensing/builder sub-configs seed *fresh* models
+            so the replayed events match the batch build byte for byte.
+        replay: delivery shaping (speedup / jitter).
+    """
+
+    def __init__(
+        self,
+        population: Population,
+        grid,
+        traces: TraceSet,
+        config: ExperimentConfig,
+        replay: Optional[ReplayConfig] = None,
+    ) -> None:
+        self.population = population
+        self.grid = grid
+        self.traces = traces
+        self.config = config
+        self.replay = replay if replay is not None else ReplayConfig()
+        builder_config = config.builder_config()
+        self.window_ticks = builder_config.window_ticks
+        self.num_windows = traces.num_ticks // builder_config.window_ticks
+        if self.num_windows == 0:
+            raise ValueError(
+                f"traces have {traces.num_ticks} ticks, fewer than one "
+                f"window of {builder_config.window_ticks}"
+            )
+        self._builder_config = builder_config
+
+    @classmethod
+    def from_dataset(
+        cls, dataset, replay: Optional[ReplayConfig] = None
+    ) -> "TraceReplaySource":
+        """Replay a built :class:`~repro.datagen.dataset.EVDataset`.
+
+        The dataset must still carry its traces (worlds reloaded from
+        disk drop them — rebuild instead).
+        """
+        if dataset.traces is None:
+            raise ValueError(
+                "dataset has no traces to replay (reloaded from disk?); "
+                "rebuild it with build_dataset or use SyntheticLiveSource"
+            )
+        return cls(
+            dataset.population,
+            dataset.grid,
+            dataset.traces,
+            dataset.config,
+            replay=replay,
+        )
+
+    def _sensed_windows(self) -> Iterator[WindowSensing]:
+        builder = ScenarioBuilder(
+            population=self.population,
+            grid=self.grid,
+            e_model=ESensingModel(self.config.e_sensing_config()),
+            v_model=VSensingModel(
+                self.population.appearance, self.config.v_sensing_config()
+            ),
+            config=self._builder_config,
+        )
+        rng = np.random.default_rng(self._builder_config.seed)
+        for window in range(self.num_windows):
+            yield builder.sense_window(self.traces, window, rng)
+
+    def events(self, skip: int = 0) -> Iterator[StreamEvent]:
+        """The replayed stream, in arrival order; ``skip`` drops the
+        first N events before pacing (the checkpoint-resume offset)."""
+        return _deliver(
+            self._sensed_windows(),
+            self.window_ticks,
+            self.traces.dt,
+            self.replay,
+            skip=skip,
+        )
+
+
+class SyntheticLiveSource:
+    """Generate events live by stepping a mobility model — the
+    unbounded-traffic source (no trace is ever materialized).
+
+    Args:
+        config: world shape, mobility, sensing noise and windowing.
+        max_windows: stop after this many windows (``None`` runs until
+            the consumer stops pulling — a genuinely unbounded stream).
+        replay: delivery shaping (speedup / jitter).
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        max_windows: Optional[int] = None,
+        replay: Optional[ReplayConfig] = None,
+    ) -> None:
+        if max_windows is not None and max_windows <= 0:
+            raise ValueError(f"max_windows must be positive, got {max_windows}")
+        self.config = config
+        self.max_windows = max_windows
+        self.replay = replay if replay is not None else ReplayConfig()
+        self.population = Population(config.population_config())
+        region = BoundingBox.square(config.region_side)
+        self.grid = make_grid(config, region)
+        self._model = make_mobility_model(config, region)
+        self._builder_config = config.builder_config()
+        self.window_ticks = self._builder_config.window_ticks
+
+    def _sensed_windows(self) -> Iterator[WindowSensing]:
+        config = self.config
+        builder = ScenarioBuilder(
+            population=self.population,
+            grid=self.grid,
+            e_model=ESensingModel(config.e_sensing_config()),
+            v_model=VSensingModel(
+                self.population.appearance, config.v_sensing_config()
+            ),
+            config=self._builder_config,
+        )
+        sense_rng = np.random.default_rng(self._builder_config.seed)
+        person_ids = [p.person_id for p in self.population.people]
+        seed_seq = np.random.SeedSequence(config.seed + 2)
+        rngs = [
+            np.random.default_rng(child) for child in seed_seq.spawn(len(person_ids))
+        ]
+        states = [
+            self._model.initial_state(rng) for rng in rngs
+        ]
+        warmup_steps = int(round(config.warmup / config.sample_dt))
+        for _ in range(warmup_steps):
+            states = [
+                self._model.step(state, config.sample_dt, rng)
+                for state, rng in zip(states, rngs)
+            ]
+
+        tick = 0
+        window = 0
+        while self.max_windows is None or window < self.max_windows:
+            snapshots = []
+            for _ in range(self.window_ticks):
+                if tick > 0:
+                    states = [
+                        self._model.step(state, config.sample_dt, rng)
+                        for state, rng in zip(states, rngs)
+                    ]
+                positions: dict = {
+                    pid: state.position
+                    for pid, state in zip(person_ids, states)
+                }
+                snapshots.append((tick, positions))
+                tick += 1
+            yield builder._sense_positions(snapshots, window, sense_rng)
+            window += 1
+
+    def events(self, skip: int = 0) -> Iterator[StreamEvent]:
+        """The live stream, in arrival order (possibly unbounded)."""
+        return _deliver(
+            self._sensed_windows(),
+            self.window_ticks,
+            self.config.sample_dt,
+            self.replay,
+            skip=skip,
+        )

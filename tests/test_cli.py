@@ -148,3 +148,74 @@ class TestBuildAndInvestigate:
         main(["build", "--out", out, "--people", "20", "--cells", "2",
               "--duration", "150"])
         assert main(["investigate", "--dataset", out, "--suspect", "9999"]) == 2
+
+
+class TestStream:
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.command == "stream"
+        assert args.speedup == 0.0
+        assert args.jitter == 0
+        assert args.policy == "block"
+        assert args.checkpoint is None
+        assert args.events is None
+
+    def test_stream_flags(self):
+        args = build_parser().parse_args(
+            [
+                "stream", "--checkpoint", "ck.json", "--speedup", "50",
+                "--events", "ev.jsonl", "--jitter", "2", "--lateness", "3",
+                "--max-events", "100", "--policy", "shed",
+            ]
+        )
+        assert args.checkpoint == "ck.json"
+        assert args.speedup == 50.0
+        assert args.events == "ev.jsonl"
+        assert args.jitter == 2
+        assert args.lateness == 3
+        assert args.max_events == 100
+        assert args.policy == "shed"
+
+    def test_stream_replay_reports_equivalence(self, capsys):
+        code = main(
+            [
+                "stream", "--people", "25", "--cells", "3",
+                "--duration", "100", "--seed", "5", "--jitter", "2",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "batch equivalence      OK" in captured
+        assert "events applied" in captured
+
+    def test_stream_kill_then_restore(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "ck.json")
+        base = [
+            "stream", "--people", "25", "--cells", "3", "--duration", "100",
+            "--seed", "5", "--checkpoint", checkpoint,
+        ]
+        assert main(base + ["--max-events", "150"]) == 0
+        first = capsys.readouterr().out
+        assert "(killed)" in first
+        assert main(base) == 0
+        second = capsys.readouterr().out
+        assert "(restored)" in second
+        assert "batch equivalence      OK" in second
+
+    def test_stream_live_with_events(self, tmp_path, capsys):
+        events_path = str(tmp_path / "ev.jsonl")
+        code = main(
+            [
+                "stream", "--live", "--people", "15", "--cells", "3",
+                "--windows", "3", "--events", events_path,
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "live stream" in captured
+        import json
+
+        events = [json.loads(line) for line in open(events_path)]
+        types = {event["type"] for event in events}
+        assert "stream.window.closed" in types
+        assert "stream.scenario.emitted" in types

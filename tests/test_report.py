@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench import datasets as ds_mod
-from repro.bench.report import REPORT_SECTIONS, generate_report
+from repro.bench.reporting import REPORT_SECTIONS, generate_report
 
 
 @pytest.fixture(autouse=True)
@@ -38,3 +38,18 @@ def test_report_cli(tmp_path, capsys):
     out = tmp_path / "r.md"
     assert main(["report", "--out", str(out)]) == 0
     assert out.exists()
+
+
+def test_report_shim_warns_and_reexports():
+    """The old module path warns but still exposes the same names."""
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.bench.report", None)
+    with pytest.warns(DeprecationWarning, match="repro.bench.reporting"):
+        shim = importlib.import_module("repro.bench.report")
+    import repro.bench.reporting as reporting
+
+    assert shim.generate_report is reporting.generate_report
+    assert shim.render_rows is reporting.render_rows
+    assert shim.REPORT_SECTIONS is reporting.REPORT_SECTIONS
