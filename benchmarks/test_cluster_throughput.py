@@ -1,0 +1,241 @@
+"""Cluster serving: process scaling and availability under crashes.
+
+Not a paper figure — this pins the ``repro.cluster`` deployment shape
+(worker processes behind the TCP gateway, driven over real sockets by
+the closed-loop load generator):
+
+* **process scaling** — the same uniform workload achieves at least
+  2x the aggregate q/s on a 4-process fleet as on a single worker
+  process.  Worker service time is pinned with ``worker_delay_s`` (and
+  cache/batching off) so the measurement isolates the fan-out, not a
+  cache effect;
+* **availability** — with ``replication >= 2``, killing a worker
+  mid-load and letting the supervisor restart it completes the whole
+  run with **zero failed queries**: fail-over hides the outage, the
+  restart rebuilds the replica.
+
+Every measurement lands in ``BENCH_cluster.json`` at the repo root so
+CI keeps a trajectory of both properties.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import pytest
+from conftest import emit
+
+from repro.bench.datasets import scale
+from repro.bench.reporting import render_rows, write_bench_artifact
+from repro.cluster import (
+    ClusterGateway,
+    ClusterRouter,
+    Supervisor,
+    SupervisorConfig,
+    WorkerSpec,
+)
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import build_dataset
+from repro.datagen.io import save_dataset
+from repro.service import LoadConfig, ServiceConfig
+from repro.service.loadgen import percentile, run_load_socket
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+_RESULTS: dict = {}
+
+#: Pinned per-request service time: makes worker compute the
+#: bottleneck, so aggregate q/s measures process fan-out.  Must be
+#: large against the ~2ms/request of Python wire overhead (client,
+#: gateway, and supervisor hops share the bench process's GIL), or the
+#: measurement degrades into a GIL benchmark.
+WORKER_DELAY_S = 0.02 if scale() == "smoke" else 0.025
+
+
+def _load_config(clients: int, requests: int) -> LoadConfig:
+    return LoadConfig(
+        num_clients=clients,
+        requests_per_client=requests,
+        pool_size=32,
+        targets_per_request=2,
+        popularity=1.0,  # uniform: keys spread across the ring
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_trajectory():
+    """Collect every measurement and write ``BENCH_cluster.json``."""
+    yield
+    if _RESULTS:
+        write_bench_artifact(BENCH_PATH, _RESULTS)
+
+
+@pytest.fixture(scope="module")
+def cluster_world(tmp_path_factory):
+    """One standing world saved to disk for the worker processes."""
+    config = (
+        ExperimentConfig(
+            num_people=60,
+            cells_per_side=3,
+            duration=300.0,
+            sample_dt=10.0,
+            feature_dimension=16,
+            seed=31,
+        )
+        if scale() == "smoke"
+        else ExperimentConfig(
+            num_people=120,
+            cells_per_side=3,
+            duration=600.0,
+            sample_dt=10.0,
+            seed=31,
+        )
+    )
+    dataset = build_dataset(config)
+    path = save_dataset(
+        dataset, tmp_path_factory.mktemp("cluster-bench") / "world.npz"
+    )
+    return dataset, path
+
+
+def _stack(path: Path, workdir: Path, processes: int, replication: int):
+    """Spawn a fleet + router + gateway; caller must tear down."""
+    service = ServiceConfig(
+        workers=2,
+        queue_size=256,
+        max_batch=1,
+        cache_capacity=0,
+        worker_delay_s=WORKER_DELAY_S,
+    )
+    supervisor = Supervisor(
+        [
+            WorkerSpec(
+                worker_id=f"w{i}",
+                dataset_path=str(path),
+                journal_path=str(workdir / f"w{i}.journal.jsonl"),
+                service=service,
+            )
+            for i in range(processes)
+        ],
+        SupervisorConfig(ready_timeout_s=300.0),
+    ).start()
+    router = ClusterRouter(
+        supervisor, replication=replication, read_policy="first"
+    )
+    gateway = ClusterGateway(router, supervisor).start()
+    return supervisor, router, gateway
+
+
+def test_aggregate_qps_scales_with_processes(cluster_world, tmp_path):
+    dataset, path = cluster_world
+    targets = list(dataset.sample_targets(24, seed=1))
+    # Enough closed-loop clients to saturate the 4-process fleet
+    # (demand ~= clients / latency must exceed fleet capacity); the
+    # 1-process run stays capacity-capped at ~2/worker_delay_s q/s.
+    requests = 18 if scale() == "smoke" else 40
+    load = _load_config(clients=12, requests=requests)
+
+    rows = []
+    qps = {}
+    for processes in (1, 4):
+        workdir = tmp_path / f"fleet{processes}"
+        workdir.mkdir()
+        supervisor, _router, gateway = _stack(
+            path, workdir, processes, replication=1
+        )
+        try:
+            report = run_load_socket(gateway.host, gateway.port, targets, load)
+        finally:
+            gateway.drain(timeout=10.0)
+            supervisor.stop()
+        assert report.errors == 0
+        assert report.ok == load.num_clients * load.requests_per_client
+        qps[processes] = report.achieved_qps
+        rows.append(
+            {
+                "processes": processes,
+                "qps": round(report.achieved_qps, 1),
+                "ok": report.ok,
+                "p50_ms": round(1e3 * percentile(report.latencies_s, 50), 2),
+                "p95_ms": round(1e3 * percentile(report.latencies_s, 95), 2),
+            }
+        )
+
+    speedup = qps[4] / qps[1]
+    emit(render_rows(
+        "cluster throughput — worker processes vs aggregate q/s",
+        ("processes", "qps", "ok", "p50_ms", "p95_ms"),
+        rows,
+    ))
+    emit(f"1 -> 4 process speedup: {speedup:.2f}x")
+    _RESULTS["process_scaling"] = {
+        "qps_1_process": qps[1],
+        "qps_4_processes": qps[4],
+        "speedup": speedup,
+        "worker_delay_s": WORKER_DELAY_S,
+    }
+    assert speedup >= 2.0, (
+        f"4 worker processes should give >=2x one process's throughput, "
+        f"got {qps[1]:.0f} -> {qps[4]:.0f} q/s ({speedup:.2f}x)"
+    )
+
+
+def test_zero_failed_queries_across_worker_crash(cluster_world, tmp_path):
+    dataset, path = cluster_world
+    targets = list(dataset.sample_targets(24, seed=2))
+    requests = 40 if scale() == "smoke" else 80
+    load = _load_config(clients=4, requests=requests)
+
+    workdir = tmp_path / "crashfleet"
+    workdir.mkdir()
+    supervisor, _router, gateway = _stack(path, workdir, 2, replication=2)
+    try:
+        result = {}
+
+        def drive():
+            result["report"] = run_load_socket(
+                gateway.host, gateway.port, targets, load
+            )
+
+        thread = threading.Thread(target=drive)
+        started = time.perf_counter()
+        thread.start()
+        time.sleep(0.3)  # load is flowing
+        supervisor.worker("w0").kill()
+        thread.join(timeout=300.0)
+        elapsed = time.perf_counter() - started
+        report = result["report"]
+
+        # the monitor recorded the loss and scheduled the restart
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if supervisor.worker("w0").restarts >= 1:
+                break
+            time.sleep(0.05)
+        restarts = supervisor.worker("w0").restarts
+    finally:
+        gateway.drain(timeout=10.0)
+        supervisor.stop()
+
+    emit(
+        f"crash run: {report.ok}/{report.issued} ok in {elapsed:.1f}s "
+        f"({report.achieved_qps:.0f} q/s), worker restarts: {restarts}"
+    )
+    _RESULTS["availability"] = {
+        "issued": report.issued,
+        "ok": report.ok,
+        "errors": report.errors,
+        "shed": report.shed,
+        "qps": report.achieved_qps,
+        "worker_restarts": restarts,
+    }
+    assert restarts >= 1, "the killed worker must have been restarted"
+    assert report.issued == load.num_clients * load.requests_per_client
+    assert report.errors == 0, (
+        f"replication>=2 must hide a worker crash: "
+        f"{report.errors} failed queries"
+    )
+    assert report.ok == report.issued

@@ -14,7 +14,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
+import threading
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench import experiments as exp_mod
@@ -182,6 +185,78 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--workers", type=int, default=2)
     loadtest.add_argument("--shards", type=int, default=4)
     _add_backend_arg(loadtest)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="multi-process serving: shard workers, replication, "
+        "a real TCP gateway",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    cserve = cluster_sub.add_parser(
+        "serve",
+        help="spawn a supervised worker fleet behind the socket gateway "
+        "and serve until SIGINT/SIGTERM",
+    )
+    cloadtest = cluster_sub.add_parser(
+        "loadtest",
+        help="drive a cluster over real sockets with the closed-loop "
+        "load generator",
+    )
+    for csub in (cserve, cloadtest):
+        csub.add_argument(
+            "--dataset", help="load a saved world instead of building"
+        )
+        csub.add_argument("--people", type=int, default=200)
+        csub.add_argument("--cells", type=int, default=4)
+        csub.add_argument("--duration", type=float, default=600.0)
+        csub.add_argument("--seed", type=int, default=0)
+        csub.add_argument(
+            "--processes", type=int, default=2,
+            help="worker processes in the fleet",
+        )
+        csub.add_argument(
+            "--threads", type=int, default=2,
+            help="serving threads inside each worker process",
+        )
+        csub.add_argument("--queue-size", type=int, default=64)
+        csub.add_argument(
+            "--replication", type=int, default=2,
+            help="replica fan-out per routing key (≥2 survives one loss)",
+        )
+        csub.add_argument(
+            "--read-policy", choices=("first", "quorum"), default="first"
+        )
+        csub.add_argument("--host", default="127.0.0.1")
+        csub.add_argument(
+            "--journal-dir", default=None, metavar="DIR",
+            help="per-worker ingest journals live here "
+            "(default: a fresh temp dir)",
+        )
+        csub.add_argument(
+            "--events", default=None, metavar="OUT.jsonl",
+            help="mirror the flight-recorder event log here",
+        )
+    cserve.add_argument(
+        "--port", type=int, default=0,
+        help="gateway port (0 picks an ephemeral one)",
+    )
+    cserve.add_argument(
+        "--serve-seconds", type=float, default=0.0,
+        help="serve for N seconds then drain (0 = until signalled)",
+    )
+    cloadtest.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="drive an already-running gateway instead of spawning one",
+    )
+    cloadtest.add_argument("--clients", type=int, default=4)
+    cloadtest.add_argument(
+        "--requests", type=int, default=25, help="requests per client"
+    )
+    cloadtest.add_argument(
+        "--pool", type=int, default=8, help="distinct query shapes"
+    )
+    cloadtest.add_argument("--targets-per-request", type=int, default=3)
+    cloadtest.add_argument("--investigate-fraction", type=float, default=0.25)
 
     stream = sub.add_parser(
         "stream",
@@ -611,6 +686,41 @@ def run_investigate(args: argparse.Namespace, out=None) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _drain_on_signals(begin_drain, out):
+    """Install SIGINT/SIGTERM handlers that trigger a graceful drain.
+
+    First signal: stop admission (the callback) and let in-flight work
+    finish.  Second signal: the default KeyboardInterrupt escape hatch.
+    No-op off the main thread (tests drive the run functions directly).
+    """
+    fired = {"drained": False}
+
+    def handler(signum, frame):
+        if fired["drained"]:
+            raise KeyboardInterrupt
+        fired["drained"] = True
+        print(
+            f"signal {signal.Signals(signum).name}: draining "
+            f"(again to force quit)...",
+            file=out,
+        )
+        begin_drain()
+
+    if threading.current_thread() is not threading.main_thread():
+        yield fired
+        return
+    previous = {
+        sig: signal.signal(sig, handler)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        yield fired
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
 def run_serve(args: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     from repro.service import LoadConfig, MatchService, ServiceConfig, run_load
@@ -623,7 +733,8 @@ def run_serve(args: argparse.Namespace, out=None) -> int:
         cache_capacity=0 if args.no_cache else 256,
         matcher=_matcher_config(args),
     )
-    with MatchService.from_dataset(dataset, config) as service:
+    with MatchService.from_dataset(dataset, config) as service, \
+            _drain_on_signals(service.begin_drain, out):
         watch = list(dataset.sample_targets(
             min(args.watch, len(dataset.eids)), seed=2
         ))
@@ -669,6 +780,206 @@ def run_serve(args: argparse.Namespace, out=None) -> int:
             columns = tuple(rows[0].keys())
             print(render_rows("service stats", columns, rows), file=out)
     return 0
+
+
+def _cluster_stack(args: argparse.Namespace, out):
+    """Stand up the shared cluster stack: fleet + router + gateway.
+
+    Returns ``(dataset, supervisor, router, gateway)``; the caller owns
+    teardown (``gateway.drain()`` then ``supervisor.stop()``).
+    """
+    import os
+    import tempfile
+
+    from repro.cluster import (
+        ClusterGateway,
+        ClusterRouter,
+        Supervisor,
+        WorkerSpec,
+    )
+    from repro.service import ServiceConfig
+
+    dataset = _world_from_args(args, out)
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+    os.makedirs(journal_dir, exist_ok=True)
+    if getattr(args, "dataset", None):
+        dataset_path = args.dataset
+    else:
+        # Save once; every worker loads the identical world in
+        # milliseconds instead of re-simulating it.
+        dataset_path = str(
+            save_dataset(dataset, os.path.join(journal_dir, "world.npz"))
+        )
+    service_config = ServiceConfig(
+        workers=args.threads, queue_size=args.queue_size
+    )
+    specs = [
+        WorkerSpec(
+            worker_id=f"w{i}",
+            dataset_path=dataset_path,
+            journal_path=os.path.join(journal_dir, f"w{i}.journal.jsonl"),
+            service=service_config,
+            host=args.host,
+        )
+        for i in range(args.processes)
+    ]
+    print(
+        f"spawning {args.processes} worker processes "
+        f"({args.threads} threads each, journals in {journal_dir})...",
+        file=out,
+    )
+    supervisor = Supervisor(specs).start()
+    router = ClusterRouter(
+        supervisor,
+        replication=args.replication,
+        read_policy=args.read_policy,
+    )
+    gateway = ClusterGateway(
+        router, supervisor, host=args.host, port=getattr(args, "port", 0)
+    ).start()
+    return dataset, supervisor, router, gateway
+
+
+def run_cluster_serve(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    import time
+
+    from repro.obs import EventLog, set_event_log
+
+    # A live event log always runs under the gateway: it feeds the SSE
+    # stream; --events additionally mirrors it to a JSONL file.
+    log = EventLog(sink=args.events) if args.events else EventLog()
+    previous_log = set_event_log(log)
+    supervisor = gateway = None
+    try:
+        _dataset, supervisor, router, gateway = _cluster_stack(args, out)
+        print(
+            f"cluster up: gateway on {gateway.host}:{gateway.port}, "
+            f"replication {router.replication}, "
+            f"read policy {router.read_policy}",
+            file=out,
+        )
+        print(
+            "NDJSON verbs: match investigate ingest health stats metrics "
+            "ping events(SSE stream); Ctrl-C drains",
+            file=out,
+        )
+        stop = threading.Event()
+        with _drain_on_signals(stop.set, out):
+            deadline = (
+                time.monotonic() + args.serve_seconds
+                if args.serve_seconds > 0
+                else None
+            )
+            while not stop.is_set():
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                stop.wait(0.2)
+        print("draining gateway...", file=out)
+        summary = gateway.drain()
+        gateway = None
+        supervisor.stop()
+        restarts = sum(h.restarts for h in supervisor.workers.values())
+        supervisor = None
+        print(
+            f"drained clean: {summary['drained']}; "
+            f"requests served: {gateway_requests(log)}; "
+            f"worker restarts: {restarts}",
+            file=out,
+        )
+        return 0
+    finally:
+        if gateway is not None:
+            gateway.drain(timeout=5.0)
+        if supervisor is not None:
+            supervisor.stop()
+        log.close()
+        set_event_log(previous_log)
+
+
+def gateway_requests(log) -> int:
+    """Requests the gateway answered, from the process metrics."""
+    from repro.obs import get_registry
+
+    counter = get_registry().counter(
+        "ev_cluster_gateway_requests_total",
+        "Requests answered by the gateway, by verb and status",
+    )
+    return int(counter.total())
+
+
+def run_cluster_loadtest(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    from repro.obs import EventLog, set_event_log
+    from repro.service import LoadConfig, run_load_socket
+    from repro.service.loadgen import percentile
+
+    load_config = LoadConfig(
+        num_clients=args.clients,
+        requests_per_client=args.requests,
+        pool_size=args.pool,
+        targets_per_request=args.targets_per_request,
+        investigate_fraction=args.investigate_fraction,
+        seed=args.seed,
+    )
+    log = EventLog(sink=args.events) if args.events else EventLog()
+    previous_log = set_event_log(log)
+    supervisor = gateway = None
+    try:
+        if args.connect:
+            host, _, port = args.connect.rpartition(":")
+            dataset = _world_from_args(args, out)
+            address = (host or "127.0.0.1", int(port))
+        else:
+            dataset, supervisor, _router, gateway = _cluster_stack(args, out)
+            address = (gateway.host, gateway.port)
+        targets = list(
+            dataset.sample_targets(min(24, len(dataset.eids)), seed=1)
+        )
+        print(
+            f"driving {address[0]}:{address[1]} over real sockets: "
+            f"{load_config.num_clients} clients x "
+            f"{load_config.requests_per_client} requests...",
+            file=out,
+        )
+        report = run_load_socket(address[0], address[1], targets, load_config)
+        print(
+            f"  {report.issued} requests: {report.ok} ok, "
+            f"{report.shed} shed, {report.errors} errors; "
+            f"{report.achieved_qps:.0f} q/s over the wire",
+            file=out,
+        )
+        if report.latencies_s:
+            print(
+                f"  latency p50 {percentile(report.latencies_s, 50)*1e3:.1f}ms "
+                f"p95 {percentile(report.latencies_s, 95)*1e3:.1f}ms",
+                file=out,
+            )
+        if report.final_health is not None:
+            print(
+                f"  gateway health: "
+                f"{'ok' if report.final_health.healthy else 'DEGRADED'} "
+                f"over {report.final_health.samples} samples",
+                file=out,
+            )
+        return 0 if report.errors == 0 else 1
+    finally:
+        if gateway is not None:
+            gateway.drain(timeout=5.0)
+        if supervisor is not None:
+            supervisor.stop()
+        log.close()
+        set_event_log(previous_log)
+
+
+def run_cluster(args: argparse.Namespace, out=None) -> int:
+    if args.cluster_command == "serve":
+        return run_cluster_serve(args, out)
+    if args.cluster_command == "loadtest":
+        return run_cluster_loadtest(args, out)
+    raise AssertionError(
+        f"unhandled cluster command {args.cluster_command!r}"
+    )  # pragma: no cover
 
 
 def run_stream(args: argparse.Namespace, out=None) -> int:
@@ -864,6 +1175,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_serve(args)
     if args.command == "loadtest":
         return run_loadtest(args)
+    if args.command == "cluster":
+        return run_cluster(args)
     if args.command == "stream":
         return run_stream(args)
     if args.command == "report":

@@ -1,0 +1,190 @@
+"""Client for the cluster gateway — the loadgen's socket mode.
+
+:class:`GatewayClient` speaks the gateway's NDJSON protocol over a
+plain TCP socket and presents the **same surface the loadgen ducks**
+on :class:`~repro.service.server.MatchService` — ``submit(request)``
+returning a resolved future and a ``health()`` callable — so
+:func:`repro.service.loadgen.run_load` can drive a real cluster over
+real sockets without changing a line.
+
+Connections are per-thread (``threading.local``): the loadgen's closed
+loop runs one thread per simulated client, and each keeps one
+persistent connection, which is exactly how a real analyst console
+would hold the gateway.
+
+:meth:`GatewayClient.stream_events` opens a *separate* connection,
+switches it into the gateway's SSE-style event stream, and yields
+parsed ``(type, event)`` pairs — the live flight-recorder tail.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from concurrent.futures import Future
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.cluster import codec
+from repro.cluster.protocol import ProtocolError, decode_line, encode_line
+from repro.service.api import HealthResponse
+
+
+class GatewayError(ConnectionError):
+    """The gateway connection failed or returned a malformed reply."""
+
+
+class GatewayClient:
+    """Thread-safe NDJSON client for a :class:`ClusterGateway`.
+
+    Args:
+        host / port: the gateway's bound address.
+        timeout_s: per-call socket timeout.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout_s: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._local = threading.local()
+        self._sockets: List[socket.socket] = []
+        self._sockets_lock = threading.Lock()
+        self._closed = False
+
+    # -- connection management -------------------------------------------
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._sockets_lock:
+            self._sockets.append(sock)
+        return sock
+
+    def _thread_socket(self) -> socket.socket:
+        sock = getattr(self._local, "sock", None)
+        if sock is None:
+            sock = self._connect()
+            self._local.sock = sock
+            self._local.reader = sock.makefile("rb")
+        return sock
+
+    def _drop_thread_socket(self) -> None:
+        sock = getattr(self._local, "sock", None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            self._local.sock = None
+            self._local.reader = None
+
+    # -- the wire call ----------------------------------------------------
+    def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response exchange on this thread's connection."""
+        if self._closed:
+            raise GatewayError("client is closed")
+        sock = self._thread_socket()
+        try:
+            sock.sendall(encode_line(message))
+            line = self._local.reader.readline()
+        except OSError as exc:
+            self._drop_thread_socket()
+            raise GatewayError(f"gateway connection lost: {exc}") from exc
+        if not line:
+            self._drop_thread_socket()
+            raise GatewayError("gateway closed the connection")
+        try:
+            return decode_line(line)
+        except ProtocolError as exc:
+            self._drop_thread_socket()
+            raise GatewayError(f"malformed gateway reply: {exc}") from exc
+
+    # -- the MatchService-shaped surface (what run_load ducks) ------------
+    def submit(self, request: Any) -> "Future[Any]":
+        """Send a typed request; returns an already-resolved future."""
+        future: "Future[Any]" = Future()
+        try:
+            wire = self.call(codec.request_to_wire(request))
+            future.set_result(codec.response_from_wire(wire))
+        except Exception as exc:
+            future.set_exception(exc)
+        return future
+
+    def health(self) -> HealthResponse:
+        """The gateway's SLO verdict over its rolling request window."""
+        wire = self.call({"verb": "health"})
+        response = codec.response_from_wire(wire)
+        if not isinstance(response, HealthResponse):
+            raise GatewayError(f"expected health response, got {wire!r}")
+        return response
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call({"verb": "stats"})
+
+    def metrics_text(self) -> str:
+        return str(self.call({"verb": "metrics"}).get("text", ""))
+
+    def ping(self) -> bool:
+        return self.call({"verb": "ping"}).get("status") == "ok"
+
+    # -- the live event tail ----------------------------------------------
+    def stream_events(
+        self,
+        types: Optional[List[str]] = None,
+        max_events: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Subscribe to the gateway's SSE-style flight-recorder stream.
+
+        Yields ``(event_type, event)`` pairs as the gateway pushes
+        them; returns when the gateway closes the stream (after
+        ``max_events``, on drain) or the socket times out.
+        """
+        subscribe: Dict[str, Any] = {"verb": "events"}
+        if types is not None:
+            subscribe["types"] = list(types)
+        if max_events is not None:
+            subscribe["max_events"] = int(max_events)
+        sock = self._connect()
+        if timeout_s is not None:
+            sock.settimeout(timeout_s)
+        reader = sock.makefile("rb")
+        try:
+            sock.sendall(encode_line(subscribe))
+            event_type: Optional[str] = None
+            for raw in reader:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith(":"):  # SSE comment / keepalive
+                    continue
+                if line.startswith("event: "):
+                    event_type = line[len("event: "):]
+                elif line.startswith("data: ") and event_type is not None:
+                    yield event_type, json.loads(line[len("data: "):])
+                    event_type = None
+        except (OSError, socket.timeout):
+            return
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+        with self._sockets_lock:
+            for sock in self._sockets:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._sockets.clear()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

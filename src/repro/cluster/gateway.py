@@ -1,0 +1,366 @@
+"""The network front door: an asyncio NDJSON gateway over the cluster.
+
+``repro cluster serve`` binds this on a real TCP port.  Clients send
+one JSON object per line and get one JSON object per line back
+(:mod:`repro.cluster.protocol` NDJSON); connections are persistent, so
+a closed-loop client pays the dial cost once.
+
+Verbs:
+
+* ``match`` / ``investigate`` / ``ingest`` — data plane; dispatched to
+  worker processes through the :class:`~repro.cluster.router.ClusterRouter`
+  on a thread pool (the event loop never blocks on a worker socket).
+  Every outcome feeds the gateway's
+  :class:`~repro.service.health.HealthTracker` rolling SLO window.
+* ``health`` — the SLO verdict plus cluster availability
+  (``workers_available`` / ``workers_total`` / ``degraded``).
+* ``stats`` — topology + routing + gateway counters snapshot.
+* ``metrics`` — the gateway process's Prometheus exposition
+  (``ev_cluster_*`` and everything else on the global registry).
+* ``ping`` — liveness.
+* ``events`` — switches the connection into an **SSE-style stream**:
+  the gateway tails the process event log (the flight recorder) and
+  pushes ``event:``/``data:`` frames as events happen — a live view of
+  worker crashes, restarts, fail-overs, shed requests.  Options:
+  ``types`` (filter list), ``max_events`` (close after N, for
+  scripting), ``poll_s`` (tail cadence).
+
+**Graceful shutdown** (:meth:`ClusterGateway.drain`): stop accepting,
+answer new requests with ``shed``, wait for in-flight requests to
+resolve, then close connections and the loop — no accepted request is
+abandoned mid-flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Set
+
+from repro.cluster import codec
+from repro.cluster.protocol import ProtocolError, decode_line, encode_line
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import Supervisor
+from repro.obs import get_event_log, get_registry
+from repro.obs import events as ev
+from repro.service.api import STATUS_ERROR, STATUS_OK, STATUS_SHED
+from repro.service.health import HealthTracker, SLOConfig
+
+#: Verbs the router forwards to workers.
+DATA_VERBS = ("match", "investigate", "ingest")
+
+
+class ClusterGateway:
+    """TCP front end over a supervised worker fleet.
+
+    Args:
+        router: the routing layer (owns replica fan-out + fail-over).
+        supervisor: the fleet, for topology/health reporting.
+        host / port: bind address (port 0 picks an ephemeral port;
+            read :attr:`port` after :meth:`start`).
+        slo: objectives the ``health`` verb judges the rolling
+            request window against.
+        sse_poll_s: event-stream tail cadence.
+    """
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        supervisor: Supervisor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slo: Optional[SLOConfig] = None,
+        sse_poll_s: float = 0.05,
+    ) -> None:
+        self.router = router
+        self.supervisor = supervisor
+        self.host = host
+        self.port = port
+        self.sse_poll_s = sse_poll_s
+        self.health_tracker = HealthTracker(slo or SLOConfig())
+        self.draining = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(8, 4 * len(supervisor.workers)),
+            thread_name_prefix="gateway-dispatch",
+        )
+        self._registry = get_registry()
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "ClusterGateway":
+        """Bind and serve on a background event-loop thread."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run_loop, name="cluster-gateway", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"gateway failed to start: {self._startup_error}"
+            )
+        if not self._ready.is_set():
+            raise RuntimeError("gateway did not start within 30s")
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                ev.CLUSTER_GATEWAY_STARTED,
+                host=self.host,
+                port=self.port,
+                workers=len(self.supervisor.workers),
+            )
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._serve_client, self.host, self.port)
+            )
+        except BaseException as exc:  # bind failure must not hang start()
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._server = server
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            for task in list(self._conn_tasks):
+                task.cancel()
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            loop.close()
+
+    @property
+    def address(self) -> tuple:
+        return (self.host, self.port)
+
+    def drain(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Graceful shutdown; returns a summary of what was drained.
+
+        Idempotent: a second call (or a call before :meth:`start`) is
+        a no-op reporting an already-drained gateway.
+        """
+        if self._loop is None or self._loop.is_closed():
+            return {"drained": True, "inflight": 0}
+        self.draining = True
+        # Stop accepting new connections.
+        if self._server is not None:
+            self._loop.call_soon_threadsafe(self._server.close)
+        # Wait for in-flight data-plane requests to resolve.
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.01)
+        with self._inflight_lock:
+            leftover = self._inflight
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                ev.CLUSTER_GATEWAY_DRAINED,
+                inflight_abandoned=leftover,
+                open_connections=len(self._conn_tasks),
+            )
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        self._server = None
+        self._loop = None
+        self._executor.shutdown(wait=False)
+        return {"drained": leftover == 0, "inflight": leftover}
+
+    # alias: symmetric with MatchService.stop
+    stop = drain
+
+    # -- local (gateway-side) verbs --------------------------------------
+    def _health_response(self) -> Dict[str, Any]:
+        wire = codec.response_to_wire(self.health_tracker.snapshot())
+        available = len(self.supervisor.available())
+        total = len(self.supervisor.workers)
+        wire["workers_available"] = available
+        wire["workers_total"] = total
+        wire["degraded"] = available < total
+        if available < total:
+            wire["healthy"] = False
+        return wire
+
+    def _stats_response(self) -> Dict[str, Any]:
+        return {
+            "verb": "stats",
+            "status": STATUS_OK,
+            "workers": self.supervisor.describe(),
+            "routing": self.router.describe(),
+            "draining": self.draining,
+        }
+
+    def _local_dispatch(self, verb: str) -> Dict[str, Any]:
+        if verb == "ping":
+            return {"verb": "ping", "status": STATUS_OK, "port": self.port}
+        if verb == "health":
+            return self._health_response()
+        if verb == "stats":
+            return self._stats_response()
+        if verb == "metrics":
+            return {
+                "verb": "metrics",
+                "status": STATUS_OK,
+                "text": self._registry.render_prometheus(),
+            }
+        return codec.error_response(verb, f"unknown verb {verb!r}")
+
+    # -- connection handling ---------------------------------------------
+    async def _serve_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._registry.counter(
+            "ev_cluster_gateway_connections_total",
+            "TCP connections accepted by the gateway",
+        ).inc()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    message = decode_line(line)
+                except ProtocolError as exc:
+                    writer.write(
+                        encode_line(codec.error_response("?", str(exc)))
+                    )
+                    await writer.drain()
+                    return
+                verb = str(message.get("verb", "?"))
+                if verb == "events":
+                    await self._stream_events(message, writer)
+                    return
+                response = await self._answer(verb, message)
+                writer.write(encode_line(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _answer(
+        self, verb: str, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        started = time.perf_counter()
+        if verb in DATA_VERBS:
+            if self.draining:
+                response = codec.error_response(
+                    verb, "gateway draining", STATUS_SHED
+                )
+            else:
+                with self._inflight_lock:
+                    self._inflight += 1
+                try:
+                    response = await asyncio.get_event_loop().run_in_executor(
+                        self._executor, self.router.dispatch, message
+                    )
+                except Exception as exc:
+                    response = codec.error_response(
+                        verb, f"{type(exc).__name__}: {exc}"
+                    )
+                finally:
+                    with self._inflight_lock:
+                        self._inflight -= 1
+            latency = time.perf_counter() - started
+            status = str(response.get("status", STATUS_ERROR))
+            self.health_tracker.record(status, latency)
+        else:
+            response = self._local_dispatch(verb)
+            latency = time.perf_counter() - started
+            status = str(response.get("status", STATUS_ERROR))
+        self._registry.counter(
+            "ev_cluster_gateway_requests_total",
+            "Requests answered by the gateway, by verb and status",
+        ).inc(verb=verb, status=status)
+        self._registry.histogram(
+            "ev_cluster_gateway_latency_seconds",
+            "Gateway-observed request latency, by verb",
+        ).observe(latency, verb=verb)
+        return response
+
+    # -- the SSE-style event stream --------------------------------------
+    async def _stream_events(self, message: Dict[str, Any], writer) -> None:
+        """Tail the flight recorder onto the connection, SSE-framed.
+
+        Frames follow the text/event-stream convention —
+        ``event: <type>`` + ``data: <json>`` + blank line — with
+        ``: keepalive`` comments while idle, so any SSE parser (or a
+        human on ``nc``) can follow along.
+        """
+        types = message.get("types")
+        allowed = set(types) if types else None
+        max_events = message.get("max_events")
+        poll_s = float(message.get("poll_s", self.sse_poll_s))
+        log = get_event_log()
+        writer.write(b": stream of flight-recorder events\n\n")
+        await writer.drain()
+        streamed = 0
+        last_seq = 0
+        last_write = time.monotonic()
+        counter = self._registry.counter(
+            "ev_cluster_events_streamed_total",
+            "Flight-recorder events pushed to SSE subscribers",
+        )
+        while not self.draining:
+            fresh = [
+                event
+                for event in log.events()
+                if event["seq"] > last_seq
+                and (allowed is None or event["type"] in allowed)
+            ]
+            if log.events():
+                last_seq = max(last_seq, log.events()[-1]["seq"])
+            for event in fresh:
+                frame = (
+                    f"event: {event['type']}\n"
+                    f"data: {_event_json(event)}\n\n"
+                ).encode("utf-8")
+                writer.write(frame)
+                streamed += 1
+                counter.inc()
+                if max_events is not None and streamed >= int(max_events):
+                    await writer.drain()
+                    return
+            if fresh:
+                last_write = time.monotonic()
+                await writer.drain()
+            elif time.monotonic() - last_write > 1.0:
+                writer.write(b": keepalive\n\n")
+                last_write = time.monotonic()
+                try:
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    return
+            await asyncio.sleep(poll_s)
+
+
+def _event_json(event: Dict[str, Any]) -> str:
+    import json
+
+    return json.dumps(event, separators=(",", ":"))

@@ -1,0 +1,142 @@
+"""Consistent-hash ring: stable key→worker routing with replica fan-out.
+
+The cluster routes every request key (a match request's cache key, an
+EID, a scenario key) to a small, stable set of workers.  Consistent
+hashing gives the two properties the supervisor's restart machinery
+depends on:
+
+* **balance** — each node hangs ``vnodes`` virtual points on a
+  2^64-point circle, so with ≥128 vnodes the per-node key share stays
+  within a small constant factor of 1/N (pinned by the hypothesis
+  suite in ``tests/test_cluster_ring.py``);
+* **minimal remapping** — adding a node steals only the keys the new
+  node now owns (~1/(N+1) of them) and removing a node reassigns only
+  *its* keys; no key ever moves between two surviving nodes.  Routing
+  affinity (and therefore each worker's warm result cache) survives
+  membership churn.
+
+Replica fan-out walks the circle clockwise from the key's point and
+collects the first ``count`` *distinct* nodes, so a key's replica set
+is stable and any prefix of it is the preferred failover order.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+#: Default virtual nodes per physical node.  128 keeps the max/min key
+#: share within ~2x for small clusters (see the property suite).
+DEFAULT_VNODES = 128
+
+
+def stable_hash(value: str) -> int:
+    """A process-independent 64-bit point on the ring.
+
+    ``hash()`` is salted per process (PYTHONHASHSEED), which would make
+    routing decisions differ between the gateway and a test asserting
+    on them, so the ring uses the first 8 bytes of blake2b instead.
+    """
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    Args:
+        nodes: initial node names (order-insensitive; the ring layout
+            depends only on the set of names).
+        vnodes: virtual points per node; more points = better balance
+            at the cost of a larger ring table.
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes <= 0:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: List[int] = []  # sorted vnode hashes
+        self._owners: Dict[int, str] = {}  # vnode hash -> node name
+        self._nodes: Dict[str, Tuple[int, ...]] = {}  # name -> its points
+        for node in nodes:
+            self.add_node(node)
+
+    # -- membership --------------------------------------------------------
+    def add_node(self, name: str) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already on the ring")
+        points = []
+        for vnode in range(self.vnodes):
+            point = stable_hash(f"{name}#{vnode}")
+            # blake2b collisions across distinct (name, vnode) pairs are
+            # astronomically unlikely; skip rather than corrupt the table.
+            if point in self._owners:
+                continue
+            self._owners[point] = name
+            bisect.insort(self._points, point)
+            points.append(point)
+        self._nodes[name] = tuple(points)
+
+    def remove_node(self, name: str) -> None:
+        points = self._nodes.pop(name, None)
+        if points is None:
+            raise KeyError(f"node {name!r} not on the ring")
+        drop = set(points)
+        self._points = [p for p in self._points if p not in drop]
+        for point in points:
+            del self._owners[point]
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    # -- routing -----------------------------------------------------------
+    def node_for(self, key: str) -> str:
+        """The key's primary owner (first node clockwise)."""
+        owners = self.nodes_for(key, 1)
+        return owners[0]
+
+    def nodes_for(self, key: str, count: int) -> List[str]:
+        """The key's replica set: first ``count`` distinct nodes
+        clockwise from the key's point (all nodes when the ring is
+        smaller than ``count``).  ``nodes_for(k, j)`` is always a
+        prefix of ``nodes_for(k, j+1)``, so replicas double as the
+        failover order."""
+        if not self._nodes:
+            raise LookupError("ring has no nodes")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        count = min(count, len(self._nodes))
+        start = bisect.bisect_right(self._points, stable_hash(key))
+        owners: List[str] = []
+        seen = set()
+        points = self._points
+        for offset in range(len(points)):
+            owner = self._owners[points[(start + offset) % len(points)]]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            owners.append(owner)
+            if len(owners) == count:
+                break
+        return owners
+
+    # -- introspection -----------------------------------------------------
+    def shares(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of ``keys`` each node primarily owns (balance
+        diagnostics; the property suite pins the spread)."""
+        counts = {name: 0 for name in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

@@ -1,0 +1,272 @@
+"""Request routing: consistent hashing, replica fan-out, fail-over.
+
+The router sits between the gateway and the supervisor.  Every
+data-plane request gets a routing key (:func:`repro.cluster.codec.routing_key`)
+and a **replica set** — the first ``replication`` distinct workers
+clockwise on the :class:`~repro.cluster.hashring.HashRing`.  Because
+workers are full replicas of the standing dataset (every ingest is
+fanned out to all of them), any replica can answer any query; the ring
+buys *affinity*, not partitioning: repeats of one query land on the
+same worker and hit its warm result cache, while distinct keys spread
+across the fleet, which is where the 1→N process-scaling comes from.
+
+Read policies:
+
+* ``first`` (default) — ask the key's replicas in ring order,
+  preferring currently-available workers; the first answer wins, and a
+  dead or erroring replica is skipped (``cluster.route.failover``).
+  With ``replication ≥ 2`` a killed-and-restarting worker costs
+  latency, never availability.
+* ``quorum`` — ask every reachable replica and require a majority of
+  the responders to agree on the answer payload (volatile serving
+  metadata — latency, cache flags — excluded from the comparison).
+  Replicas are deterministic builds of the same world, so disagreement
+  means a corrupted or stale worker; the majority answer wins and the
+  mismatch is counted on ``ev_cluster_quorum_disagreements_total``.
+
+Ingest is not routed but **broadcast**: every available worker applies
+(and journals) the new scenarios, and the router remembers them in an
+in-memory replay log so a worker that was down catches up the moment
+the supervisor reports it ready again (`on_worker_ready`), making the
+fleet's stores convergent across crash/restart cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.codec import error_response, routing_key
+from repro.cluster.hashring import DEFAULT_VNODES, HashRing
+from repro.cluster.supervisor import Supervisor, WorkerError
+from repro.obs import get_event_log, get_registry, get_tracer
+from repro.obs import events as ev
+from repro.service.api import STATUS_OK
+
+#: Supported read policies.
+READ_POLICIES = ("first", "quorum")
+
+#: Serving metadata excluded from quorum payload comparison.
+_VOLATILE_FIELDS = ("latency_s", "cached", "deduplicated", "batched_with")
+
+
+def _payload_digest(response: Dict[str, Any]) -> str:
+    stable = {
+        key: value
+        for key, value in response.items()
+        if key not in _VOLATILE_FIELDS
+    }
+    return json.dumps(stable, sort_keys=True, separators=(",", ":"))
+
+
+class ClusterRouter:
+    """Routes wire messages to supervised workers.
+
+    Args:
+        supervisor: the worker fleet (must not be started yet or must
+            have no ``on_worker_ready`` hook of its own — the router
+            installs one to replay missed ingests).
+        replication: replica fan-out per key; ≥2 keeps queries
+            answerable while one worker is down.
+        read_policy: ``"first"`` or ``"quorum"``.
+        vnodes: ring points per worker.
+    """
+
+    def __init__(
+        self,
+        supervisor: Supervisor,
+        replication: int = 2,
+        read_policy: str = "first",
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        if replication <= 0:
+            raise ValueError(f"replication must be positive, got {replication}")
+        if read_policy not in READ_POLICIES:
+            raise ValueError(
+                f"read_policy must be one of {READ_POLICIES}, "
+                f"got {read_policy!r}"
+            )
+        self.supervisor = supervisor
+        self.replication = min(replication, len(supervisor.workers))
+        self.read_policy = read_policy
+        self.ring = HashRing(supervisor.worker_ids, vnodes=vnodes)
+        self._ingest_log: List[Dict[str, Any]] = []
+        self._ingest_lock = threading.Lock()
+        self._registry = get_registry()
+        supervisor.on_worker_ready = self._replay_missed_ingests
+
+    # -- metrics helpers -------------------------------------------------
+    def _count(self, verb: str, status: str) -> None:
+        self._registry.counter(
+            "ev_cluster_requests_total",
+            "Requests routed to workers, by verb and outcome",
+        ).inc(verb=verb, status=status)
+
+    def _failover(self, verb: str, worker_id: str, error: str) -> None:
+        self._registry.counter(
+            "ev_cluster_failovers_total",
+            "Requests retried on another replica, by verb",
+        ).inc(verb=verb)
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                ev.CLUSTER_ROUTE_FAILOVER,
+                verb=verb,
+                worker=worker_id,
+                error=error,
+            )
+
+    # -- routing ---------------------------------------------------------
+    def replicas_for(self, message: Dict[str, Any]) -> List[str]:
+        """The key's replica set, available workers first (ring order
+        preserved within each group)."""
+        candidates = self.ring.nodes_for(
+            routing_key(message), self.replication
+        )
+        available = set(self.supervisor.available())
+        return sorted(candidates, key=lambda wid: wid not in available)
+
+    def dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Route one wire request; returns the wire response."""
+        verb = str(message.get("verb", "?"))
+        with get_tracer().span("cluster.request", verb=verb):
+            if verb == "ingest":
+                response = self._dispatch_ingest(message)
+            elif self.read_policy == "quorum":
+                response = self._dispatch_quorum(message, verb)
+            else:
+                response = self._dispatch_first(message, verb)
+        self._count(verb, str(response.get("status", "error")))
+        return response
+
+    def _dispatch_first(
+        self, message: Dict[str, Any], verb: str
+    ) -> Dict[str, Any]:
+        last_error = "no replica available"
+        for attempt, worker_id in enumerate(self.replicas_for(message)):
+            handle = self.supervisor.worker(worker_id)
+            try:
+                response = handle.request(message)
+            except WorkerError as exc:
+                last_error = str(exc)
+                self._failover(verb, worker_id, last_error)
+                continue
+            response["worker"] = worker_id
+            response["failovers"] = attempt
+            return response
+        return error_response(verb, last_error)
+
+    def _dispatch_quorum(
+        self, message: Dict[str, Any], verb: str
+    ) -> Dict[str, Any]:
+        """Majority-of-responders read (see module docstring)."""
+        responses: List[Tuple[str, Dict[str, Any]]] = []
+        for worker_id in self.replicas_for(message):
+            handle = self.supervisor.worker(worker_id)
+            try:
+                responses.append((worker_id, handle.request(message)))
+            except WorkerError as exc:
+                self._failover(verb, worker_id, str(exc))
+        if not responses:
+            return error_response(verb, "no replica available")
+        votes: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
+        for worker_id, response in responses:
+            votes.setdefault(_payload_digest(response), []).append(
+                (worker_id, response)
+            )
+        majority = max(votes.values(), key=len)
+        if len(votes) > 1:
+            self._registry.counter(
+                "ev_cluster_quorum_disagreements_total",
+                "Quorum reads where replicas returned differing payloads",
+            ).inc(verb=verb)
+        worker_id, response = majority[0]
+        response["worker"] = worker_id
+        response["quorum"] = len(majority)
+        response["responders"] = len(responses)
+        return response
+
+    # -- ingest (broadcast + replay) -------------------------------------
+    def _dispatch_ingest(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        scenarios = message.get("scenarios", [])
+        with self._ingest_lock:
+            self._ingest_log.extend(scenarios)
+        acked = 0
+        ingested = 0
+        errors: List[str] = []
+        for worker_id in self.supervisor.available():
+            handle = self.supervisor.worker(worker_id)
+            try:
+                response = handle.request(message)
+            except WorkerError as exc:
+                errors.append(f"{worker_id}: {exc}")
+                self._failover("ingest", worker_id, str(exc))
+                continue
+            if response.get("status") == STATUS_OK:
+                acked += 1
+                ingested = max(ingested, int(response.get("ingested", 0)))
+            else:
+                errors.append(f"{worker_id}: {response.get('error')}")
+        if not acked:
+            return error_response(
+                "ingest", "; ".join(errors) or "no worker available"
+            )
+        return {
+            "verb": "ingest",
+            "status": STATUS_OK,
+            "ingested": ingested,
+            "workers_acked": acked,
+            "errors": errors,
+        }
+
+    @property
+    def ingest_log_size(self) -> int:
+        with self._ingest_lock:
+            return len(self._ingest_log)
+
+    def _replay_missed_ingests(self, worker_id: str) -> None:
+        """Catch a restarted worker up on ingests it missed while down.
+
+        Idempotent end to end: the worker skips scenarios whose key is
+        already in its store (journal replay covers the ones it had
+        accepted before crashing).
+        """
+        with self._ingest_lock:
+            scenarios = list(self._ingest_log)
+        if not scenarios:
+            return
+        with get_tracer().span(
+            "cluster.ingest.replay", worker=worker_id, scenarios=len(scenarios)
+        ):
+            handle = self.supervisor.worker(worker_id)
+            try:
+                response = handle.request(
+                    {"verb": "ingest", "scenarios": scenarios}
+                )
+            except WorkerError as exc:
+                self._failover("ingest.replay", worker_id, str(exc))
+                return
+        self._registry.counter(
+            "ev_cluster_ingest_replayed_total",
+            "Scenarios re-offered to restarted workers",
+        ).inc(len(scenarios), worker=worker_id)
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                ev.CLUSTER_INGEST_REPLAYED,
+                worker=worker_id,
+                offered=len(scenarios),
+                applied=int(response.get("ingested", 0)),
+                duplicates=int(response.get("duplicates", 0)),
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        """Routing snapshot for the gateway's ``stats`` verb."""
+        return {
+            "replication": self.replication,
+            "read_policy": self.read_policy,
+            "vnodes": self.ring.vnodes,
+            "nodes": list(self.ring.nodes),
+            "ingest_log": self.ingest_log_size,
+        }

@@ -1,0 +1,326 @@
+"""The worker process: one crash-isolated :class:`MatchService` shard.
+
+``worker_main`` is the child-process entry point the supervisor spawns
+(``multiprocessing`` *spawn* context — a clean interpreter, no
+inherited locks).  Each worker:
+
+1. materialises its standing dataset — loads a saved ``.npz`` world or
+   deterministically rebuilds one from an
+   :class:`~repro.datagen.config.ExperimentConfig` (every replica of a
+   seed builds the identical world, which is what makes quorum reads
+   meaningful);
+2. replays its **ingest journal** through the existing
+   :class:`~repro.stream.pipeline.DurableStoreSink` reload path, so
+   scenarios accepted before a crash survive the restart;
+3. stands up a :class:`~repro.service.server.MatchService` and serves
+   length-prefixed JSON frames (:mod:`repro.cluster.protocol`) on a
+   local TCP socket, one handler thread per connection;
+4. heartbeats over the control pipe so the supervisor can tell a hung
+   worker from a busy one.
+
+The control pipe carries exactly three child→parent message types —
+``ready`` (with the bound port), ``heartbeat``, and ``stopped`` — and
+one parent→child type, ``shutdown``.  Everything else rides the data
+socket.
+
+Fault injection: the ``crash`` verb calls ``os._exit``, giving tests
+and the availability benchmark a deterministic way to kill a worker
+*mid-protocol* rather than between requests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.cluster import codec
+from repro.cluster.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.service.api import STATUS_OK, IngestTickResponse
+from repro.service.server import MatchService, ServiceConfig
+
+#: Child → parent control-pipe message types.
+MSG_READY = "ready"
+MSG_HEARTBEAT = "heartbeat"
+MSG_STOPPED = "stopped"
+#: Parent → child.
+MSG_SHUTDOWN = "shutdown"
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a spawned worker needs (must pickle cleanly).
+
+    Attributes:
+        worker_id: stable name; survives restarts (it is the ring
+            node identity).
+        config: build this synthetic world on startup (deterministic —
+            every worker with the same config holds the same data).
+        dataset_path: or load a saved ``.npz`` world instead.
+        journal_path: JSONL ingest journal; replayed on startup via
+            :class:`~repro.stream.pipeline.DurableStoreSink` and
+            appended to on every accepted ingest, so restarts rebuild
+            the post-ingest store.  ``None`` disables durability.
+        service: the in-worker serving knobs (thread count, queue,
+            cache, matcher configuration).
+        host: interface to bind the data socket on.
+        heartbeat_interval_s: control-pipe heartbeat cadence.
+        request_result_timeout_s: bound on one service future.
+    """
+
+    worker_id: str
+    config: Optional[object] = None  # ExperimentConfig (kept untyped: pickle)
+    dataset_path: Optional[str] = None
+    journal_path: Optional[str] = None
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    host: str = "127.0.0.1"
+    heartbeat_interval_s: float = 0.25
+    request_result_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not self.worker_id:
+            raise ValueError("worker_id must be non-empty")
+        if (self.config is None) == (self.dataset_path is None):
+            raise ValueError(
+                "exactly one of config / dataset_path must be given"
+            )
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError(
+                f"heartbeat_interval_s must be positive, "
+                f"got {self.heartbeat_interval_s}"
+            )
+
+
+def _build_service(spec: WorkerSpec) -> tuple:
+    """(service, reloaded) — the worker's standing dataset + journal."""
+    if spec.dataset_path is not None:
+        from repro.datagen.io import load_dataset
+
+        dataset = load_dataset(spec.dataset_path)
+    else:
+        from repro.datagen.dataset import build_dataset
+
+        dataset = build_dataset(spec.config)
+    reloaded = 0
+    if spec.journal_path is not None:
+        from repro.stream.pipeline import DurableStoreSink
+
+        # Reload-only use: journal appends go through _append_journal so
+        # ingest stays on the service path (shards + watch + cache).
+        sink = DurableStoreSink(dataset.store, spec.journal_path)
+        reloaded = sink.reloaded
+    service = MatchService(
+        dataset.store,
+        grid=dataset.grid,
+        universe=dataset.eids,
+        config=spec.service,
+    )
+    return service, reloaded
+
+
+class _WorkerServer:
+    """The in-child server: data socket + control pipe + lifecycle."""
+
+    def __init__(self, spec: WorkerSpec, control) -> None:
+        self.spec = spec
+        self.control = control
+        self.stop_event = threading.Event()
+        self.service: Optional[MatchService] = None
+        self._journal_lock = threading.Lock()
+        self._send_lock = threading.Lock()
+
+    # -- control pipe ----------------------------------------------------
+    def _control_send(self, message: Dict[str, Any]) -> None:
+        with self._send_lock:
+            try:
+                self.control.send(message)
+            except (OSError, ValueError, BrokenPipeError):
+                # Parent is gone; nothing to report to, so wind down.
+                self.stop_event.set()
+
+    def _heartbeat_loop(self) -> None:
+        while not self.stop_event.wait(self.spec.heartbeat_interval_s):
+            self._control_send({"type": MSG_HEARTBEAT, "ts": time.time()})
+
+    def _control_loop(self) -> None:
+        while not self.stop_event.is_set():
+            try:
+                if self.control.poll(0.1):
+                    message = self.control.recv()
+                    if (
+                        isinstance(message, dict)
+                        and message.get("type") == MSG_SHUTDOWN
+                    ):
+                        self.stop_event.set()
+            except (EOFError, OSError):
+                self.stop_event.set()
+
+    # -- request handling ------------------------------------------------
+    def _append_journal(self, scenarios) -> None:
+        if self.spec.journal_path is None or not scenarios:
+            return
+        from repro.stream.checkpoint import scenario_to_json
+
+        with self._journal_lock:
+            with open(self.spec.journal_path, "a", encoding="utf-8") as fh:
+                for scenario in scenarios:
+                    fh.write(json.dumps(scenario_to_json(scenario)) + "\n")
+
+    def _handle_ingest(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        request = codec.request_from_wire(message)
+        with self._journal_lock:
+            fresh = [
+                s for s in request.scenarios
+                if s.key not in self.service.store
+            ]
+        duplicates = len(request.scenarios) - len(fresh)
+        if fresh:
+            response = self.service.ingest_tick(fresh)
+            if response.status == STATUS_OK:
+                self._append_journal(fresh)
+        else:
+            response = IngestTickResponse(status=STATUS_OK, ingested=0)
+        wire = codec.response_to_wire(response)
+        wire["duplicates"] = duplicates
+        return wire
+
+    def _handle_message(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        verb = message.get("verb")
+        if verb == "ping":
+            return {
+                "verb": "ping",
+                "status": "ok",
+                "worker": self.spec.worker_id,
+                "pid": os.getpid(),
+            }
+        if verb == "crash":  # fault injection (tests / availability bench)
+            os._exit(int(message.get("code", 13)))
+        if verb == MSG_SHUTDOWN:
+            self.stop_event.set()
+            return {"verb": MSG_SHUTDOWN, "status": "ok"}
+        if verb == "stats":
+            return {
+                "verb": "stats",
+                "status": "ok",
+                "worker": self.spec.worker_id,
+                "snapshot": self.service.stats().snapshot,
+            }
+        if verb == "metrics":
+            return {
+                "verb": "metrics",
+                "status": "ok",
+                "worker": self.spec.worker_id,
+                "text": self.service.metrics_text().text,
+            }
+        if verb == "health":
+            wire = codec.response_to_wire(self.service.health())
+            wire["worker"] = self.spec.worker_id
+            return wire
+        if verb == "ingest":
+            return self._handle_ingest(message)
+        if verb in ("match", "investigate"):
+            request = codec.request_from_wire(message)
+            response = self.service.submit(request).result(
+                timeout=self.spec.request_result_timeout_s
+            )
+            return codec.response_to_wire(response)
+        raise codec.CodecError(f"unknown verb {verb!r}")
+
+    def _connection_loop(self, sock: socket.socket) -> None:
+        try:
+            while not self.stop_event.is_set():
+                try:
+                    message = recv_frame(sock)
+                except (ConnectionClosed, OSError):
+                    return
+                try:
+                    response = self._handle_message(message)
+                except (codec.CodecError, ProtocolError) as exc:
+                    response = codec.error_response(
+                        str(message.get("verb", "?")), str(exc)
+                    )
+                except Exception as exc:  # service-side failure: report it
+                    response = codec.error_response(
+                        str(message.get("verb", "?")),
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                try:
+                    send_frame(sock, response)
+                except OSError:
+                    return
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- lifecycle -------------------------------------------------------
+    def run(self) -> None:
+        service, reloaded = _build_service(self.spec)
+        self.service = service.start()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.spec.host, 0))
+        listener.listen(64)
+        listener.settimeout(0.2)
+        port = listener.getsockname()[1]
+        self._control_send(
+            {
+                "type": MSG_READY,
+                "port": port,
+                "pid": os.getpid(),
+                "reloaded": reloaded,
+                "scenarios": len(self.service.store),
+            }
+        )
+        threading.Thread(
+            target=self._heartbeat_loop, name="worker-heartbeat", daemon=True
+        ).start()
+        threading.Thread(
+            target=self._control_loop, name="worker-control", daemon=True
+        ).start()
+        try:
+            while not self.stop_event.is_set():
+                try:
+                    sock, _addr = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                threading.Thread(
+                    target=self._connection_loop,
+                    args=(sock,),
+                    name="worker-conn",
+                    daemon=True,
+                ).start()
+        finally:
+            listener.close()
+            # Drain in-flight work before exiting so a graceful stop
+            # loses no accepted requests.
+            self.service.stop(timeout=10.0)
+            self._control_send({"type": MSG_STOPPED})
+            try:
+                self.control.close()
+            except OSError:
+                pass
+
+
+def worker_main(spec: WorkerSpec, control) -> None:
+    """Child-process entry point (spawned by the supervisor)."""
+    # The supervisor coordinates shutdown over the control pipe; a
+    # terminal Ctrl-C must not tear workers down mid-request.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    server = _WorkerServer(spec, control)
+    signal.signal(signal.SIGTERM, lambda *_: server.stop_event.set())
+    server.run()

@@ -64,6 +64,21 @@ MR_JOB_FINISHED = "mr.job.finished"
 SERVICE_REQUEST_SHED = "service.request.shed"
 SERVICE_CACHE_EVICTED = "service.cache.evicted"
 SERVICE_SHARD_ASSIGNED = "service.shard.assigned"
+SERVICE_DRAIN_STARTED = "service.drain.started"
+SERVICE_DRAIN_COMPLETED = "service.drain.completed"
+#: Cluster layer (:mod:`repro.cluster`):
+CLUSTER_WORKER_SPAWNED = "cluster.worker.spawned"
+CLUSTER_WORKER_READY = "cluster.worker.ready"
+CLUSTER_WORKER_CRASHED = "cluster.worker.crashed"
+CLUSTER_WORKER_HUNG = "cluster.worker.hung"
+CLUSTER_WORKER_RESTARTED = "cluster.worker.restarted"
+CLUSTER_WORKER_STOPPED = "cluster.worker.stopped"
+CLUSTER_HEALTH_DEGRADED = "cluster.health.degraded"
+CLUSTER_HEALTH_OK = "cluster.health.ok"
+CLUSTER_ROUTE_FAILOVER = "cluster.route.failover"
+CLUSTER_INGEST_REPLAYED = "cluster.ingest.replayed"
+CLUSTER_GATEWAY_STARTED = "cluster.gateway.started"
+CLUSTER_GATEWAY_DRAINED = "cluster.gateway.drained"
 #: Streaming ingestion (:mod:`repro.stream`):
 STREAM_WINDOW_CLOSED = "stream.window.closed"
 STREAM_EVENT_LATE = "stream.event.late"
@@ -94,6 +109,20 @@ EVENT_TYPES = (
     SERVICE_REQUEST_SHED,
     SERVICE_CACHE_EVICTED,
     SERVICE_SHARD_ASSIGNED,
+    SERVICE_DRAIN_STARTED,
+    SERVICE_DRAIN_COMPLETED,
+    CLUSTER_WORKER_SPAWNED,
+    CLUSTER_WORKER_READY,
+    CLUSTER_WORKER_CRASHED,
+    CLUSTER_WORKER_HUNG,
+    CLUSTER_WORKER_RESTARTED,
+    CLUSTER_WORKER_STOPPED,
+    CLUSTER_HEALTH_DEGRADED,
+    CLUSTER_HEALTH_OK,
+    CLUSTER_ROUTE_FAILOVER,
+    CLUSTER_INGEST_REPLAYED,
+    CLUSTER_GATEWAY_STARTED,
+    CLUSTER_GATEWAY_DRAINED,
     STREAM_WINDOW_CLOSED,
     STREAM_EVENT_LATE,
     STREAM_EVENT_SHED,

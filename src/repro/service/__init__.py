@@ -45,7 +45,12 @@ from repro.service.batcher import MatchBatcher
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.dataset_shards import DatasetShard, ShardedDataset
 from repro.service.health import HealthTracker, SLOConfig
-from repro.service.loadgen import LoadConfig, LoadReport, run_load
+from repro.service.loadgen import (
+    LoadConfig,
+    LoadReport,
+    run_load,
+    run_load_socket,
+)
 from repro.service.metrics import EndpointMetrics, LatencyHistogram, ServiceMetrics
 from repro.service.server import MatchService, ServiceConfig
 
@@ -81,4 +86,5 @@ __all__ = [
     "StatsResponse",
     "TargetMatch",
     "run_load",
+    "run_load_socket",
 ]

@@ -196,6 +196,33 @@ def run_load(service, targets: Sequence[EID], config: LoadConfig) -> LoadReport:
     return total
 
 
+def run_load_socket(
+    host: str,
+    port: int,
+    targets: Sequence[EID],
+    config: LoadConfig,
+    timeout_s: float = 60.0,
+) -> LoadReport:
+    """Drive a cluster gateway over real TCP sockets.
+
+    Same closed-loop workload as :func:`run_load`, but each simulated
+    client holds a persistent NDJSON connection to the gateway
+    (:class:`~repro.cluster.client.GatewayClient` keeps one socket per
+    thread), so the measured throughput includes the wire.
+    ``final_health`` is the gateway's SLO verdict, which also reflects
+    cluster availability.
+    """
+    # Imported here: repro.cluster sits above repro.service in the
+    # layering, and this is the one place the loadgen reaches up.
+    from repro.cluster.client import GatewayClient
+
+    client = GatewayClient(host, port, timeout_s=timeout_s)
+    try:
+        return run_load(client, targets, config)
+    finally:
+        client.close()
+
+
 def percentile(latencies: Sequence[float], q: float) -> float:
     """Convenience for reporting a latency percentile of a run.
 

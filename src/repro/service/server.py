@@ -191,6 +191,7 @@ class MatchService:
         self._rw = _RWLock()
         self._threads: List[threading.Thread] = []
         self._running = False
+        self._draining = False
 
     @classmethod
     def from_dataset(
@@ -226,6 +227,49 @@ class MatchService:
         for thread in self._threads:
             thread.join(timeout=timeout)
         self._threads.clear()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting data-plane requests; in-flight work continues.
+
+        New submits resolve immediately with ``"shed"`` so closed-loop
+        clients back off, while everything already queued keeps its
+        promise of an answer.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        log = get_event_log()
+        if log.enabled:
+            log.emit(ev.SERVICE_DRAIN_STARTED, queue_depth=self.queue_depth)
+
+    def drain(self, timeout: Optional[float] = 10.0) -> dict:
+        """Graceful shutdown: :meth:`begin_drain`, then :meth:`stop`.
+
+        The worker threads consume the queue FIFO before reaching the
+        stop sentinels, so every request accepted before the drain
+        began resolves.  Returns a small summary for the operator.
+        """
+        started = time.perf_counter()
+        self.begin_drain()
+        pending = self.queue_depth
+        self.stop(timeout=timeout)
+        duration = time.perf_counter() - started
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                ev.SERVICE_DRAIN_COMPLETED,
+                pending_at_drain=pending,
+                duration_s=round(duration, 6),
+            )
+        return {
+            "pending_at_drain": pending,
+            "duration_s": duration,
+            "drained": self.queue_depth == 0,
+        }
 
     def __enter__(self) -> "MatchService":
         return self.start()
@@ -293,12 +337,29 @@ class MatchService:
 
         Never raises on overload: shedding resolves the future with a
         ``"shed"`` response, so closed-loop clients can count drops.
+        A draining service sheds everything (see :meth:`begin_drain`).
         """
+        if self._draining:
+            return self._shed_draining(request)
         if isinstance(request, MatchRequest):
             return self._submit_match(request)
         if isinstance(request, InvestigateRequest):
             return self._submit_investigate(request)
         raise TypeError(f"cannot submit {type(request).__name__}")
+
+    def _shed_draining(self, request: Request) -> "Future":
+        future: "Future" = Future()
+        if isinstance(request, MatchRequest):
+            future.set_result(MatchResponse(status=STATUS_SHED))
+            self._observe("match", STATUS_SHED, 0.0)
+        elif isinstance(request, InvestigateRequest):
+            future.set_result(
+                InvestigateResponse(status=STATUS_SHED, eid=request.eid)
+            )
+            self._observe("investigate", STATUS_SHED, 0.0)
+        else:
+            raise TypeError(f"cannot submit {type(request).__name__}")
+        return future
 
     def _submit_match(self, request: MatchRequest) -> "Future":
         started = time.perf_counter()

@@ -1,0 +1,260 @@
+"""Wire-level tests: framing, NDJSON, and the request/response codecs.
+
+No processes here — sockets are exercised with an in-process
+``socketpair`` so the byte-level behaviour (short reads, oversized
+frames, garbage payloads) is tested deterministically.
+"""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.cluster.codec import (
+    CodecError,
+    error_response,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
+    routing_key,
+)
+from repro.cluster.protocol import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    ProtocolError,
+    decode_line,
+    encode_frame,
+    encode_line,
+    recv_frame,
+    send_frame,
+)
+from repro.service.api import (
+    STATUS_ERROR,
+    STATUS_OK,
+    HealthResponse,
+    IngestTickRequest,
+    IngestTickResponse,
+    InvestigateRequest,
+    InvestigateResponse,
+    MatchRequest,
+    MatchResponse,
+    SLOCheck,
+    TargetMatch,
+)
+from repro.world.entities import EID
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_roundtrip_over_socketpair(self, pair):
+        left, right = pair
+        message = {"verb": "ping", "nested": {"a": [1, 2, 3]}, "text": "x\ny"}
+        send_frame(left, message)
+        assert recv_frame(right) == message
+
+    def test_multiple_frames_stay_separated(self, pair):
+        left, right = pair
+        for i in range(5):
+            send_frame(left, {"seq": i})
+        for i in range(5):
+            assert recv_frame(right) == {"seq": i}
+
+    def test_eof_at_boundary_raises_connection_closed(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(ConnectionClosed):
+            recv_frame(right)
+
+    def test_eof_mid_frame_raises_connection_closed(self, pair):
+        left, right = pair
+        frame = encode_frame({"verb": "ping"})
+        left.sendall(frame[: len(frame) // 2])
+        left.close()
+        with pytest.raises(ConnectionClosed):
+            recv_frame(right)
+
+    def test_oversized_header_rejected_without_reading_payload(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    def test_non_json_payload_rejected(self, pair):
+        left, right = pair
+        payload = b"\xff\xfenot json"
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    def test_non_object_payload_rejected(self, pair):
+        left, right = pair
+        payload = json.dumps([1, 2, 3]).encode()
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+
+class TestNDJSON:
+    def test_roundtrip(self):
+        message = {"verb": "match", "targets": [1, 2]}
+        line = encode_line(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert decode_line(line) == message
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"   \n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{not json}\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"42\n")
+
+
+class TestRequestCodec:
+    def test_match_roundtrip(self):
+        request = MatchRequest(targets=(EID(3), EID(7)), algorithm="edp")
+        wire = request_to_wire(request)
+        assert wire["verb"] == "match"
+        # wire form must be plain JSON, no dataclasses smuggled through
+        json.dumps(wire)
+        decoded = request_from_wire(json.loads(json.dumps(wire)))
+        assert decoded == request
+
+    def test_investigate_roundtrip(self):
+        request = InvestigateRequest(eid=EID(11), min_shared=5)
+        decoded = request_from_wire(request_to_wire(request))
+        assert decoded == request
+
+    def test_ingest_roundtrip_preserves_scenarios(self, ideal_dataset):
+        scenarios = [
+            ideal_dataset.store.get(key)
+            for key in sorted(ideal_dataset.store.keys)[:3]
+        ]
+        request = IngestTickRequest(scenarios=tuple(scenarios))
+        wire = json.loads(json.dumps(request_to_wire(request)))
+        decoded = request_from_wire(wire)
+        assert len(decoded.scenarios) == 3
+        for original, restored in zip(scenarios, decoded.scenarios):
+            assert restored.key == original.key
+            assert len(restored.v) == len(original.v)
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(CodecError):
+            request_from_wire({"verb": "frobnicate"})
+
+    def test_malformed_match_rejected(self):
+        with pytest.raises(CodecError):
+            request_from_wire({"verb": "match"})  # no targets
+
+    def test_unencodable_request_rejected(self):
+        with pytest.raises(CodecError):
+            request_to_wire(object())
+
+
+class TestResponseCodec:
+    def test_match_roundtrip(self):
+        response = MatchResponse(
+            status=STATUS_OK,
+            matches={
+                EID(4): TargetMatch(
+                    eid=EID(4), prediction=9, agreement=0.75, evidence=12
+                )
+            },
+            cached=True,
+            latency_s=0.125,
+        )
+        wire = json.loads(json.dumps(response_to_wire(response)))
+        decoded = response_from_wire(wire)
+        assert decoded.status == STATUS_OK
+        assert decoded.cached is True
+        assert decoded.matches[EID(4)].prediction == 9
+        assert decoded.matches[EID(4)].agreement == pytest.approx(0.75)
+
+    def test_investigate_roundtrip(self):
+        response = InvestigateResponse(
+            status=STATUS_OK,
+            eid=EID(2),
+            num_scenarios=6,
+            presence=[(0, 1), (3, 2)],
+            co_travelers=[(EID(5), 4)],
+            shards_touched=3,
+        )
+        decoded = response_from_wire(
+            json.loads(json.dumps(response_to_wire(response)))
+        )
+        assert decoded.eid == EID(2)
+        assert decoded.presence == [(0, 1), (3, 2)]
+        assert decoded.co_travelers == [(EID(5), 4)]
+
+    def test_ingest_carries_emission_count_not_objects(self):
+        response = IngestTickResponse(
+            status=STATUS_OK, ingested=4, emissions=[object(), object()]
+        )
+        wire = response_to_wire(response)
+        assert wire["emissions"] == 2
+        decoded = response_from_wire(json.loads(json.dumps(wire)))
+        assert decoded.ingested == 4
+        assert decoded.emissions == []  # documented: count does not round-trip
+
+    def test_health_roundtrip(self):
+        response = HealthResponse(
+            healthy=False,
+            window_s=60.0,
+            samples=100,
+            checks=(
+                SLOCheck(
+                    name="p95", objective=0.1, observed=0.2, ok=False
+                ),
+            ),
+            note="degraded",
+        )
+        decoded = response_from_wire(
+            json.loads(json.dumps(response_to_wire(response)))
+        )
+        assert decoded.healthy is False
+        assert decoded.checks[0].name == "p95"
+        assert decoded.checks[0].ok is False
+
+    def test_error_response_shape(self):
+        wire = error_response("match", "worker exploded")
+        assert wire == {
+            "verb": "match",
+            "status": STATUS_ERROR,
+            "error": "worker exploded",
+        }
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(CodecError):
+            response_from_wire({"verb": "nope", "status": "ok"})
+
+
+class TestRoutingKey:
+    def test_match_key_is_order_insensitive(self):
+        a = routing_key({"verb": "match", "targets": [3, 1], "algorithm": "ss"})
+        b = routing_key({"verb": "match", "targets": [1, 3], "algorithm": "ss"})
+        assert a == b
+
+    def test_match_key_varies_with_algorithm(self):
+        a = routing_key({"verb": "match", "targets": [1], "algorithm": "ss"})
+        b = routing_key({"verb": "match", "targets": [1], "algorithm": "mwm"})
+        assert a != b
+
+    def test_investigate_keys_on_eid(self):
+        assert routing_key({"verb": "investigate", "eid": 9}) == "eid:9"
+
+    def test_other_verbs_key_on_verb(self):
+        assert routing_key({"verb": "stats"}) == "verb:stats"

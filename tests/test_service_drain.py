@@ -1,0 +1,140 @@
+"""Graceful-shutdown tests for the single-process service.
+
+The drain contract: once :meth:`MatchService.begin_drain` runs, new
+submits shed immediately — but every request accepted *before* the
+drain began still resolves with a real answer.  ``repro serve`` wires
+this to SIGINT/SIGTERM via :func:`repro.cli._drain_on_signals`.
+"""
+
+import io
+import signal
+import threading
+
+import pytest
+
+from repro.cli import _drain_on_signals
+from repro.obs import EventLog, set_event_log
+from repro.service import MatchService, ServiceConfig
+from repro.service.api import (
+    STATUS_OK,
+    STATUS_SHED,
+    InvestigateRequest,
+    MatchRequest,
+)
+
+
+@pytest.fixture()
+def event_log():
+    log = EventLog()
+    previous = set_event_log(log)
+    yield log
+    set_event_log(previous)
+
+
+@pytest.fixture()
+def service(ideal_dataset):
+    # One worker and no cache: submits genuinely queue, so the drain
+    # has in-flight work to prove itself on.
+    svc = MatchService.from_dataset(
+        ideal_dataset,
+        ServiceConfig(workers=1, queue_size=64, cache_capacity=0),
+    ).start()
+    yield svc
+    svc.stop()
+
+
+def distinct_requests(ideal_dataset, count: int):
+    eids = list(ideal_dataset.eids)
+    return [
+        MatchRequest(targets=(eids[2 * i], eids[2 * i + 1]))
+        for i in range(count)
+    ]
+
+
+class TestBeginDrain:
+    def test_sheds_new_submits(self, service, ideal_dataset):
+        service.begin_drain()
+        assert service.draining
+        match = service.submit(
+            MatchRequest(targets=(ideal_dataset.eids[0],))
+        ).result(timeout=5)
+        assert match.status == STATUS_SHED
+        investigate = service.submit(
+            InvestigateRequest(eid=ideal_dataset.eids[1])
+        ).result(timeout=5)
+        assert investigate.status == STATUS_SHED
+        assert investigate.eid == ideal_dataset.eids[1]
+
+    def test_emits_drain_started_once(self, service, event_log):
+        service.begin_drain()
+        service.begin_drain()  # idempotent
+        started = [
+            event
+            for event in event_log.events()
+            if event["type"] == "service.drain.started"
+        ]
+        assert len(started) == 1
+
+
+class TestDrain:
+    def test_accepted_requests_all_resolve(
+        self, service, ideal_dataset, event_log
+    ):
+        futures = [
+            service.submit(request)
+            for request in distinct_requests(ideal_dataset, 8)
+        ]
+        summary = service.drain(timeout=30.0)
+        # Every request accepted before the drain resolves ok — none
+        # shed, none abandoned.
+        for future in futures:
+            response = future.result(timeout=30)
+            assert response.status == STATUS_OK
+        assert summary["drained"] is True
+        assert summary["duration_s"] > 0
+        types = [event["type"] for event in event_log.events()]
+        assert "service.drain.started" in types
+        assert "service.drain.completed" in types
+        assert types.index("service.drain.started") < types.index(
+            "service.drain.completed"
+        )
+
+    def test_post_drain_submits_shed_not_crash(self, service, ideal_dataset):
+        service.drain(timeout=30.0)
+        response = service.submit(
+            MatchRequest(targets=(ideal_dataset.eids[0],))
+        ).result(timeout=5)
+        assert response.status == STATUS_SHED
+
+
+class TestSignalHandling:
+    def test_first_signal_drains_second_interrupts(self):
+        calls = []
+        out = io.StringIO()
+        before = signal.getsignal(signal.SIGINT)
+        with _drain_on_signals(lambda: calls.append("drain"), out):
+            signal.raise_signal(signal.SIGINT)
+            assert calls == ["drain"]
+            assert "draining" in out.getvalue()
+            with pytest.raises(KeyboardInterrupt):
+                signal.raise_signal(signal.SIGINT)
+        # handlers restored on exit
+        assert signal.getsignal(signal.SIGINT) is before
+
+    def test_sigterm_also_drains(self):
+        calls = []
+        with _drain_on_signals(lambda: calls.append("drain"), io.StringIO()):
+            signal.raise_signal(signal.SIGTERM)
+        assert calls == ["drain"]
+
+    def test_noop_off_main_thread(self):
+        results = {}
+
+        def run():
+            with _drain_on_signals(lambda: None, io.StringIO()) as fired:
+                results["fired"] = fired
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join(timeout=10)
+        assert results["fired"] == {"drained": False}
