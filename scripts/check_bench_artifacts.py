@@ -40,6 +40,13 @@ from repro.obs import RUN_REPORT_SECTIONS  # noqa: E402
 
 BENCH_NAME = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
 
+#: Per-artifact required top-level entries.  A bench edit that silently
+#: drops one of these measurements must fail CI even though the
+#: remaining payload still satisfies the generic schema.
+REQUIRED_ENTRIES = {
+    "BENCH_kernels.json": ("split", "split_65536", "filter"),
+}
+
 
 def declared_artifacts(sources) -> dict:
     """``{artifact name: [declaring bench files]}`` from the sources."""
@@ -73,6 +80,15 @@ def check(sources) -> int:
             validate_bench_payload(payload, name=name)
         except ValueError as exc:
             print(f"INVALID {name}: {exc}")
+            failures += 1
+            continue
+        missing = [
+            key
+            for key in REQUIRED_ENTRIES.get(name, ())
+            if key not in payload
+        ]
+        if missing:
+            print(f"INVALID {name}: missing required entries {missing}")
             failures += 1
             continue
         print(f"ok      {name}: {len(payload)} measurements (from {owner})")

@@ -2,7 +2,7 @@
 and validated BENCH_*.json artifact emission.
 
 Three layers, all in one module so the bench output path has a single
-owner (``repro.bench.report`` remains as a compatibility alias):
+owner:
 
 * :func:`render_rows` keeps benchmark output self-describing — each
   bench prints its table under a title so ``pytest benchmarks/
@@ -161,8 +161,11 @@ def validate_bench_payload(payload: object, name: str = "payload") -> None:
 
     The BENCH_*.json schema: a non-empty JSON object whose leaves are
     all finite numbers, with arbitrary nesting of string-keyed objects
-    for grouping.  Anything else (strings, lists, nulls, NaN) would
-    break trend plots silently, so it is rejected up front.
+    for grouping.  Keys suffixed ``_label`` may hold strings — they
+    annotate a measurement (e.g. which kernel backend produced it) and
+    trend plots skip them by the suffix.  Anything else (bare strings,
+    lists, nulls, NaN) would break trend plots silently, so it is
+    rejected up front.
     """
     if not isinstance(payload, Mapping):
         raise ValueError(f"{name}: expected a JSON object, got {type(payload).__name__}")
@@ -174,6 +177,11 @@ def validate_bench_payload(payload: object, name: str = "payload") -> None:
         where = f"{name}.{key}"
         if isinstance(value, Mapping):
             validate_bench_payload(value, name=where)
+        elif key.endswith("_label"):
+            if not isinstance(value, str):
+                raise ValueError(
+                    f"{where}: _label leaves must be strings, got {value!r}"
+                )
         elif isinstance(value, bool) or not isinstance(value, (int, float)):
             raise ValueError(
                 f"{where}: leaves must be numbers, got {value!r}"

@@ -25,7 +25,7 @@ from repro.bench.reporting import render_rows
 from repro.core.edp import EDPConfig
 from repro.core.matcher import EVMatcher, MatcherConfig
 from repro.core.refining import RefiningConfig
-from repro.core.set_splitting import BACKENDS, SplitConfig
+from repro.core.set_splitting import CONFIGURABLE_BACKENDS, SplitConfig
 from repro.datagen.config import ExperimentConfig
 from repro.datagen.dataset import build_dataset
 from repro.datagen.io import load_dataset, save_dataset
@@ -331,10 +331,12 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_backend_arg(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--backend",
-        choices=BACKENDS,
+        choices=CONFIGURABLE_BACKENDS,
         default="bitset",
         help="E-stage candidate-set kernels (results are identical; "
-        "bitset is the fast packed-row path, python the reference)",
+        "bitset is the fast packed-row path, python the reference, "
+        "numba the JIT kernels when installed, auto the fastest "
+        "available)",
     )
 
 
@@ -615,13 +617,38 @@ def run_inspect(args: argparse.Namespace, out=None) -> int:
         file=out,
     )
 
+    # The packed E-stage matrix the accelerated backends share, and
+    # which kernel backend this interpreter resolves to.
+    from repro.core.accel import (
+        AUTO_BACKEND,
+        available_backends,
+        matrix_for,
+        resolve_backend,
+    )
+
+    backend = resolve_backend(AUTO_BACKEND)
+    matrix = matrix_for(store)
+    matrix.sync()
+    print("\nE-stage kernels:", file=out)
+    print(
+        f"  backend {backend} [ev_accel_backend_info] "
+        f"(available: {', '.join(available_backends())})",
+        file=out,
+    )
+    print(
+        f"  packed scenario matrix: {len(matrix)} rows x "
+        f"{matrix.num_words} words = {matrix.nbytes / 1024:.1f} KiB "
+        f"[ev_accel_matrix_bytes]",
+        file=out,
+    )
+
     # Warm the V-stage caches with a small match so the report below
     # shows real traffic, then print both caches' counters.
     from repro.core.set_splitting import SetSplitter
     from repro.core.vid_filtering import FilterConfig, VIDFilter
 
     sample = list(dataset.sample_targets(min(10, len(dataset.eids)), seed=1))
-    split = SetSplitter(store, SplitConfig()).run(sample)
+    split = SetSplitter(store, SplitConfig(backend=backend)).run(sample)
     vid_filter = VIDFilter(store, FilterConfig())
     vid_filter.match(split.evidence)
     print(f"\nV-stage caches after matching {len(sample)} EIDs:", file=out)

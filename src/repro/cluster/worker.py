@@ -101,8 +101,57 @@ class WorkerSpec:
             )
 
 
+def _pick_backend(spec: WorkerSpec) -> tuple:
+    """(service_config, backend) — the worker's kernel backend choice.
+
+    Workers are throughput shards: the pure-Python reference kernels
+    exist for in-process debugging, not for serving.  A spec whose
+    matcher config leaves the E-stage backends at their defaults (or
+    pins ``"auto"``) therefore gets the fastest backend available in
+    *this* child interpreter — each worker probes independently at
+    startup, so a heterogeneous fleet (some nodes with numba
+    installed, some without) just works.  An explicit ``"bitset"`` /
+    ``"numba"`` pin is respected, still routed through
+    :func:`~repro.core.accel.resolve_backend` so a numba pin on a
+    node without numba degrades to ``"bitset"`` with a warning
+    instead of dying.  The choice is reported in the ``ready``
+    control message and the ``stats`` verb.
+    """
+    from dataclasses import replace
+
+    from repro.core.accel import AUTO_BACKEND, resolve_backend
+
+    matcher = spec.service.matcher
+    split_b = matcher.split.backend
+    edp_b = matcher.edp.backend
+    split_r = resolve_backend(
+        AUTO_BACKEND
+        if split_b in (AUTO_BACKEND, type(matcher.split)().backend)
+        else split_b
+    )
+    edp_r = resolve_backend(
+        AUTO_BACKEND
+        if edp_b in (AUTO_BACKEND, type(matcher.edp)().backend)
+        else edp_b
+    )
+    if split_r == split_b and edp_r == edp_b:
+        return spec.service, split_r
+    return (
+        replace(
+            spec.service,
+            matcher=replace(
+                matcher,
+                split=replace(matcher.split, backend=split_r),
+                edp=replace(matcher.edp, backend=edp_r),
+            ),
+        ),
+        split_r,
+    )
+
+
 def _build_service(spec: WorkerSpec) -> tuple:
-    """(service, reloaded) — the worker's standing dataset + journal."""
+    """(service, reloaded, backend) — standing dataset + journal +
+    the kernel backend this worker picked (see :func:`_pick_backend`)."""
     if spec.dataset_path is not None:
         from repro.datagen.io import load_dataset
 
@@ -119,13 +168,14 @@ def _build_service(spec: WorkerSpec) -> tuple:
         # ingest stays on the service path (shards + watch + cache).
         sink = DurableStoreSink(dataset.store, spec.journal_path)
         reloaded = sink.reloaded
+    service_config, backend = _pick_backend(spec)
     service = MatchService(
         dataset.store,
         grid=dataset.grid,
         universe=dataset.eids,
-        config=spec.service,
+        config=service_config,
     )
-    return service, reloaded
+    return service, reloaded, backend
 
 
 class _WorkerServer:
@@ -136,6 +186,7 @@ class _WorkerServer:
         self.control = control
         self.stop_event = threading.Event()
         self.service: Optional[MatchService] = None
+        self.backend: str = "python"  # resolved in run()
         self._journal_lock = threading.Lock()
         self._send_lock = threading.Lock()
 
@@ -213,6 +264,7 @@ class _WorkerServer:
                 "verb": "stats",
                 "status": "ok",
                 "worker": self.spec.worker_id,
+                "backend": self.backend,
                 "snapshot": self.service.stats().snapshot,
             }
         if verb == "metrics":
@@ -266,7 +318,7 @@ class _WorkerServer:
 
     # -- lifecycle -------------------------------------------------------
     def run(self) -> None:
-        service, reloaded = _build_service(self.spec)
+        service, reloaded, self.backend = _build_service(self.spec)
         self.service = service.start()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -280,6 +332,7 @@ class _WorkerServer:
                 "port": port,
                 "pid": os.getpid(),
                 "reloaded": reloaded,
+                "backend": self.backend,
                 "scenarios": len(self.service.store),
             }
         )

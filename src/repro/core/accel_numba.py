@@ -1,0 +1,184 @@
+"""Optional numba-JIT split-pass kernel (``backend="numba"``).
+
+:func:`stream_pass` is the whole split round — examine, shrink,
+diversity-gate, commit — as one nopython-compatible function over the
+packed arrays :mod:`repro.core.accel` maintains.  It is deliberately a
+*plain Python function at module level*: the equivalence tests execute
+it uncompiled (slow but exact), so its semantics stay pinned even on
+machines without numba, and :func:`load_stream_pass` wraps it in
+``numba.njit`` only when the dependency is importable.
+
+Compared to the vectorized numpy pass the JIT wins on short-row work:
+it fuses the gather / AND / popcount / scatter per scenario into one
+loop nest with no temporaries, and runs the evidence-diversity rule
+in-kernel over a linked per-target evidence list instead of calling
+back into Python per helped target.
+
+Fallback contract (see ``accel.resolve_backend``): requesting
+``"numba"`` without the dependency degrades to ``"bitset"`` with a
+warning; a failed JIT compile does the same at call time.  Results are
+byte-identical across all three backends either way.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Optional
+
+import numpy as np
+
+# SWAR popcount constants.  Bound as uint64 so the arithmetic stays in
+# 64-bit words both under numba (which would otherwise mix int64 in)
+# and under plain numpy scalars (NEP 50 value-based casting).
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+_S1 = np.uint64(1)
+_S2 = np.uint64(2)
+_S4 = np.uint64(4)
+_S56 = np.uint64(56)
+
+
+def _popcount64(v):
+    """Set bits of one 64-bit word (SWAR; numba-compilable)."""
+    v = v - ((v >> _S1) & _M1)
+    v = (v & _M2) + ((v >> _S2) & _M2)
+    v = (v + (v >> _S4)) & _M4
+    return (v * _H01) >> _S56
+
+
+def stream_pass(
+    cand,          # (T, W) uint64 candidate rows — mutated in place
+    extras_alive,  # (T,) bool — mutated
+    active,        # (T,) bool — mutated
+    num_active,    # int: targets not yet singleton
+    allowed,       # (S, W) uint64 allowed rows (matrix view)
+    scen_rows,     # (K,) int64: matrix row per ordered scenario
+    scen_cells,    # (K,) int64: cell_id per ordered scenario
+    scen_ticks,    # (K,) int64: tick per ordered scenario
+    flat_rows,     # flattened driven target rows (see _drive_rows)
+    offsets,       # (S+1,) int64 slicing flat_rows per scenario row
+    gap,           # int: min_gap_ticks (0 = rule off)
+    budget,        # int: max_scenarios (-1 = unbounded)
+    ev_cell,       # (cap,) int64 evidence-cell pool (diversity state)
+    ev_tick,       # (cap,) int64 evidence-tick pool
+    ev_prev,       # (cap,) int64 previous-entry link per pool slot
+    ev_head,       # (T,) int64 latest evidence slot per target (-1 none)
+    applied_idx,   # (K,) int64 out: ordered positions of applied keys
+    helped_flat,   # (cap,) int64 out: helped target rows, concatenated
+    helped_off,    # (K+1,) int64 out: slices helped_flat per commit
+):
+    """One ordered streaming split round; see ``CandidateMatrix.split_pass``.
+
+    Returns ``(applied_count, examined, num_active)``; the caller turns
+    ``applied_idx``/``helped_flat``/``helped_off`` prefixes into the
+    ``(key, helped_rows)`` commit list.
+    """
+    num_words = cand.shape[1]
+    applied_count = 0
+    examined = 0
+    helped_total = 0
+    ev_count = 0
+    helped_off[0] = 0
+    for pos in range(scen_rows.shape[0]):
+        if num_active == 0:
+            break
+        if budget >= 0 and examined >= budget:
+            break
+        examined += 1
+        s = scen_rows[pos]
+        lo = offsets[s]
+        hi = offsets[s + 1]
+        if lo == hi:
+            continue
+        cell = scen_cells[pos]
+        tick = scen_ticks[pos]
+        base = helped_total
+        for j in range(lo, hi):
+            t = flat_rows[j]
+            hit = extras_alive[t]
+            if not hit:
+                for w in range(num_words):
+                    if cand[t, w] & ~allowed[s, w]:
+                        hit = True
+                        break
+            if not hit:
+                continue
+            if gap > 0:
+                entry = ev_head[t]
+                ok = True
+                while entry != -1:
+                    if ev_cell[entry] == cell:
+                        delta = ev_tick[entry] - tick
+                        if delta < 0:
+                            delta = -delta
+                        if delta < gap:
+                            ok = False
+                            break
+                    entry = ev_prev[entry]
+                if not ok:
+                    continue
+            helped_flat[helped_total] = t
+            helped_total += 1
+        if helped_total == base:
+            continue
+        for j in range(base, helped_total):
+            t = helped_flat[j]
+            bits = np.uint64(0)  # stay in uint64: numba would promote
+            # an int64 accumulator mixed with uint64 words to float64
+            for w in range(num_words):
+                word = cand[t, w] & allowed[s, w]
+                cand[t, w] = word
+                bits += _popcount64(word)
+            extras_alive[t] = False
+            if bits == _S1:
+                active[t] = False
+                num_active -= 1
+            if gap > 0:
+                ev_cell[ev_count] = cell
+                ev_tick[ev_count] = tick
+                ev_prev[ev_count] = ev_head[t]
+                ev_head[t] = ev_count
+                ev_count += 1
+        applied_idx[applied_count] = pos
+        applied_count += 1
+        helped_off[applied_count] = helped_total
+    return applied_count, examined, num_active
+
+
+_COMPILED: Optional[Callable] = None
+_COMPILE_FAILED = False
+
+
+def load_stream_pass() -> Optional[Callable]:
+    """The JIT-compiled kernel, or ``None`` when numba is unusable.
+
+    Compiles once per process and caches the result; a failed import or
+    compile warns once and pins ``None`` so the hot path never retries.
+    """
+    global _COMPILED, _COMPILE_FAILED
+    if _COMPILED is not None:
+        return _COMPILED
+    if _COMPILE_FAILED:
+        return None
+    try:
+        from numba import njit
+
+        # The helper must be a numba dispatcher before the kernel's
+        # lazy compile resolves the global; the wrapped version stays
+        # callable from plain Python, so the uncompiled twin still runs.
+        global _popcount64
+        if not hasattr(_popcount64, "py_func"):
+            _popcount64 = njit(inline="always")(_popcount64)
+        _COMPILED = njit(nogil=True)(stream_pass)
+    except Exception as exc:  # absent dependency or compile failure
+        _COMPILE_FAILED = True
+        warnings.warn(
+            f"numba split kernel unavailable ({type(exc).__name__}: {exc}); "
+            "falling back to the vectorized bitset pass",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return _COMPILED

@@ -55,11 +55,15 @@ class EDPConfig:
             within this many ticks.
         backend: candidate-set representation, mirroring
             :class:`~repro.core.set_splitting.SplitConfig.backend` —
-            ``"python"`` (reference frozensets) or ``"bitset"`` (packed
+            ``"python"`` (reference frozensets), ``"bitset"`` (packed
             rows from the store's shared
-            :class:`~repro.core.accel.ScenarioMatrix`); results are
-            identical, so the SS-vs-EDP comparisons stay fair under
-            either.
+            :class:`~repro.core.accel.ScenarioMatrix`, with the whole
+            greedy window scored as one batched AND + popcount), or
+            ``"auto"``/``"numba"`` (resolved via
+            :func:`repro.core.accel.resolve_backend`; EDP's windows
+            are a dozen rows, far below JIT pay-off, so both run the
+            batched bitset kernels).  Results are identical, so the
+            SS-vs-EDP comparisons stay fair under any backend.
     """
 
     seed: int = 0
@@ -82,11 +86,12 @@ class EDPConfig:
             raise ValueError(
                 f"min_gap_ticks must be non-negative, got {self.min_gap_ticks}"
             )
-        from repro.core.set_splitting import BACKENDS
+        from repro.core.set_splitting import CONFIGURABLE_BACKENDS
 
-        if self.backend not in BACKENDS:
+        if self.backend not in CONFIGURABLE_BACKENDS:
             raise ValueError(
-                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+                f"backend must be one of {CONFIGURABLE_BACKENDS}, "
+                f"got {self.backend!r}"
             )
 
 
@@ -151,6 +156,7 @@ class EDPMatcher:
         self.clock = clock if clock is not None else SimulatedClock()
         self._index: Optional[Dict[EID, List[ScenarioKey]]] = None
         self._universe: Optional[FrozenSet[EID]] = None
+        self._resolved_backend = self.config.backend
 
     def run(
         self,
@@ -173,6 +179,9 @@ class EDPMatcher:
                 f"targets not in universe: {sorted(e.index for e in missing)}"
             )
 
+        from repro.core.accel import resolve_backend
+
+        self._resolved_backend = resolve_backend(self.config.backend)
         result = EDPResult(targets=tuple(targets))
         seed_seq = np.random.SeedSequence(self.config.seed)
         children = seed_seq.spawn(len(targets))
@@ -213,7 +222,7 @@ class EDPMatcher:
         scenarios, inspects them all (charged to the E clock), and
         selects the one leaving the fewest candidates.
         """
-        if self.config.backend == "bitset":
+        if self._resolved_backend in ("bitset", "numba"):
             return self._filter_one_bitset(target, universe, rng)
         assert self._index is not None
         pool = list(self._index.get(target, ()))
@@ -283,25 +292,34 @@ class EDPMatcher:
             if budget is not None and len(evidence) >= budget:
                 break
             batch = pool[cursor : cursor + self.config.greedy_sample]
+            examined += len(batch)
+            self.clock.charge_e_scenarios(len(batch))
+            # Score the whole window at once: one broadcast AND and one
+            # popcount vector instead of a per-key loop.  The reference
+            # keeps the first strict improvement on ties, which is
+            # exactly argmin's first-minimum rule over the diverse keys
+            # in window order.
+            diverse = [k for k in batch if self._is_diverse(k, evidence)]
             best_key = None
-            best_left: Optional[np.ndarray] = None
-            best_count = 0
-            for key in batch:
-                examined += 1
-                self.clock.charge_e_scenarios(1)
-                if not self._is_diverse(key, evidence):
-                    continue
-                left = cand & matrix.allowed_row(key)[:words]
-                left_count = int(popcount(left))
-                if left_count < cand_count and (
-                    best_left is None or left_count < best_count
-                ):
-                    best_key, best_left, best_count = key, left, left_count
+            if diverse:
+                rows = np.stack(
+                    [matrix.allowed_row(key)[:words] for key in diverse]
+                )
+                left = cand & rows
+                counts = popcount(left)
+                improving = counts < cand_count
+                if improving.any():
+                    masked = np.where(
+                        improving, counts, np.iinfo(np.int64).max
+                    )
+                    j = int(np.argmin(masked))
+                    best_key = diverse[j]
+                    best_left = left[j]
+                    best_count = int(counts[j])
             if best_key is None:
                 cursor += len(batch)
                 continue
             pool.remove(best_key)
-            assert best_left is not None
             cand, cand_count, extras = best_left, best_count, frozenset()
             evidence.append(best_key)
         return evidence, matrix.interner.unpack(cand) | extras, examined

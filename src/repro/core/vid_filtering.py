@@ -77,6 +77,12 @@ class FilterConfig:
         membership_cache_bytes: byte budget for the pairwise
             membership-vector cache (quadratic in touched scenarios
             when unbounded); same ``None`` semantics.
+        batched_scoring: score a target's whole evidence block with one
+            stacked similarity matmul (see
+            :meth:`VIDFilter._match_one_block`) instead of pairwise
+            membership calls.  The default; ``False`` selects the
+            pairwise reference path, kept for equivalence tests and
+            as executable documentation of Eq. 1.
     """
 
     max_evidence: Optional[int] = None
@@ -85,6 +91,7 @@ class FilterConfig:
     exclusion_threshold: float = 0.62
     feature_cache_bytes: Optional[int] = None
     membership_cache_bytes: Optional[int] = None
+    batched_scoring: bool = True
 
     def __post_init__(self) -> None:
         if self.max_evidence is not None and self.max_evidence <= 0:
@@ -303,8 +310,13 @@ class VIDFilter:
             return MatchResult(
                 eid=eid, scenario_keys=(), chosen=(), scores=(), agreement=0.0
             )
+        inner = (
+            self._match_one_block
+            if self.config.batched_scoring
+            else self._match_one_inner
+        )
         with get_tracer().span("v.match_one", eid=eid.index, evidence=len(keys)):
-            result = self._match_one_inner(eid, keys, claimed)
+            result = inner(eid, keys, claimed)
         if log.enabled:
             best = result.best
             log.emit(
@@ -339,6 +351,69 @@ class VIDFilter:
                 self.clock.charge_comparisons(
                     len(scenario) * len(self.store.v_scenario(key_b))
                 )
+            if claimed:
+                score_vec = self._suppress_claimed(key_a, score_vec, claimed)
+            winner = int(np.argmax(score_vec))
+            chosen.append(scenario.detections[winner])
+            scores.append(float(score_vec[winner]))
+
+        agreement = self._agreement(chosen)
+        return MatchResult(
+            eid=eid,
+            scenario_keys=tuple(keys),
+            chosen=tuple(chosen),
+            scores=tuple(scores),
+            agreement=agreement,
+        )
+
+    def _match_one_block(
+        self,
+        eid: EID,
+        keys: List[ScenarioKey],
+        claimed: Optional[Sequence[np.ndarray]] = None,
+    ) -> MatchResult:
+        """:meth:`_match_one_inner` as one stacked similarity product.
+
+        All of the target's detections across its evidence block are
+        stacked into one feature matrix; a single gram matmul plus a
+        segmented ``maximum.reduceat`` yields every per-scenario best
+        similarity at once, replacing the K^2 pairwise
+        ``membership_vector`` calls.  A detection's similarity to its
+        own scenario's block is exactly ``1.0`` (self-similarity on
+        unit-norm features, and ``x * 1.0 == x`` exactly), so the
+        product over *all* block columns equals the reference's
+        product over the other scenarios and the per-scenario argmax
+        keeps the reference's first-wins tie-break.  Scores can differ
+        from the pairwise path in low-order bits — one big gram matmul
+        re-blocks the BLAS summation — so exact cross-path ties (e.g.
+        the symmetric two-scenario block) may resolve differently in
+        downstream argmaxes over *result* scores.  Comparison charges
+        stay per scenario pair, identical to the reference.
+        """
+        for key in keys:
+            self._ensure_extracted(key)
+        feats = [self._features_of(key) for key in keys]
+        lens = [f.shape[0] for f in feats]
+        for i, len_a in enumerate(lens):
+            for j, len_b in enumerate(lens):
+                if i != j:
+                    self.clock.charge_comparisons(len_a * len_b)
+
+        stacked = np.vstack(feats)
+        starts = np.zeros(len(keys), dtype=np.intp)
+        np.cumsum(lens[:-1], out=starts[1:])
+        gram = stacked @ stacked.T
+        sims = 1.0 - np.sqrt(np.clip(2.0 - 2.0 * gram, 0.0, None)) / 2.0
+        block_best = np.maximum.reduceat(sims, starts, axis=1)
+        # float64 accumulation, like the reference's running product.
+        scores_all = np.prod(block_best, axis=1, dtype=np.float64)
+
+        chosen: List[Detection] = []
+        scores: List[float] = []
+        for i, key_a in enumerate(keys):
+            scenario = self.store.v_scenario(key_a)
+            lo = int(starts[i])
+            score_vec = scores_all[lo: lo + lens[i]]
             if claimed:
                 score_vec = self._suppress_claimed(key_a, score_vec, claimed)
             winner = int(np.argmax(score_vec))

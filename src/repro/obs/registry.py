@@ -254,6 +254,28 @@ class Histogram(_Instrument):
             series.count += 1
             series.reservoir.append(value)
 
+    def observe_many(self, values: Iterable[float], **labels: str) -> None:
+        """Record a batch of observations under one lock acquisition.
+
+        Semantically identical to calling :meth:`observe` per value in
+        order (same buckets, sum, count, and reservoir tail) — the
+        batch form exists for hot paths that publish one value per
+        item, e.g. the E stage's per-target candidate-set sizes.
+        """
+        values = list(values)
+        if not values:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series_for(key)
+            counts = series.bucket_counts
+            buckets = self.buckets
+            for value in values:
+                counts[bisect_left(buckets, value)] += 1
+            series.sum += sum(values)
+            series.count += len(values)
+            series.reservoir.extend(values)
+
     def count(self, **labels: str) -> int:
         with self._lock:
             series = self._series.get(_label_key(labels))
@@ -326,6 +348,9 @@ class _NullGauge(Gauge):
 
 class _NullHistogram(Histogram):
     def observe(self, value: float, **labels: str) -> None:
+        pass
+
+    def observe_many(self, values: Iterable[float], **labels: str) -> None:
         pass
 
 

@@ -25,6 +25,12 @@ class EID:
 
     index: int
 
+    def __hash__(self) -> int:
+        # Hash the bare index: equal EIDs have equal indices, and this
+        # skips the generated hash's per-call field-tuple allocation —
+        # EIDs are dict/set keys throughout the matching hot paths.
+        return hash(self.index)
+
     @property
     def mac(self) -> str:
         """The identity rendered as a locally-administered MAC address."""

@@ -1,13 +1,25 @@
-"""Property tests pinning backend="bitset" byte-identical to the
-pure-Python reference across the E stage, the EDP baseline and the
-incremental matcher — including vague zones, the diversity rule, extra
-(unobserved) universe EIDs, and live ``ScenarioStore.add`` after the
-shared matrix was built."""
+"""Property tests pinning every installed kernel backend byte-identical
+to the pure-Python reference across the E stage, the EDP baseline and
+the incremental matcher — including vague zones, the diversity rule,
+extra (unobserved) universe EIDs, and live ``ScenarioStore.add`` syncs
+mid-run — plus the backend-resolution rules (``auto``, the numba
+fallback), the published accel gauges, the numba kernel's plain-Python
+twin, and the batched V-stage against its pairwise reference."""
 
+import warnings
+
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.accel import matrix_for
+from repro.core.accel import (
+    AUTO_BACKEND,
+    available_backends,
+    best_available_backend,
+    matrix_for,
+    numba_available,
+    resolve_backend,
+)
 from repro.core.edp import EDPConfig, EDPMatcher
 from repro.core.incremental import IncrementalMatcher
 from repro.core.set_splitting import SelectionStrategy, SetSplitter, SplitConfig
@@ -19,6 +31,10 @@ from repro.sensing.scenarios import (
     VScenario,
 )
 from repro.world.entities import EID
+
+#: Every backend this interpreter can run; "python" is always first,
+#: so INSTALLED[1:] are the accelerated ones to compare against it.
+INSTALLED = available_backends()
 
 
 def eids(*indices):
@@ -94,9 +110,8 @@ class TestSetSplitterEquivalence:
         if add_extra:
             universe = universe + [EID(99)]  # never observed: extras path
         targets = universe[:4]
-        results = {}
-        for backend in ("python", "bitset"):
-            results[backend] = run_split(
+        results = {
+            backend: run_split(
                 store,
                 targets,
                 universe,
@@ -106,7 +121,10 @@ class TestSetSplitterEquivalence:
                 treat_vague_as_inclusive=merge_vague,
                 backend=backend,
             )
-        assert_splits_equal(results["python"], results["bitset"])
+            for backend in INSTALLED
+        }
+        for backend in INSTALLED[1:]:
+            assert_splits_equal(results["python"], results[backend])
 
     @settings(max_examples=25, deadline=None)
     @given(
@@ -117,7 +135,7 @@ class TestSetSplitterEquivalence:
     )
     def test_equivalence_survives_live_store_add(self, entries, strategy):
         """Adding scenarios after the shared matrix was built must keep
-        both backends identical (the live-ingest path: matrix rows and
+        every backend identical (the live-ingest path: matrix rows and
         interner ids are appended, never rebuilt)."""
         store = build_store(entries)
         matrix = matrix_for(store)  # built against the initial store
@@ -128,9 +146,20 @@ class TestSetSplitterEquivalence:
         targets = universe[:4]
         kwargs = dict(strategy=strategy, min_gap_ticks=3)
         python = run_split(store, targets, universe, backend="python", **kwargs)
-        bitset = run_split(store, targets, universe, backend="bitset", **kwargs)
-        assert_splits_equal(python, bitset)
+        for backend in INSTALLED[1:]:
+            accel = run_split(store, targets, universe, backend=backend, **kwargs)
+            assert_splits_equal(python, accel)
         assert len(matrix) == pre_rows + 2  # synced, not rebuilt
+
+        # Another add *between* runs: the next run must sync again,
+        # mid-session, and stay equivalent with the grown universe.
+        store.add(make_scenario(6, 95, {0, 14}))
+        universe = sorted(store.eid_universe)
+        python = run_split(store, targets, universe, backend="python", **kwargs)
+        for backend in INSTALLED[1:]:
+            accel = run_split(store, targets, universe, backend=backend, **kwargs)
+            assert_splits_equal(python, accel)
+        assert len(matrix) == pre_rows + 3
 
     def test_max_scenarios_budget_equivalence(self):
         store = build_store(
@@ -175,7 +204,7 @@ class TestEDPEquivalence:
             universe = universe + [EID(99)]
         targets = universe[:4]
         results = {}
-        for backend in ("python", "bitset"):
+        for backend in INSTALLED:
             edp = EDPMatcher(
                 store,
                 EDPConfig(
@@ -186,10 +215,12 @@ class TestEDPEquivalence:
                 ),
             )
             results[backend] = edp.run(targets, universe=universe)
-        a, b = results["python"], results["bitset"]
-        assert a.evidence == b.evidence
-        assert a.candidates == b.candidates
-        assert a.scenarios_examined == b.scenarios_examined
+        a = results["python"]
+        for backend in INSTALLED[1:]:
+            b = results[backend]
+            assert a.evidence == b.evidence
+            assert a.candidates == b.candidates
+            assert a.scenarios_examined == b.scenarios_examined
 
 
 class TestIncrementalEquivalence:
@@ -204,7 +235,7 @@ class TestIncrementalEquivalence:
         universe = sorted(store.eid_universe)
         targets = universe[:4]
         states = {}
-        for backend in ("python", "bitset"):
+        for backend in INSTALLED:
             inc = IncrementalMatcher(
                 store,
                 universe,
@@ -225,4 +256,168 @@ class TestIncrementalEquivalence:
                     for t, em in inc.emissions.items()
                 },
             )
-        assert states["python"] == states["bitset"]
+        for backend in INSTALLED[1:]:
+            assert states["python"] == states[backend]
+
+
+class TestBackendResolution:
+    def test_auto_is_silent_and_picks_the_best(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend(AUTO_BACKEND) == best_available_backend()
+
+    def test_explicit_backends_resolve_to_themselves(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for backend in ("python", "bitset"):
+                assert resolve_backend(backend) == backend
+
+    @pytest.mark.skipif(
+        numba_available(), reason="numba installed: no fallback to test"
+    )
+    def test_missing_numba_degrades_to_bitset_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="numba"):
+            assert resolve_backend("numba") == "bitset"
+        assert best_available_backend() == "bitset"
+        assert "numba" not in INSTALLED
+
+    @pytest.mark.skipif(
+        not numba_available(), reason="numba not installed"
+    )
+    def test_numba_resolves_when_installed(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("numba") == "numba"
+        assert best_available_backend() == "numba"
+        assert "numba" in INSTALLED
+
+
+class TestAccelGauges:
+    def test_matrix_bytes_gauge_published(self):
+        from repro.obs import get_registry
+
+        store = build_store(
+            [({0, 1, 2}, {3}, 0, 0), ({1, 4}, set(), 1, 2)]
+        )
+        matrix = matrix_for(store)
+        matrix.sync()
+        text = get_registry().render_prometheus()
+        values = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("ev_accel_matrix_bytes ")
+        ]
+        assert values, "ev_accel_matrix_bytes gauge not published"
+        assert values[-1] == matrix.nbytes
+
+    def test_backend_info_gauge_published(self):
+        from repro.obs import get_registry
+
+        resolved = resolve_backend(AUTO_BACKEND)
+        text = get_registry().render_prometheus()
+        info_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("ev_accel_backend_info{")
+        ]
+        assert any(
+            f'backend="{resolved}"' in line and line.endswith(" 1")
+            for line in info_lines
+        )
+        presence = "present" if numba_available() else "absent"
+        assert any(f'numba="{presence}"' in line for line in info_lines)
+
+
+class TestNumbaTwinKernel:
+    """The JIT kernel's plain-Python twin is the compiled function's
+    executable specification: forcing the ``numba`` backend to run the
+    uncompiled twin must still reproduce the reference exactly (same
+    in-kernel diversity rule, budget, and singleton accounting)."""
+
+    # The SWAR popcount multiply wraps mod 2^64 by design; numpy warns
+    # about the overflow only when the twin runs uncompiled.
+    @pytest.mark.filterwarnings(
+        "ignore:overflow encountered:RuntimeWarning"
+    )
+    @settings(max_examples=20, deadline=None)
+    @given(
+        entries=scenario_entries,
+        strategy=st.sampled_from(
+            [SelectionStrategy.SEQUENTIAL, SelectionStrategy.GREEDY]
+        ),
+        gap=st.sampled_from([0, 3]),
+        merge_vague=st.booleans(),
+        budget=st.sampled_from([None, 2]),
+    )
+    def test_twin_kernel_equals_reference(
+        self, entries, strategy, gap, merge_vague, budget
+    ):
+        from repro.core import accel, accel_numba
+
+        store = build_store(entries)
+        universe = sorted(store.eid_universe)
+        targets = universe[:4]
+        kwargs = dict(
+            strategy=strategy,
+            min_gap_ticks=gap,
+            treat_vague_as_inclusive=merge_vague,
+            max_scenarios=budget,
+        )
+        python = run_split(store, targets, universe, backend="python", **kwargs)
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(accel, "numba_available", lambda: True)
+            mp.setattr(
+                accel_numba, "load_stream_pass",
+                lambda: accel_numba.stream_pass,
+            )
+            twin = run_split(
+                store, targets, universe, backend="numba", **kwargs
+            )
+        assert_splits_equal(python, twin)
+
+
+class TestVStageBatchedEquivalence:
+    """``FilterConfig(batched_scoring=True)`` — one stacked gram-matrix
+    product per target — against the pairwise reference path."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        from repro.datagen.config import ExperimentConfig
+        from repro.datagen.dataset import build_dataset
+
+        return build_dataset(
+            ExperimentConfig(
+                num_people=80,
+                cells_per_side=3,
+                duration=400.0,
+                seed=5,
+            )
+        )
+
+    def test_batched_equals_pairwise(self, dataset):
+        from repro.core.vid_filtering import FilterConfig, VIDFilter
+        from repro.metrics.timing import SimulatedClock
+
+        targets = list(dataset.sample_targets(12, seed=2))
+        split = SetSplitter(
+            dataset.store, SplitConfig(backend="bitset")
+        ).run(targets)
+        clock_ref, clock_batch = SimulatedClock(), SimulatedClock()
+        pairwise = VIDFilter(
+            dataset.store, FilterConfig(batched_scoring=False), clock_ref
+        ).match(split.evidence)
+        batched = VIDFilter(
+            dataset.store, FilterConfig(batched_scoring=True), clock_batch
+        ).match(split.evidence)
+        assert any(not pairwise[t].is_empty for t in targets)
+        for t in targets:
+            a, b = pairwise[t], batched[t]
+            assert a.scenario_keys == b.scenario_keys
+            assert a.chosen == b.chosen
+            assert a.agreement == b.agreement
+            np.testing.assert_allclose(
+                a.scores, b.scores, rtol=1e-5, atol=1e-12
+            )
+        # Identical simulated cost: the batched path charges the same
+        # per-pair comparison count as the reference loop.
+        assert clock_ref.comparisons == clock_batch.comparisons

@@ -124,6 +124,22 @@ class TestPercentileConvention:
             hist.observe(v)
         assert hist.percentile(50) == 2.0
 
+    def test_observe_many_matches_repeated_observe(self):
+        values = [0.03, 0.4, 7.0, 0.4, 120.0]
+        loop = Histogram("h_loop")
+        batch = Histogram("h_batch")
+        for v in values:
+            loop.observe(v, stage="e")
+        batch.observe_many(values, stage="e")
+        batch.observe_many([], stage="e")  # empty batch is a no-op
+        assert batch.count(stage="e") == loop.count(stage="e")
+        assert batch.sum(stage="e") == loop.sum(stage="e")
+        assert batch.samples(stage="e") == loop.samples(stage="e")
+        (key_a, series_a), = loop.series()
+        (key_b, series_b), = batch.series()
+        assert key_a == key_b
+        assert series_a.bucket_counts == series_b.bucket_counts
+
     def test_latency_histogram_matches(self):
         from repro.service.metrics import LatencyHistogram
 

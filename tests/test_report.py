@@ -40,60 +40,13 @@ def test_report_cli(tmp_path, capsys):
     assert out.exists()
 
 
-def test_report_shim_warns_and_reexports():
-    """The old module path warns but still exposes the same names."""
+def test_deprecated_shim_is_gone():
+    """`repro.bench.report` finished its deprecation cycle: the module
+    was deleted, so importing the old path fails cleanly instead of
+    warning forever."""
     import importlib
     import sys
 
     sys.modules.pop("repro.bench.report", None)
-    with pytest.warns(DeprecationWarning, match="repro.bench.reporting"):
-        shim = importlib.import_module("repro.bench.report")
-    import repro.bench.reporting as reporting
-
-    assert shim.generate_report is reporting.generate_report
-    assert shim.render_rows is reporting.render_rows
-    assert shim.REPORT_SECTIONS is reporting.REPORT_SECTIONS
-
-
-def test_package_never_imports_the_deprecated_shim():
-    """No internal module reaches `repro.bench.report` any more.
-
-    Imports every module in the package in a clean interpreter with
-    the shim's DeprecationWarning escalated to an error: if anything
-    inside the package still imports the old path, this fails loudly.
-    External users get the warning; the package itself must not.
-    """
-    import pkgutil
-    import subprocess
-    import sys
-    from pathlib import Path
-
-    import repro
-
-    modules = sorted(
-        name
-        for _finder, name, _ispkg in pkgutil.walk_packages(
-            repro.__path__, prefix="repro."
-        )
-        if not name.endswith("__main__")
-    )
-    assert "repro.bench.report" in modules  # the shim itself still ships
-    importable = [name for name in modules if name != "repro.bench.report"]
-    script = (
-        "import warnings\n"
-        "warnings.filterwarnings('error', message='repro.bench.report is "
-        "deprecated.*')\n"
-        "import importlib\n"
-        + "".join(f"importlib.import_module({name!r})\n" for name in importable)
-        + "print('CLEAN')\n"
-    )
-    src = Path(repro.__file__).resolve().parent.parent
-    result = subprocess.run(
-        [sys.executable, "-c", script],
-        capture_output=True,
-        text=True,
-        env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
-        timeout=300,
-    )
-    assert result.returncode == 0, result.stderr
-    assert "CLEAN" in result.stdout
+    with pytest.raises(ModuleNotFoundError):
+        importlib.import_module("repro.bench.report")
