@@ -15,6 +15,10 @@ replicated consistent-hash routing.  This demo:
 * kills a worker mid-run and watches the supervisor detect the crash,
   restart it with backoff, and replay the ingests it missed — no
   query fails along the way;
+* pulls the observability plane's view of all that: the last request's
+  merged gateway+worker Chrome trace (the ``trace`` verb) and the
+  cluster-wide federated metrics exposition (the ``metrics`` verb,
+  every worker series labelled ``worker="<id>"``);
 * drains the gateway for a graceful exit.
 
 Run:
@@ -35,13 +39,14 @@ from repro.cluster import (
     WorkerSpec,
 )
 from repro.datagen.io import save_dataset
-from repro.obs import EventLog, set_event_log
+from repro.obs import EventLog, Tracer, set_event_log, set_tracer
 from repro.service import LoadConfig, MatchRequest, ServiceConfig
 from repro.service.loadgen import run_load_socket
 
 
 def main() -> None:
     set_event_log(EventLog())
+    set_tracer(Tracer())  # real tracer → the gateway mints per-request traces
     workdir = Path(tempfile.mkdtemp(prefix="repro-cluster-demo-"))
 
     print("Building the world (150 people, 4x4 cells)...")
@@ -128,6 +133,30 @@ def main() -> None:
         if "cluster.health.ok" in seen:
             break
         time.sleep(0.1)
+
+    print("\nThe observability plane's view of the episode:")
+    # One merged Chrome trace for the last request: the gateway span,
+    # the router fan-out, and the worker's match/e.split/v.filter tree
+    # on a single wall-clock axis (open in chrome://tracing).
+    trace = client.merged_trace()
+    spans = [
+        e for e in trace["chrome"]["traceEvents"] if e.get("ph") == "X"
+    ]
+    processes = {e["pid"] for e in spans}
+    print(
+        f"  merged trace {trace['trace_id']}: {len(spans)} spans "
+        f"across {len(processes)} processes"
+    )
+    # The federated exposition: worker registries piggybacked on
+    # heartbeats, every series re-labelled worker="<id>", counters
+    # re-based across w0's restart so nothing went backward.
+    exposition = client.metrics_text()
+    federated = {
+        line.split('worker="', 1)[1].split('"', 1)[0]
+        for line in exposition.splitlines()
+        if 'worker="' in line and not line.startswith("#")
+    }
+    print(f"  federated metrics from workers: {sorted(federated)}")
 
     gateway.drain()
     supervisor.stop()

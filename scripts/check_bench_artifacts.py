@@ -16,12 +16,16 @@ Usage (after running the benchmarks)::
 
     python scripts/check_bench_artifacts.py [bench_file.py ...]
     python scripts/check_bench_artifacts.py --report sample_report.md
+    python scripts/check_bench_artifacts.py --chrome-trace trace.json
 
 With no positional arguments, every ``benchmarks/test_*.py`` that
 mentions a ``BENCH_*.json`` name is checked.  ``--report`` additionally
 validates a flight-recorder run report (``repro match --report`` /
 ``repro report --from-events``): the file must carry every pinned
-section heading.  Exit status 0 when everything passes.
+section heading.  ``--chrome-trace`` validates a merged cluster trace
+(the gateway's ``trace`` verb): Chrome trace-event JSON with complete
+spans from at least two processes, all under one trace id.  Exit
+status 0 when everything passes.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ BENCH_NAME = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
 #: remaining payload still satisfies the generic schema.
 REQUIRED_ENTRIES = {
     "BENCH_kernels.json": ("split", "split_65536", "filter"),
+    "BENCH_obs.json": ("overhead", "event_shipping"),
 }
 
 
@@ -114,6 +119,65 @@ def check_report(path: Path) -> int:
     return 1 if failures else 0
 
 
+def check_chrome_trace(path: Path) -> int:
+    """Validate a merged cluster Chrome trace artifact's schema.
+
+    The shape the ISSUE pins: ``traceEvents`` holding complete
+    (``ph == "X"``) spans from >= 2 distinct pids (gateway + at least
+    one worker), every span's args carrying the one shared trace id,
+    and every non-root parent id resolving inside the trace.
+    """
+    if not path.is_file():
+        print(f"MISSING chrome trace {path}")
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"INVALID chrome trace {path.name}: not JSON ({exc})")
+        return 1
+    failures = 0
+    spans = [
+        e for e in payload.get("traceEvents", ()) if e.get("ph") == "X"
+    ]
+    if not spans:
+        print(f"INVALID chrome trace {path.name}: no complete (ph=X) spans")
+        return 1
+    pids = {e.get("pid") for e in spans}
+    if len(pids) < 2:
+        print(
+            f"INVALID chrome trace {path.name}: spans from only "
+            f"{len(pids)} process(es); a merged cluster trace needs the "
+            "gateway plus at least one worker"
+        )
+        failures += 1
+    trace_ids = {e.get("args", {}).get("trace_id") for e in spans}
+    if len(trace_ids) != 1 or None in trace_ids:
+        print(
+            f"INVALID chrome trace {path.name}: expected one shared "
+            f"trace id, saw {sorted(map(str, trace_ids))}"
+        )
+        failures += 1
+    span_ids = {e.get("args", {}).get("span_id") for e in spans}
+    dangling = [
+        parent
+        for e in spans
+        if (parent := e.get("args", {}).get("parent_span_id")) is not None
+        and parent not in span_ids
+    ]
+    if dangling:
+        print(
+            f"INVALID chrome trace {path.name}: dangling parent span "
+            f"ids {sorted(set(dangling))}"
+        )
+        failures += 1
+    if not failures:
+        print(
+            f"ok      {path.name}: {len(spans)} spans across "
+            f"{len(pids)} processes, one trace id"
+        )
+    return 1 if failures else 0
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("sources", nargs="*", help="bench files to scan")
@@ -121,6 +185,11 @@ def main(argv) -> int:
         "--report",
         type=Path,
         help="also validate a run-report markdown file's sections",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        type=Path,
+        help="also validate a merged cluster Chrome trace artifact",
     )
     args = parser.parse_args(argv)
     if args.sources:
@@ -134,6 +203,8 @@ def main(argv) -> int:
     status = check(sources)
     if args.report is not None:
         status = max(status, check_report(args.report))
+    if args.chrome_trace is not None:
+        status = max(status, check_chrome_trace(args.chrome_trace))
     return status
 
 

@@ -202,7 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive a cluster over real sockets with the closed-loop "
         "load generator",
     )
-    for csub in (cserve, cloadtest):
+    ctrace = cluster_sub.add_parser(
+        "trace",
+        help="run traced requests against a fresh fleet and write the "
+        "merged gateway+worker Chrome trace (chrome://tracing)",
+    )
+    ctop = cluster_sub.add_parser(
+        "top",
+        help="live per-worker view of a running gateway: qps, p99, "
+        "backend, restarts, telemetry lag",
+    )
+    for csub in (cserve, cloadtest, ctrace):
         csub.add_argument(
             "--dataset", help="load a saved world instead of building"
         )
@@ -239,6 +249,27 @@ def build_parser() -> argparse.ArgumentParser:
     cserve.add_argument(
         "--port", type=int, default=0,
         help="gateway port (0 picks an ephemeral one)",
+    )
+    ctrace.add_argument(
+        "output", metavar="OUT.json",
+        help="where the merged Chrome trace is written",
+    )
+    ctrace.add_argument(
+        "--requests", type=int, default=1,
+        help="traced match requests to issue (the last one's trace is "
+        "written)",
+    )
+    ctop.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the running gateway to watch",
+    )
+    ctop.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes",
+    )
+    ctop.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after N refreshes (0 = until Ctrl-C)",
     )
     cserve.add_argument(
         "--serve-seconds", type=float, default=0.0,
@@ -872,11 +903,15 @@ def run_cluster_serve(args: argparse.Namespace, out=None) -> int:
     import time
 
     from repro.obs import EventLog, set_event_log
+    from repro.obs.tracing import Tracer, set_tracer
 
     # A live event log always runs under the gateway: it feeds the SSE
-    # stream; --events additionally mirrors it to a JSONL file.
+    # stream; --events additionally mirrors it to a JSONL file.  A real
+    # tracer makes every request's merged gateway+worker trace
+    # available on the ``trace`` verb.
     log = EventLog(sink=args.events) if args.events else EventLog()
     previous_log = set_event_log(log)
+    previous_tracer = set_tracer(Tracer())
     supervisor = gateway = None
     try:
         _dataset, supervisor, router, gateway = _cluster_stack(args, out)
@@ -888,7 +923,7 @@ def run_cluster_serve(args: argparse.Namespace, out=None) -> int:
         )
         print(
             "NDJSON verbs: match investigate ingest health stats metrics "
-            "ping events(SSE stream); Ctrl-C drains",
+            "trace ping events(SSE stream); Ctrl-C drains",
             file=out,
         )
         stop = threading.Event()
@@ -922,6 +957,7 @@ def run_cluster_serve(args: argparse.Namespace, out=None) -> int:
             supervisor.stop()
         log.close()
         set_event_log(previous_log)
+        set_tracer(previous_tracer)
 
 
 def gateway_requests(log) -> int:
@@ -999,11 +1035,154 @@ def run_cluster_loadtest(args: argparse.Namespace, out=None) -> int:
         set_event_log(previous_log)
 
 
+def run_cluster_trace(args: argparse.Namespace, out=None) -> int:
+    """``repro cluster trace OUT.json``: one merged cross-process trace.
+
+    Stands up a fresh fleet with tracing on, issues ``--requests``
+    traced match requests through the gateway, fetches the last
+    request's merged Chrome trace over the ``trace`` verb, and writes
+    it for chrome://tracing / Perfetto.
+    """
+    out = out if out is not None else sys.stdout
+    import json
+
+    from repro.cluster import GatewayClient
+    from repro.obs import EventLog, set_event_log
+    from repro.obs.tracing import Tracer, set_tracer
+
+    log = EventLog(sink=args.events) if args.events else EventLog()
+    previous_log = set_event_log(log)
+    previous_tracer = set_tracer(Tracer())
+    supervisor = gateway = None
+    try:
+        dataset, supervisor, _router, gateway = _cluster_stack(args, out)
+        with GatewayClient(gateway.host, gateway.port) as client:
+            for i in range(max(1, args.requests)):
+                targets = dataset.sample_targets(
+                    min(3, len(dataset.eids)), seed=args.seed + i
+                )
+                response = client.call(
+                    {
+                        "verb": "match",
+                        "targets": [eid.index for eid in targets],
+                        "algorithm": "ss",
+                    }
+                )
+                if response.get("status") != "ok":
+                    print(
+                        f"match failed: {response.get('error')}", file=out
+                    )
+                    return 1
+            trace = client.merged_trace()
+        chrome = trace["chrome"]
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(chrome, fh)
+        spans = [e for e in chrome["traceEvents"] if e.get("ph") == "X"]
+        processes = {e["pid"] for e in spans}
+        print(
+            f"wrote {args.output}: trace {trace['trace_id']}, "
+            f"{len(spans)} spans across {len(processes)} processes "
+            "(open in chrome://tracing)",
+            file=out,
+        )
+        return 0
+    finally:
+        if gateway is not None:
+            gateway.drain(timeout=5.0)
+        if supervisor is not None:
+            supervisor.stop()
+        log.close()
+        set_event_log(previous_log)
+        set_tracer(previous_tracer)
+
+
+def run_cluster_top(args: argparse.Namespace, out=None) -> int:
+    """``repro cluster top --connect HOST:PORT``: live fleet view.
+
+    Polls the gateway's ``stats`` verb (supervisor state + the
+    telemetry summaries the workers piggyback on heartbeats) and
+    renders one table per refresh; per-worker qps comes from request-
+    count deltas between refreshes.
+    """
+    out = out if out is not None else sys.stdout
+    import time
+
+    from repro.cluster import GatewayClient, GatewayError
+
+    host, _, port = args.connect.rpartition(":")
+    columns = (
+        "worker", "state", "backend", "restarts",
+        "qps", "p99_ms", "shed", "lag_s",
+    )
+    last_requests: Dict[str, float] = {}
+    last_ts: Optional[float] = None
+    refreshes = 0
+    try:
+        with GatewayClient(host or "127.0.0.1", int(port)) as client:
+            while True:
+                stats = client.stats()
+                now = time.monotonic()
+                workers = stats.get("workers", {})
+                summaries = stats.get("telemetry", {}).get("workers", {})
+                rows = []
+                total_qps = 0.0
+                for worker_id in sorted(workers):
+                    state = workers[worker_id]
+                    summary = summaries.get(worker_id, {})
+                    requests = float(summary.get("requests", 0) or 0)
+                    qps = 0.0
+                    if last_ts is not None and worker_id in last_requests:
+                        elapsed = now - last_ts
+                        if elapsed > 0:
+                            qps = max(
+                                0.0,
+                                (requests - last_requests[worker_id])
+                                / elapsed,
+                            )
+                    last_requests[worker_id] = requests
+                    total_qps += qps
+                    rows.append(
+                        {
+                            "worker": worker_id,
+                            "state": state.get("state", "?"),
+                            "backend": summary.get("backend", "?"),
+                            "restarts": state.get("restarts", 0),
+                            "qps": f"{qps:.1f}",
+                            "p99_ms": (
+                                f"{float(summary.get('p99_ms', 0.0)):.1f}"
+                            ),
+                            "shed": int(summary.get("shed", 0) or 0),
+                            "lag_s": (
+                                f"{float(summary.get('lag_s', 0.0)):.1f}"
+                            ),
+                        }
+                    )
+                last_ts = now
+                title = (
+                    f"cluster top — {args.connect}, "
+                    f"{len(rows)} workers, {total_qps:.1f} qps"
+                )
+                print(render_rows(title, columns, rows), file=out)
+                refreshes += 1
+                if args.iterations and refreshes >= args.iterations:
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except GatewayError as exc:
+        print(f"gateway unreachable: {exc}", file=out)
+        return 1
+
+
 def run_cluster(args: argparse.Namespace, out=None) -> int:
     if args.cluster_command == "serve":
         return run_cluster_serve(args, out)
     if args.cluster_command == "loadtest":
         return run_cluster_loadtest(args, out)
+    if args.cluster_command == "trace":
+        return run_cluster_trace(args, out)
+    if args.cluster_command == "top":
+        return run_cluster_top(args, out)
     raise AssertionError(
         f"unhandled cluster command {args.cluster_command!r}"
     )  # pragma: no cover

@@ -15,6 +15,9 @@ scales it across *processes* and puts it on the network:
 * :mod:`.gateway` — the asyncio NDJSON front door (``repro cluster
   serve``), including the SSE-style live event stream.
 * :mod:`.client` — the socket client the loadgen drives.
+* :mod:`.telemetry` — the gateway-side observability plane: federated
+  metrics with a ``worker`` label, merged cross-process Chrome traces,
+  and cluster-wide event ingestion.
 """
 
 from repro.cluster.hashring import DEFAULT_VNODES, HashRing, stable_hash
@@ -44,6 +47,11 @@ from repro.cluster.supervisor import (
     WorkerHandle,
 )
 from repro.cluster.router import READ_POLICIES, ClusterRouter
+from repro.cluster.telemetry import (
+    ClusterTelemetry,
+    MetricsFederation,
+    TraceCollector,
+)
 from repro.cluster.gateway import ClusterGateway
 from repro.cluster.client import GatewayClient, GatewayError
 
@@ -73,6 +81,9 @@ __all__ = [
     "WorkerHandle",
     "READ_POLICIES",
     "ClusterRouter",
+    "ClusterTelemetry",
+    "MetricsFederation",
+    "TraceCollector",
     "ClusterGateway",
     "GatewayClient",
     "GatewayError",

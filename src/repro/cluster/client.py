@@ -125,7 +125,27 @@ class GatewayClient:
         return self.call({"verb": "stats"})
 
     def metrics_text(self) -> str:
+        """The cluster-wide exposition (gateway + federated workers)."""
         return str(self.call({"verb": "metrics"}).get("text", ""))
+
+    def merged_trace(
+        self, trace_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """One merged Chrome trace (gateway + worker spans) as a dict.
+
+        Defaults to the most recent trace the gateway collected; raises
+        :class:`GatewayError` when the trace is unknown (or tracing is
+        off at the gateway).
+        """
+        message: Dict[str, Any] = {"verb": "trace"}
+        if trace_id is not None:
+            message["trace_id"] = trace_id
+        wire = self.call(message)
+        if wire.get("status") != "ok":
+            raise GatewayError(
+                f"trace fetch failed: {wire.get('error', wire)}"
+            )
+        return wire
 
     def ping(self) -> bool:
         return self.call({"verb": "ping"}).get("status") == "ok"

@@ -20,6 +20,13 @@ Responses always carry ``status`` (``ok`` / ``shed`` / ``error``) and
 the verb's payload.  ``ingest`` responses carry the *count* of
 watch-list emissions rather than the emission objects (their V-stage
 results do not round-trip, and no wire client consumes them).
+
+Telemetry keys are deliberately *not* part of the typed schema: the
+``"trace"`` request envelope and the ``"trace_id"``/``"spans"``
+response fields (see :mod:`repro.obs.tracing` and
+:mod:`repro.cluster.telemetry`) are read and written by the routing
+layer, and :func:`request_from_wire` / :func:`response_from_wire`
+simply ignore them — the dataclasses stay observability-free.
 """
 
 from __future__ import annotations

@@ -14,16 +14,32 @@ Verbs:
   :class:`~repro.service.health.HealthTracker` rolling SLO window.
 * ``health`` — the SLO verdict plus cluster availability
   (``workers_available`` / ``workers_total`` / ``degraded``).
-* ``stats`` — topology + routing + gateway counters snapshot.
-* ``metrics`` — the gateway process's Prometheus exposition
-  (``ev_cluster_*`` and everything else on the global registry).
+* ``stats`` — topology + routing + gateway counters snapshot, plus
+  per-worker telemetry summaries (qps inputs, percentiles, backend,
+  beat lag) from the :class:`~repro.cluster.telemetry.ClusterTelemetry`
+  plane — what ``repro cluster top`` polls.
+* ``metrics`` — the **cluster-wide** Prometheus exposition: the
+  gateway process's registry merged with every worker's federated
+  series (``worker``-labelled, restart re-based), family headers
+  deduped.
+* ``trace`` — one merged Chrome trace for a cluster request
+  (``trace_id`` option; defaults to the latest): gateway and worker
+  spans under a single trace id on one wall-clock axis.
 * ``ping`` — liveness.
 * ``events`` — switches the connection into an **SSE-style stream**:
   the gateway tails the process event log (the flight recorder) and
   pushes ``event:``/``data:`` frames as events happen — a live view of
-  worker crashes, restarts, fail-overs, shed requests.  Options:
+  worker crashes, restarts, fail-overs, shed requests, **plus events
+  shipped from the workers themselves** (tagged ``worker=<id>`` in
+  their fields, trace-correlated via ``trace_id``).  Options:
   ``types`` (filter list), ``max_events`` (close after N, for
   scripting), ``poll_s`` (tail cadence).
+
+When the process tracer is real (``set_tracer(Tracer())``), every
+data-plane request gets a ``trace_id`` minted at the gateway (or
+adopted from the client's own trace envelope), carried in every
+protocol hop, and answered with the id in the response — the merged
+trace is then one ``trace`` call away.
 
 **Graceful shutdown** (:meth:`ClusterGateway.drain`): stop accepting,
 answer new requests with ``shed``, wait for in-flight requests to
@@ -43,8 +59,18 @@ from repro.cluster import codec
 from repro.cluster.protocol import ProtocolError, decode_line, encode_line
 from repro.cluster.router import ClusterRouter
 from repro.cluster.supervisor import Supervisor
+from repro.cluster.telemetry import ClusterTelemetry
 from repro.obs import get_event_log, get_registry
 from repro.obs import events as ev
+from repro.obs.registry import merge_expositions
+from repro.obs.tracing import (
+    TraceContext,
+    Tracer,
+    extract_trace,
+    get_tracer,
+    inject_trace,
+    new_trace_id,
+)
 from repro.service.api import STATUS_ERROR, STATUS_OK, STATUS_SHED
 from repro.service.health import HealthTracker, SLOConfig
 
@@ -94,6 +120,15 @@ class ClusterGateway:
             thread_name_prefix="gateway-dispatch",
         )
         self._registry = get_registry()
+        # The observability plane: federates worker metrics, adopts
+        # shipped events, and collects distributed traces.  The router
+        # keeps its own collector if one was injected; otherwise it
+        # shares the telemetry plane's.
+        self.telemetry = ClusterTelemetry().attach(supervisor)
+        if self.router.trace_collector is None:
+            self.router.trace_collector = self.telemetry.traces
+        else:
+            self.telemetry.traces = self.router.trace_collector
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "ClusterGateway":
@@ -209,21 +244,52 @@ class ClusterGateway:
             "status": STATUS_OK,
             "workers": self.supervisor.describe(),
             "routing": self.router.describe(),
+            "telemetry": self.telemetry.describe(),
             "draining": self.draining,
         }
 
-    def _local_dispatch(self, verb: str) -> Dict[str, Any]:
+    def _trace_response(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        collector = self.router.trace_collector
+        if collector is None:
+            return codec.error_response("trace", "no trace collector")
+        trace_id = message.get("trace_id")
+        chrome = collector.chrome_trace(
+            str(trace_id) if trace_id else None
+        )
+        if chrome is None:
+            return codec.error_response(
+                "trace",
+                f"no such trace {trace_id!r}" if trace_id
+                else "no traces collected (is the gateway tracer enabled?)",
+            )
+        return {
+            "verb": "trace",
+            "status": STATUS_OK,
+            "trace_id": chrome["otherData"]["trace_id"],
+            "chrome": chrome,
+        }
+
+    def _local_dispatch(
+        self, verb: str, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
         if verb == "ping":
             return {"verb": "ping", "status": STATUS_OK, "port": self.port}
         if verb == "health":
             return self._health_response()
         if verb == "stats":
             return self._stats_response()
+        if verb == "trace":
+            return self._trace_response(message)
         if verb == "metrics":
+            # Cluster-wide: the gateway's own registry merged with the
+            # federated worker series, headers deduped by family.
             return {
                 "verb": "metrics",
                 "status": STATUS_OK,
-                "text": self._registry.render_prometheus(),
+                "text": merge_expositions([
+                    self._registry.render_prometheus(),
+                    self.telemetry.federation.render(),
+                ]),
             }
         return codec.error_response(verb, f"unknown verb {verb!r}")
 
@@ -277,9 +343,7 @@ class ClusterGateway:
                 with self._inflight_lock:
                     self._inflight += 1
                 try:
-                    response = await asyncio.get_event_loop().run_in_executor(
-                        self._executor, self.router.dispatch, message
-                    )
+                    response = await self._dispatch_data(verb, message)
                 except Exception as exc:
                     response = codec.error_response(
                         verb, f"{type(exc).__name__}: {exc}"
@@ -291,7 +355,7 @@ class ClusterGateway:
             status = str(response.get("status", STATUS_ERROR))
             self.health_tracker.record(status, latency)
         else:
-            response = self._local_dispatch(verb)
+            response = self._local_dispatch(verb, message)
             latency = time.perf_counter() - started
             status = str(response.get("status", STATUS_ERROR))
         self._registry.counter(
@@ -302,6 +366,46 @@ class ClusterGateway:
             "ev_cluster_gateway_latency_seconds",
             "Gateway-observed request latency, by verb",
         ).observe(latency, verb=verb)
+        return response
+
+    async def _dispatch_data(
+        self, verb: str, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Route one data-plane request through the dispatch pool,
+        wrapped in a ``gateway.request`` root span when tracing is on.
+
+        The gateway mints the ``trace_id`` (or adopts the client's, if
+        the incoming message already carried a trace envelope) and
+        injects ``TraceContext(trace_id, root span)`` into the message
+        — the router re-activates it on the pool thread, the workers
+        parent under it, and after the response lands the whole
+        gateway-side subtree is popped off the tracer and folded into
+        the trace collector next to the worker records.
+        """
+        loop = asyncio.get_event_loop()
+        tracer = get_tracer()
+        if not isinstance(tracer, Tracer):
+            return await loop.run_in_executor(
+                self._executor, self.router.dispatch, message
+            )
+        incoming = extract_trace(message)
+        trace_id = incoming.trace_id if incoming else new_trace_id()
+        root_ctx = TraceContext(
+            trace_id, incoming.parent_span_id if incoming else None
+        )
+        try:
+            with tracer.remote_context(root_ctx):
+                with tracer.span("gateway.request", verb=verb) as root:
+                    inject_trace(message, TraceContext(trace_id, root.span_id))
+                    response = await loop.run_in_executor(
+                        self._executor, self.router.dispatch, message
+                    )
+        finally:
+            records = tracer.span_records(tracer.take_trace(trace_id))
+            collector = self.router.trace_collector
+            if records and collector is not None:
+                collector.add_records(trace_id, records, label="gateway")
+        response["trace_id"] = trace_id
         return response
 
     # -- the SSE-style event stream --------------------------------------

@@ -18,6 +18,20 @@ Two byte-level protocols, both JSON payloads:
 Both sides treat any malformed input as :class:`ProtocolError` and
 close the connection — a confused peer must never be answered with a
 guess.
+
+Telemetry rides *inside* the JSON payloads rather than in the framing:
+
+* Traced requests carry a ``"trace"`` envelope
+  (:data:`repro.obs.tracing.TRACE_KEY`) — ``{"trace_id", "parent_span_id"}``
+  — which every hop forwards unchanged, and traced worker responses
+  return ``"trace_id"`` plus a ``"spans"`` list of completed span
+  records for the gateway to merge.
+* Worker heartbeat frames on the control pipe may carry a
+  ``"telemetry"`` object (metrics snapshot + shipped flight-recorder
+  events); see :mod:`repro.cluster.worker`.
+
+Decoders ignore keys they do not know, so mixed-version fleets where
+only some processes emit telemetry still interoperate.
 """
 
 from __future__ import annotations

@@ -40,15 +40,23 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.cluster.codec import error_response, routing_key
 from repro.cluster.hashring import DEFAULT_VNODES, HashRing
 from repro.cluster.supervisor import Supervisor, WorkerError
+from repro.cluster.telemetry import TraceCollector
 from repro.obs import get_event_log, get_registry, get_tracer
 from repro.obs import events as ev
+from repro.obs.tracing import extract_trace
 from repro.service.api import STATUS_OK
 
 #: Supported read policies.
 READ_POLICIES = ("first", "quorum")
 
-#: Serving metadata excluded from quorum payload comparison.
-_VOLATILE_FIELDS = ("latency_s", "cached", "deduplicated", "batched_with")
+#: Serving metadata excluded from quorum payload comparison.  The
+#: telemetry fields are identical across replicas of one traced
+#: request (the spans themselves are popped before the digest), but
+#: excluding them keeps quorum semantics independent of tracing.
+_VOLATILE_FIELDS = (
+    "latency_s", "cached", "deduplicated", "batched_with",
+    "trace_id", "spans",
+)
 
 
 def _payload_digest(response: Dict[str, Any]) -> str:
@@ -71,6 +79,11 @@ class ClusterRouter:
             answerable while one worker is down.
         read_policy: ``"first"`` or ``"quorum"``.
         vnodes: ring points per worker.
+        trace_collector: where worker span records returned with
+            traced responses are folded (every replica's on quorum
+            reads, every attempt's on failover).  ``None`` still strips
+            the records off responses; the gateway installs its
+            collector at startup.
     """
 
     def __init__(
@@ -79,6 +92,7 @@ class ClusterRouter:
         replication: int = 2,
         read_policy: str = "first",
         vnodes: int = DEFAULT_VNODES,
+        trace_collector: Optional[TraceCollector] = None,
     ) -> None:
         if replication <= 0:
             raise ValueError(f"replication must be positive, got {replication}")
@@ -94,6 +108,7 @@ class ClusterRouter:
         self._ingest_log: List[Dict[str, Any]] = []
         self._ingest_lock = threading.Lock()
         self._registry = get_registry()
+        self.trace_collector = trace_collector
         supervisor.on_worker_ready = self._replay_missed_ingests
 
     # -- metrics helpers -------------------------------------------------
@@ -127,16 +142,42 @@ class ClusterRouter:
         available = set(self.supervisor.available())
         return sorted(candidates, key=lambda wid: wid not in available)
 
+    def _harvest_spans(
+        self, response: Dict[str, Any], worker_id: str
+    ) -> None:
+        """Pop a worker response's span records into the collector.
+
+        Always strips ``"spans"`` (clients get the trace via the
+        gateway's ``trace`` verb, not inline), and must run before any
+        quorum digest so replica span records — which legitimately
+        differ per replica — cannot read as payload disagreement.
+        """
+        records = response.pop("spans", None)
+        trace_id = response.get("trace_id")
+        if records and trace_id and self.trace_collector is not None:
+            self.trace_collector.add_records(
+                str(trace_id), records, label=f"worker {worker_id}"
+            )
+
     def dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Route one wire request; returns the wire response."""
+        """Route one wire request; returns the wire response.
+
+        Runs on the gateway's dispatch pool, whose threads do not
+        inherit the request handler's contextvars — so the message's
+        own trace envelope (injected by the gateway) is re-activated
+        here, putting ``cluster.request`` and everything under it in
+        the request's trace.
+        """
         verb = str(message.get("verb", "?"))
-        with get_tracer().span("cluster.request", verb=verb):
-            if verb == "ingest":
-                response = self._dispatch_ingest(message)
-            elif self.read_policy == "quorum":
-                response = self._dispatch_quorum(message, verb)
-            else:
-                response = self._dispatch_first(message, verb)
+        tracer = get_tracer()
+        with tracer.remote_context(extract_trace(message)):
+            with tracer.span("cluster.request", verb=verb):
+                if verb == "ingest":
+                    response = self._dispatch_ingest(message)
+                elif self.read_policy == "quorum":
+                    response = self._dispatch_quorum(message, verb)
+                else:
+                    response = self._dispatch_first(message, verb)
         self._count(verb, str(response.get("status", "error")))
         return response
 
@@ -152,6 +193,7 @@ class ClusterRouter:
                 last_error = str(exc)
                 self._failover(verb, worker_id, last_error)
                 continue
+            self._harvest_spans(response, worker_id)
             response["worker"] = worker_id
             response["failovers"] = attempt
             return response
@@ -165,9 +207,12 @@ class ClusterRouter:
         for worker_id in self.replicas_for(message):
             handle = self.supervisor.worker(worker_id)
             try:
-                responses.append((worker_id, handle.request(message)))
+                response = handle.request(message)
             except WorkerError as exc:
                 self._failover(verb, worker_id, str(exc))
+                continue
+            self._harvest_spans(response, worker_id)
+            responses.append((worker_id, response))
         if not responses:
             return error_response(verb, "no replica available")
         votes: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
@@ -203,6 +248,7 @@ class ClusterRouter:
                 errors.append(f"{worker_id}: {exc}")
                 self._failover("ingest", worker_id, str(exc))
                 continue
+            self._harvest_spans(response, worker_id)
             if response.get("status") == STATUS_OK:
                 acked += 1
                 ingested = max(ingested, int(response.get("ingested", 0)))
@@ -247,6 +293,7 @@ class ClusterRouter:
             except WorkerError as exc:
                 self._failover("ingest.replay", worker_id, str(exc))
                 return
+        self._harvest_spans(response, worker_id)
         self._registry.counter(
             "ev_cluster_ingest_replayed_total",
             "Scenarios re-offered to restarted workers",

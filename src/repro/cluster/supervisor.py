@@ -33,8 +33,9 @@ import multiprocessing
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.cluster.protocol import recv_frame, send_frame
 from repro.cluster.worker import (
@@ -112,6 +113,10 @@ class WorkerHandle:
         self.last_heartbeat = 0.0
         self._pool: List[socket.socket] = []
         self._pool_lock = threading.Lock()
+        # Telemetry payloads piggybacked on heartbeats, drained by the
+        # supervisor's monitor loop.  Bounded: with no consumer (or a
+        # slow one) old beats fall off instead of growing the handle.
+        self._telemetry: Deque[Dict] = deque(maxlen=8)
 
     @property
     def worker_id(self) -> str:
@@ -175,11 +180,23 @@ class WorkerHandle:
                         )
                 elif kind == MSG_HEARTBEAT:
                     self.last_heartbeat = time.monotonic()
+                    telemetry = message.get("telemetry")
+                    if isinstance(telemetry, dict):
+                        self._telemetry.append(telemetry)
                 elif kind == MSG_STOPPED:
                     pass  # graceful exit acknowledged; is_alive soon false
         except (EOFError, OSError):
             pass  # pipe closed: the liveness check will catch it
         return became_ready
+
+    def take_telemetry(self) -> List[Dict]:
+        """Drain the buffered telemetry beats (oldest first)."""
+        drained: List[Dict] = []
+        while True:
+            try:
+                drained.append(self._telemetry.popleft())
+            except IndexError:
+                return drained
 
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
@@ -298,6 +315,11 @@ class Supervisor:
         on_worker_ready: called (from the monitor thread) with the
             worker id whenever a worker becomes ready *after a
             restart* — the router uses it to replay missed ingests.
+        on_telemetry: called (from the monitor thread) with
+            ``(worker_id, payload)`` for every telemetry beat a worker
+            piggybacks on its heartbeat — the gateway's
+            :class:`~repro.cluster.telemetry.ClusterTelemetry` hooks
+            this to federate metrics and adopt shipped events.
     """
 
     def __init__(
@@ -305,6 +327,7 @@ class Supervisor:
         specs: Sequence[WorkerSpec],
         config: Optional[SupervisorConfig] = None,
         on_worker_ready: Optional[Callable[[str], None]] = None,
+        on_telemetry: Optional[Callable[[str, Dict], None]] = None,
     ) -> None:
         if not specs:
             raise ValueError("supervisor needs at least one worker spec")
@@ -316,6 +339,7 @@ class Supervisor:
             spec.worker_id: WorkerHandle(spec, self.config) for spec in specs
         }
         self.on_worker_ready = on_worker_ready
+        self.on_telemetry = on_telemetry
         self._monitor: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._degraded = False
@@ -440,6 +464,12 @@ class Supervisor:
             if handle.state == STOPPED:
                 continue
             became_ready = handle.poll_control()
+            if self.on_telemetry is not None:
+                for payload in handle.take_telemetry():
+                    try:
+                        self.on_telemetry(handle.worker_id, payload)
+                    except Exception:
+                        pass  # telemetry must never take the monitor down
             if became_ready and handle.restarts > 0:
                 self._registry.counter(
                     "ev_cluster_worker_restarts_total",

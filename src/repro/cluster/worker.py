@@ -21,7 +21,22 @@ inherited locks).  Each worker:
 The control pipe carries exactly three child→parent message types —
 ``ready`` (with the bound port), ``heartbeat``, and ``stopped`` — and
 one parent→child type, ``shutdown``.  Everything else rides the data
-socket.
+socket.  Heartbeats periodically **piggyback a telemetry payload**
+(``WorkerSpec.telemetry_interval_s``): a cumulative
+``MetricsRegistry.export_state()`` snapshot, a bounded batch of
+flight-recorder events (shed-counting, never blocking the data
+plane — :class:`~repro.obs.events.EventShipper`), and a small summary
+(request counts, latency percentiles, backend) — the raw feed of the
+gateway's federated ``metrics`` / ``stats`` / SSE ``events`` verbs.
+
+Tracing: when a data-verb message carries a trace envelope
+(:func:`~repro.obs.tracing.extract_trace`), the worker opens its
+``worker.request`` root span under the remote parent, the service and
+pipeline spans nest beneath it, and the completed span records travel
+back in the response's ``"spans"`` field so the gateway can merge one
+cluster-wide Chrome trace.  Untraced requests still get a local trace
+id so their spans can be discarded after the response — the tracer's
+retained set stays bounded by in-flight work.
 
 Fault injection: the ``crash`` verb calls ``os._exit``, giving tests
 and the availability benchmark a deterministic way to kill a worker
@@ -45,6 +60,21 @@ from repro.cluster.protocol import (
     ProtocolError,
     recv_frame,
     send_frame,
+)
+from repro.obs.events import (
+    EventLog,
+    EventShipper,
+    get_event_log,
+    set_event_log,
+)
+from repro.obs.registry import get_registry
+from repro.obs.tracing import (
+    TraceContext,
+    Tracer,
+    extract_trace,
+    get_tracer,
+    new_trace_id,
+    set_tracer,
 )
 from repro.service.api import STATUS_OK, IngestTickResponse
 from repro.service.server import MatchService, ServiceConfig
@@ -76,6 +106,15 @@ class WorkerSpec:
         host: interface to bind the data socket on.
         heartbeat_interval_s: control-pipe heartbeat cadence.
         request_result_timeout_s: bound on one service future.
+        obs: stand up a real in-worker :class:`~repro.obs.EventLog` +
+            :class:`~repro.obs.Tracer` at startup (spawned children
+            start with the process-global no-ops).  Required for the
+            distributed observability plane; ``False`` keeps the
+            worker dark (telemetry beats then carry metrics only).
+        telemetry_interval_s: how often a heartbeat piggybacks a
+            telemetry payload; ``0`` disables telemetry entirely.
+        max_events_per_beat: flight-recorder events shipped per
+            telemetry beat at most; overflow is shed and counted.
     """
 
     worker_id: str
@@ -86,6 +125,9 @@ class WorkerSpec:
     host: str = "127.0.0.1"
     heartbeat_interval_s: float = 0.25
     request_result_timeout_s: float = 120.0
+    obs: bool = True
+    telemetry_interval_s: float = 1.0
+    max_events_per_beat: int = 256
 
     def __post_init__(self) -> None:
         if not self.worker_id:
@@ -98,6 +140,16 @@ class WorkerSpec:
             raise ValueError(
                 f"heartbeat_interval_s must be positive, "
                 f"got {self.heartbeat_interval_s}"
+            )
+        if self.telemetry_interval_s < 0:
+            raise ValueError(
+                f"telemetry_interval_s must be >= 0, "
+                f"got {self.telemetry_interval_s}"
+            )
+        if self.max_events_per_beat <= 0:
+            raise ValueError(
+                f"max_events_per_beat must be positive, "
+                f"got {self.max_events_per_beat}"
             )
 
 
@@ -189,6 +241,7 @@ class _WorkerServer:
         self.backend: str = "python"  # resolved in run()
         self._journal_lock = threading.Lock()
         self._send_lock = threading.Lock()
+        self._shipper: Optional[EventShipper] = None
 
     # -- control pipe ----------------------------------------------------
     def _control_send(self, message: Dict[str, Any]) -> None:
@@ -200,8 +253,69 @@ class _WorkerServer:
                 self.stop_event.set()
 
     def _heartbeat_loop(self) -> None:
+        telemetry_due = 0.0  # first eligible beat carries telemetry
         while not self.stop_event.wait(self.spec.heartbeat_interval_s):
-            self._control_send({"type": MSG_HEARTBEAT, "ts": time.time()})
+            message: Dict[str, Any] = {"type": MSG_HEARTBEAT, "ts": time.time()}
+            if (
+                self.spec.telemetry_interval_s > 0
+                and time.monotonic() >= telemetry_due
+            ):
+                try:
+                    message["telemetry"] = self._telemetry_payload()
+                except Exception:
+                    # Telemetry must never take the heartbeat (and with
+                    # it the worker) down.
+                    pass
+                telemetry_due = (
+                    time.monotonic() + self.spec.telemetry_interval_s
+                )
+            self._control_send(message)
+
+    def _telemetry_payload(self) -> Dict[str, Any]:
+        """One beat's worth of cumulative metrics + fresh events.
+
+        Metrics snapshots are cumulative within this process lifetime;
+        the supervisor-side federation re-bases across restarts using
+        ``pid`` as the generation marker.
+        """
+        states = [get_registry().export_state()]
+        summary: Dict[str, Any] = {
+            "backend": self.backend,
+            "scenarios": 0,
+        }
+        if self.service is not None:
+            states.append(self.service.metrics.registry.export_state())
+            summary["scenarios"] = len(self.service.store)
+            metrics = self.service.metrics
+            summary["requests"] = metrics.requests.total()
+            outcomes = {"ok": 0.0, "shed": 0.0, "error": 0.0}
+            for key, value in metrics.responses.series():
+                outcome = dict(key).get("outcome", "error")
+                outcomes[outcome] = outcomes.get(outcome, 0.0) + value
+            summary.update(
+                ok=outcomes["ok"], shed=outcomes["shed"],
+                errors=outcomes["error"],
+            )
+            latency = metrics.latency.percentiles(endpoint="match")
+            summary.update(
+                p50_ms=latency["p50"] * 1e3,
+                p95_ms=latency["p95"] * 1e3,
+                p99_ms=latency["p99"] * 1e3,
+            )
+        events: list = []
+        events_dropped = 0
+        if self._shipper is not None:
+            events, events_dropped = self._shipper.collect()
+        return {
+            "pid": os.getpid(),
+            "backend": self.backend,
+            "metrics": {"metrics": [
+                m for state in states for m in state["metrics"]
+            ]},
+            "events": events,
+            "events_dropped": events_dropped,
+            "summary": summary,
+        }
 
     def _control_loop(self) -> None:
         while not self.stop_event.is_set():
@@ -278,15 +392,43 @@ class _WorkerServer:
             wire = codec.response_to_wire(self.service.health())
             wire["worker"] = self.spec.worker_id
             return wire
+        if verb in ("ingest", "match", "investigate"):
+            return self._handle_data(message, verb)
+        raise codec.CodecError(f"unknown verb {verb!r}")
+
+    def _dispatch_data(self, message: Dict[str, Any], verb: str) -> Dict[str, Any]:
         if verb == "ingest":
             return self._handle_ingest(message)
-        if verb in ("match", "investigate"):
-            request = codec.request_from_wire(message)
-            response = self.service.submit(request).result(
-                timeout=self.spec.request_result_timeout_s
-            )
-            return codec.response_to_wire(response)
-        raise codec.CodecError(f"unknown verb {verb!r}")
+        request = codec.request_from_wire(message)
+        response = self.service.submit(request).result(
+            timeout=self.spec.request_result_timeout_s
+        )
+        return codec.response_to_wire(response)
+
+    def _handle_data(self, message: Dict[str, Any], verb: str) -> Dict[str, Any]:
+        """A data verb under a ``worker.request`` root span.
+
+        When the message carries a trace envelope the span tree adopts
+        the remote trace id + parent and the finished records ride back
+        in the response.  Untraced requests get a throwaway local trace
+        id so their spans can still be popped off the tracer — a
+        long-running worker's span retention stays bounded either way.
+        """
+        tracer = get_tracer()
+        if not isinstance(tracer, Tracer):
+            return self._dispatch_data(message, verb)
+        remote = extract_trace(message)
+        local = remote if remote is not None else TraceContext(new_trace_id())
+        with tracer.remote_context(local):
+            with tracer.span(
+                "worker.request", verb=verb, worker=self.spec.worker_id
+            ):
+                response = self._dispatch_data(message, verb)
+        spans = tracer.take_trace(local.trace_id)
+        if remote is not None:
+            response["trace_id"] = remote.trace_id
+            response["spans"] = tracer.span_records(spans)
+        return response
 
     def _connection_loop(self, sock: socket.socket) -> None:
         try:
@@ -318,6 +460,19 @@ class _WorkerServer:
 
     # -- lifecycle -------------------------------------------------------
     def run(self) -> None:
+        if self.spec.obs:
+            # Spawned children start with the global no-ops; a real log
+            # + tracer here is what the telemetry beats and returned
+            # span records feed from.
+            log = get_event_log()
+            if not log.enabled:
+                log = EventLog()
+                set_event_log(log)
+            if not isinstance(get_tracer(), Tracer):
+                set_tracer(Tracer())
+            self._shipper = EventShipper(
+                log, max_per_collect=self.spec.max_events_per_beat
+            )
         service, reloaded, self.backend = _build_service(self.spec)
         self.service = service.start()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)

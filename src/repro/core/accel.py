@@ -103,9 +103,17 @@ def popcount(
 
 
 # -- backend resolution ------------------------------------------------
+#: Cached result of the numba probe — ``find_spec`` walks sys.path, far
+#: too slow for resolve_backend's place on the per-match path.
+_NUMBA_AVAILABLE: Optional[bool] = None
+
+
 def numba_available() -> bool:
     """Whether the optional numba dependency is importable."""
-    return importlib.util.find_spec("numba") is not None
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        _NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+    return _NUMBA_AVAILABLE
 
 
 def available_backends() -> Tuple[str, ...]:

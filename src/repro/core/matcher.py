@@ -30,6 +30,7 @@ from repro.obs import (
     ProvenanceRecord,
     get_registry,
     get_tracer,
+    provenance_evidence_listening,
     provenance_listening,
     record_provenance,
 )
@@ -250,6 +251,7 @@ def provenance_of(
     results: Mapping[EID, MatchResult],
     store: Optional[ScenarioStore] = None,
     candidates: Optional[Mapping[EID, int]] = None,
+    include_evidence: bool = True,
 ) -> Tuple[ProvenanceRecord, ...]:
     """Build per-match "why this EID→VID" records from V-stage results.
 
@@ -258,6 +260,11 @@ def provenance_of(
     the argmax of ``scores`` is the predicted VID and the runners-up
     show how contested the decision was.  ``candidates`` carries the
     E stage's final candidate-set sizes when the caller has them.
+
+    ``include_evidence=False`` skips the per-scenario evidence list
+    (see :func:`repro.obs.provenance_evidence_listening`) — the
+    serving path's records keep the decision (prediction, agreement,
+    scores) without the per-scenario audit detail.
     """
     records = []
     for eid in sorted(results.keys()):
@@ -273,6 +280,8 @@ def provenance_of(
         evidence = []
         for i, key in enumerate(
             result.scenario_keys[:MAX_PROVENANCE_EVIDENCE]
+            if include_evidence
+            else ()
         ):
             chosen = result.chosen[i] if i < len(result.chosen) else None
             detections = (
@@ -335,6 +344,7 @@ def _record_report(
                 report.results,
                 store=store,
                 candidates=candidates,
+                include_evidence=provenance_evidence_listening(),
             )
         )
 

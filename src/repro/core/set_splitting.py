@@ -317,14 +317,17 @@ class SetSplitter:
             )
             if log.enabled:
                 distinguished = result.distinguished
-                for target in result.targets:
-                    if target in distinguished:
-                        log.emit(
-                            ev.E_TARGET_DISTINGUISHED,
-                            eid=target.index,
-                            mac=target.mac,
-                            evidence=len(result.evidence.get(target, ())),
-                        )
+                if log.debug:
+                    for target in result.targets:
+                        if target in distinguished:
+                            log.emit(
+                                ev.E_TARGET_DISTINGUISHED,
+                                eid=target.index,
+                                mac=target.mac,
+                                evidence=len(
+                                    result.evidence.get(target, ())
+                                ),
+                            )
                 log.emit(
                     ev.E_SPLIT_CONVERGED,
                     backend=backend,
@@ -485,7 +488,7 @@ class SetSplitter:
             return
         result.recorded.extend(key for key, _helped in applied)
         log = get_event_log()
-        if log.enabled:
+        if log.debug:
             for key, helped in applied:
                 log.emit(
                     ev.E_SCENARIO_SELECTED,
@@ -542,7 +545,7 @@ class SetSplitter:
                 result.evidence[target].append(key)
                 diversity.record(target, key)
             log = get_event_log()
-            if log.enabled:
+            if log.debug:
                 log.emit(
                     ev.E_SCENARIO_SELECTED,
                     cell_id=key.cell_id,
@@ -618,7 +621,7 @@ class SetSplitter:
             if len(candidates[target]) == 1:
                 active.discard(target)
         log = get_event_log()
-        if log.enabled:
+        if log.debug:
             log.emit(
                 ev.E_SCENARIO_SELECTED,
                 cell_id=key.cell_id,

@@ -298,7 +298,7 @@ class VIDFilter:
         keys = self._usable_keys(scenario_keys, eid=eid)
         log = get_event_log()
         if not keys:
-            if log.enabled:
+            if log.debug:
                 log.emit(
                     ev.V_MATCH_DECIDED,
                     eid=eid.index,
@@ -317,7 +317,7 @@ class VIDFilter:
         )
         with get_tracer().span("v.match_one", eid=eid.index, evidence=len(keys)):
             result = inner(eid, keys, claimed)
-        if log.enabled:
+        if log.debug:
             best = result.best
             log.emit(
                 ev.V_MATCH_DECIDED,
@@ -507,7 +507,7 @@ class VIDFilter:
             seen.add(key)
             if len(self.store.v_scenario(key)) > 0:
                 keys.append(key)
-            elif log.enabled:
+            elif log.debug:
                 log.emit(
                     ev.V_SCENARIO_DROPPED,
                     eid=None if eid is None else eid.index,

@@ -28,7 +28,9 @@ metric / span / event catalogues live in ``docs/architecture.md``
 
 from repro.obs.events import (
     EVENT_TYPES,
+    EVENTS_DROPPED_METRIC,
     EventLog,
+    EventShipper,
     NullEventLog,
     get_event_log,
     load_events,
@@ -42,6 +44,7 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    merge_expositions,
     nearest_rank,
     null_registry,
     set_registry,
@@ -59,6 +62,7 @@ from repro.obs.runs import (
     RunContext,
     get_run_context,
     new_run_context,
+    provenance_evidence_listening,
     provenance_listening,
     record_provenance,
     set_run_context,
@@ -66,8 +70,12 @@ from repro.obs.runs import (
 from repro.obs.tracing import (
     NullTracer,
     Span,
+    TraceContext,
     Tracer,
+    extract_trace,
     get_tracer,
+    inject_trace,
+    new_trace_id,
     null_tracer,
     set_tracer,
     traced,
@@ -77,7 +85,9 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "EVENT_TYPES",
+    "EVENTS_DROPPED_METRIC",
     "EventLog",
+    "EventShipper",
     "EvidenceItem",
     "Gauge",
     "Histogram",
@@ -88,19 +98,25 @@ __all__ = [
     "RUN_REPORT_SECTIONS",
     "RunContext",
     "Span",
+    "TraceContext",
     "Tracer",
+    "extract_trace",
     "get_event_log",
     "get_registry",
     "get_run_context",
     "get_tracer",
+    "inject_trace",
     "load_events",
     "load_run_records",
     "markdown_table",
+    "merge_expositions",
     "nearest_rank",
     "new_run_context",
+    "new_trace_id",
     "null_event_log",
     "null_registry",
     "null_tracer",
+    "provenance_evidence_listening",
     "provenance_listening",
     "record_provenance",
     "render_report_from_events",

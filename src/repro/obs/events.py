@@ -20,6 +20,9 @@ Every event carries:
 * ``span_id`` — the innermost open span's id on the emitting thread
   (``None`` when tracing is off), which is what lets a report join the
   event timeline against the span tree;
+* ``trace_id`` — the distributed trace the open span belongs to
+  (``None`` outside a traced cluster request), correlating events
+  across processes;
 * ``fields`` — the event type's own payload.
 
 Retention is a bounded ring buffer (old events fall off; a universal
@@ -29,6 +32,15 @@ process default is a shared :class:`NullEventLog` whose ``emit`` is a
 no-op, so instrumented hot paths pay one method call when the recorder
 is off; hot loops additionally guard bulk emission on
 :attr:`EventLog.enabled`.
+
+Two verbosity levels bound the recorder's data-plane cost.  The
+default ``level="info"`` records every decision-point event; the
+per-item chatter inside the matcher's hot loops (one event per
+selected scenario, per distinguished target, per dropped scenario) is
+**debug**-level — call sites guard it on :attr:`EventLog.debug`, and
+its aggregate totals still arrive at info level via
+``e.split.converged`` and ``v.match.decided``.  Pass
+``EventLog(level="debug")`` to record everything.
 """
 
 from __future__ import annotations
@@ -38,10 +50,22 @@ import json
 import threading
 import time
 from collections import deque
-from typing import IO, Any, Deque, Dict, List, Optional, Union
+from typing import IO, Any, Deque, Dict, List, Optional, Tuple, Union
+
+from repro.obs.registry import get_registry
+from repro.obs.tracing import get_tracer
+
+#: Lazily bound ``repro.obs.runs.get_run_context`` (that module imports
+#: this one, so a top-level import would be circular).
+_get_run_context = None
 
 #: Default ring-buffer capacity.
 DEFAULT_CAPACITY = 4096
+
+#: Counter (on the process-global registry) of ring overwrites of
+#: unread events — bounded retention means telemetry loss under
+#: saturation, and operators need that loss to be *visible*.
+EVENTS_DROPPED_METRIC = "ev_obs_events_dropped_total"
 
 #: The event-type catalogue (documented in ``docs/architecture.md``).
 #: E stage (set splitting / refining):
@@ -137,14 +161,22 @@ EVENT_TYPES = (
 
 _seq = itertools.count(1)
 
+#: Exact-type fast path for :func:`_jsonable` — ``emit`` sits on the
+#: matcher's per-scenario hot loop, and almost every field is already a
+#: plain scalar.  Subclasses (numpy scalars, enums) take the slow path.
+_SCALARS = (str, int, float, bool, type(None))
+
 
 def _jsonable(value: Any) -> Any:
-    if isinstance(value, (str, int, float, bool)) or value is None:
+    if value.__class__ in _SCALARS or isinstance(value, (str, int, float, bool)):
         return value
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        return {
+            str(k): v if v.__class__ in _SCALARS else _jsonable(v)
+            for k, v in value.items()
+        }
     if isinstance(value, (list, tuple, set, frozenset)):
-        return [_jsonable(v) for v in value]
+        return [v if v.__class__ in _SCALARS else _jsonable(v) for v in value]
     return str(value)
 
 
@@ -156,6 +188,8 @@ class EventLog:
         sink: a path (opened for append-less write) or an open text
             stream to mirror every event into, one JSON object per
             line.  ``None`` keeps events in memory only.
+        level: ``"info"`` (default) skips the matcher's per-item
+            debug chatter; ``"debug"`` records everything.
     """
 
     enabled = True
@@ -164,14 +198,24 @@ class EventLog:
         self,
         capacity: int = DEFAULT_CAPACITY,
         sink: Optional[Union[str, IO[str]]] = None,
+        level: str = "info",
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if level not in ("info", "debug"):
+            raise ValueError(
+                f"level must be 'info' or 'debug', got {level!r}"
+            )
         self.capacity = capacity
+        #: Hot loops guard per-item emission on this flag (see module
+        #: docstring); a plain bool so the guard costs one attribute
+        #: read.
+        self.debug = level == "debug"
         self._lock = threading.Lock()
         self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
         self._emitted = 0
         self._dropped = 0
+        self._drop_counter: Optional[tuple] = None
         self._sink: Optional[IO[str]] = None
         self._owns_sink = False
         if isinstance(sink, str):
@@ -183,27 +227,83 @@ class EventLog:
     # -- recording -------------------------------------------------------
     def emit(self, type: str, **fields: Any) -> Dict[str, Any]:
         """Record one event, correlating it to the active run + span."""
-        from repro.obs.runs import get_run_context
-        from repro.obs.tracing import get_tracer
+        # Lazy import (``runs`` imports this module) cached in a
+        # module global: emit is the flight recorder's hot path.
+        global _get_run_context
+        if _get_run_context is None:
+            from repro.obs.runs import get_run_context as _get_run_context
 
-        context = get_run_context()
+        context = _get_run_context()
         span = get_tracer().current_span()
+        # ``fields`` is this call's own kwargs dict, so it can be kept
+        # by reference; only non-scalar values need converting.
+        for key, value in fields.items():
+            if value.__class__ not in _SCALARS:
+                fields[key] = _jsonable(value)
         event: Dict[str, Any] = {
             "seq": next(_seq),
             "ts": time.time(),
             "type": type,
             "run_id": context.run_id if context is not None else "",
-            "span_id": getattr(span, "span_id", None),
-            "fields": {k: _jsonable(v) for k, v in fields.items()},
+            "span_id": span.span_id if span is not None else None,
+            "trace_id": span.trace_id if span is not None else None,
+            "fields": fields,
         }
+        self._append(event)
+        return event
+
+    def ingest(self, event: Dict[str, Any], **extra: Any) -> Dict[str, Any]:
+        """Adopt an event recorded in *another* process (cluster event
+        shipping): the original ``ts`` / ``type`` / ``run_id`` /
+        ``span_id`` / ``trace_id`` / ``fields`` are preserved, a fresh
+        local ``seq`` keeps this log totally ordered, the remote
+        sequence number is kept as ``origin_seq``, and any ``extra``
+        fields (e.g. ``worker="w0"``) are merged into ``fields``.
+        """
+        adopted: Dict[str, Any] = {
+            "seq": next(_seq),
+            "ts": float(event.get("ts", time.time())),
+            "type": str(event.get("type", "?")),
+            "run_id": str(event.get("run_id", "")),
+            "span_id": event.get("span_id"),
+            "trace_id": event.get("trace_id"),
+            "origin_seq": event.get("seq"),
+            "fields": dict(event.get("fields") or {}),
+        }
+        if extra:
+            adopted["fields"].update(
+                {k: _jsonable(v) for k, v in extra.items()}
+            )
+        self._append(adopted)
+        return adopted
+
+    def _append(self, event: Dict[str, Any]) -> None:
         with self._lock:
-            if len(self._ring) == self.capacity:
+            overwrote = len(self._ring) == self.capacity
+            if overwrote:
                 self._dropped += 1
             self._ring.append(event)
             self._emitted += 1
             if self._sink is not None:
                 self._sink.write(json.dumps(event) + "\n")
-        return event
+        if overwrote:
+            # Outside the ring lock: the registry has its own locking
+            # and must never serialize against event emission.  A
+            # long-lived worker emits every event into a wrapped ring,
+            # so the counter handle is cached per registry instead of
+            # re-resolved per overwrite.
+            registry = get_registry()
+            cached = self._drop_counter
+            if cached is None or cached[0] is not registry:
+                cached = (
+                    registry,
+                    registry.counter(
+                        EVENTS_DROPPED_METRIC,
+                        "Flight-recorder ring overwrites of unread events",
+                    ),
+                )
+                self._drop_counter = cached
+            cached[1].inc()
 
     # -- reading ---------------------------------------------------------
     def events(self, type: Optional[str] = None) -> List[Dict[str, Any]]:
@@ -250,9 +350,13 @@ class NullEventLog:
     """The zero-overhead recorder: accepts every emit, retains nothing."""
 
     enabled = False
+    debug = False
     capacity = 0
 
     def emit(self, type: str, **fields: Any) -> None:
+        return None
+
+    def ingest(self, event: Dict[str, Any], **extra: Any) -> None:
         return None
 
     def events(self, type: Optional[str] = None) -> List[Dict[str, Any]]:
@@ -293,6 +397,62 @@ def set_event_log(log: "EventLog | NullEventLog") -> "EventLog | NullEventLog":
 def null_event_log() -> NullEventLog:
     """The shared no-op event log."""
     return _NULL_EVENT_LOG
+
+
+class EventShipper:
+    """Bounded, loss-counting forwarding of a ring's events.
+
+    The cluster's workers ship flight-recorder events to the gateway on
+    heartbeats.  Shipping must **never** block or slow the data plane,
+    so each :meth:`collect` is a snapshot-and-diff against the bounded
+    ring: at most ``max_per_collect`` fresh events are returned, and
+    everything lost — events that fell off the ring between collects
+    (detected by sequence-number gaps) plus events over the per-collect
+    cap (oldest shed first) — is *counted*, not silently skipped.
+
+    One shipper per log.  Sequence numbers are process-monotone across
+    logs, so gap detection assumes this log is the only one emitting in
+    its process (true for cluster workers).
+    """
+
+    def __init__(
+        self,
+        log: "EventLog | NullEventLog",
+        max_per_collect: int = 256,
+    ) -> None:
+        if max_per_collect <= 0:
+            raise ValueError(
+                f"max_per_collect must be positive, got {max_per_collect}"
+            )
+        self.log = log
+        self.max_per_collect = max_per_collect
+        self.shipped = 0
+        self.dropped = 0
+        self._last_seq = 0
+        self._primed = False
+
+    def collect(self) -> Tuple[List[Dict[str, Any]], int]:
+        """``(fresh events, dropped count)`` since the last collect.
+
+        The first collect primes the cursor on the ring's current tail
+        without counting pre-existing ring falloff as shipping loss.
+        """
+        retained = self.log.events()
+        fresh = [e for e in retained if e["seq"] > self._last_seq]
+        dropped = 0
+        if fresh and self._primed and fresh[0]["seq"] > self._last_seq + 1:
+            # Events between the cursor and the oldest retained one
+            # fell off the ring before we saw them.
+            dropped += fresh[0]["seq"] - self._last_seq - 1
+        if len(fresh) > self.max_per_collect:
+            dropped += len(fresh) - self.max_per_collect
+            fresh = fresh[-self.max_per_collect:]
+        if fresh:
+            self._last_seq = fresh[-1]["seq"]
+        self._primed = True
+        self.shipped += len(fresh)
+        self.dropped += dropped
+        return fresh, dropped
 
 
 def load_events(path: str) -> List[Dict[str, Any]]:

@@ -441,6 +441,105 @@ class MetricsRegistry:
             lines.extend(instrument.render())
         return "\n".join(lines) + ("\n" if lines else "")
 
+    def export_state(self) -> Dict[str, Any]:
+        """A JSON-able snapshot of every instrument's full state.
+
+        The wire shape behind cluster metrics federation: workers ship
+        this on heartbeats and the gateway re-bases + re-labels it.
+        Counters/gauges export ``[labels, value]`` pairs; histograms
+        export per-bucket counts plus sum/count (the percentile
+        reservoir stays local — exact percentiles do not merge).
+        """
+        with self._lock:
+            instruments = [
+                self._instruments[name] for name in sorted(self._instruments)
+            ]
+        metrics: List[Dict[str, Any]] = []
+        for instrument in instruments:
+            entry: Dict[str, Any] = {
+                "name": instrument.name,
+                "kind": instrument.kind,
+                "help": instrument.help,
+            }
+            if isinstance(instrument, Histogram):
+                entry["buckets"] = list(instrument.buckets)
+                entry["series"] = [
+                    [
+                        [list(pair) for pair in key],
+                        {
+                            "bucket_counts": list(state.bucket_counts),
+                            "sum": state.sum,
+                            "count": state.count,
+                        },
+                    ]
+                    for key, state in instrument.series()
+                ]
+            else:
+                entry["series"] = [
+                    [[list(pair) for pair in key], value]
+                    for key, value in instrument.series()
+                ]
+            metrics.append(entry)
+        return {"metrics": metrics}
+
+
+def merge_expositions(texts: Iterable[str]) -> str:
+    """Merge Prometheus text expositions, deduping family headers.
+
+    Concatenating registries repeats ``# HELP`` / ``# TYPE`` lines for
+    any family present in more than one source (the service registry
+    and the global registry both render ``ev_*`` families; federated
+    worker expositions repeat every family per worker).  This re-groups
+    samples by family, emits each family's headers exactly once (first
+    source wins), and preserves first-seen family order.  Histogram
+    ``_bucket`` / ``_sum`` / ``_count`` samples are grouped under their
+    base family.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def family(name: str) -> Dict[str, Any]:
+        entry = families.get(name)
+        if entry is None:
+            entry = {"help": None, "type": None, "samples": []}
+            families[name] = entry
+        return entry
+
+    for text in texts:
+        if not text:
+            continue
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith(("# HELP ", "# TYPE ")):
+                parts = stripped.split(" ", 3)
+                if len(parts) < 3:
+                    continue
+                entry = family(parts[2])
+                slot = "help" if parts[1] == "HELP" else "type"
+                if entry[slot] is None:
+                    entry[slot] = stripped
+                continue
+            if stripped.startswith("#"):
+                continue
+            metric = stripped.split("{", 1)[0].split(" ", 1)[0]
+            name = metric
+            for suffix in ("_bucket", "_sum", "_count"):
+                base = metric[: -len(suffix)] if metric.endswith(suffix) else ""
+                if base and base in families:
+                    name = base
+                    break
+            family(name)["samples"].append(stripped)
+
+    lines: List[str] = []
+    for entry in families.values():
+        if entry["help"]:
+            lines.append(entry["help"])
+        if entry["type"]:
+            lines.append(entry["type"])
+        lines.extend(entry["samples"])
+    return "\n".join(lines) + ("\n" if lines else "")
+
     def reset(self) -> None:
         """Drop every instrument (tests / between experiment runs)."""
         with self._lock:

@@ -277,3 +277,15 @@ def record_provenance(records: Sequence[ProvenanceRecord]) -> None:
 def provenance_listening() -> bool:
     """True when building provenance records would reach an audience."""
     return get_run_context() is not None or get_event_log().enabled
+
+
+def provenance_evidence_listening() -> bool:
+    """True when full per-scenario evidence lists would reach an
+    audience: a run manifest (reports render them) or a debug-level
+    event log.  The always-on serving path mirrors provenance to the
+    flight recorder at info level, and there the evidence lists are
+    the dominant cost of the record — building, converting, and
+    shipping up to ``MAX_PROVENANCE_EVIDENCE`` items per target that
+    nothing reads — so info-level records carry everything *but* the
+    evidence list."""
+    return get_run_context() is not None or get_event_log().debug

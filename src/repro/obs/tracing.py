@@ -22,6 +22,19 @@ The default process tracer is a shared :class:`NullTracer` whose
 ``span()`` returns one reusable no-op object — instrumented hot paths
 pay a method call and no allocation when tracing is off.  Enable with
 ``set_tracer(Tracer())``.
+
+**Cross-process propagation.**  A :class:`TraceContext` carries a
+``trace_id`` (minted once per cluster request) plus the parent span's
+id across a process boundary: the sender calls :func:`inject_trace`
+on its wire message, the receiver :func:`extract_trace` and opens its
+spans under ``Tracer.remote_context(ctx)`` — the first span with no
+local parent adopts the remote trace id and records the remote parent
+(:attr:`Span.remote_parent_id`), and every descendant inherits the
+trace id.  :meth:`Tracer.take_trace` pops a finished trace's spans
+(bounding memory in long-lived servers) and
+:meth:`Tracer.span_records` turns them into JSON-able wire records on
+a **wall-clock** timebase, so spans from different processes merge
+into one Chrome trace.
 """
 
 from __future__ import annotations
@@ -32,11 +45,68 @@ import itertools
 import os
 import threading
 import time
+import uuid
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Process-unique span ids — the join key between a span and the
 #: events (:mod:`repro.obs.events`) emitted while it was open.
 _span_ids = itertools.count(1)
+
+#: Wire-message key the trace envelope travels under.
+TRACE_KEY = "trace"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity across process boundaries.
+
+    Attributes:
+        trace_id: opaque id shared by every span of one distributed
+            request (the gateway mints it; retries and replica
+            fan-out reuse it).
+        parent_span_id: the sender-side span the receiver's spans
+            should parent under (``None`` for a fresh root).
+    """
+
+    trace_id: str
+    parent_span_id: Optional[int] = None
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def inject_trace(message: Dict[str, Any], ctx: TraceContext) -> Dict[str, Any]:
+    """Attach ``ctx`` to a wire message (mutates and returns it)."""
+    message[TRACE_KEY] = {
+        "trace_id": ctx.trace_id,
+        "parent_span_id": ctx.parent_span_id,
+    }
+    return message
+
+
+def extract_trace(message: Dict[str, Any]) -> Optional[TraceContext]:
+    """Read a :class:`TraceContext` out of a wire message, if any.
+
+    Malformed envelopes are treated as absent — tracing must never
+    make a request fail.
+    """
+    raw = message.get(TRACE_KEY)
+    if not isinstance(raw, dict):
+        return None
+    trace_id = raw.get("trace_id")
+    if not trace_id:
+        return None
+    parent = raw.get("parent_span_id")
+    try:
+        return TraceContext(
+            trace_id=str(trace_id),
+            parent_span_id=None if parent is None else int(parent),
+        )
+    except (TypeError, ValueError):
+        return None
 
 
 class Span:
@@ -44,7 +114,7 @@ class Span:
 
     __slots__ = (
         "name", "args", "tid", "parent", "children",
-        "start_s", "end_s", "span_id",
+        "start_s", "end_s", "span_id", "trace_id", "remote_parent_id",
     )
 
     def __init__(
@@ -62,6 +132,8 @@ class Span:
         self.end_s: Optional[float] = None
         self.tid = threading.get_ident()
         self.args = args
+        self.trace_id: Optional[str] = None
+        self.remote_parent_id: Optional[int] = None
 
     def set(self, **args: Any) -> None:
         """Attach arguments discovered while the span is open (counts,
@@ -121,6 +193,33 @@ class _SpanContext:
         return False
 
 
+class _RemoteContext:
+    """Context manager binding a remote :class:`TraceContext` (or
+    nothing, when ``ctx`` is ``None``) to the current context."""
+
+    __slots__ = ("_var", "_ctx", "_token")
+
+    def __init__(
+        self,
+        var: "contextvars.ContextVar[Optional[TraceContext]]",
+        ctx: Optional[TraceContext],
+    ) -> None:
+        self._var = var
+        self._ctx = ctx
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Optional[TraceContext]:
+        if self._ctx is not None:
+            self._token = self._var.set(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        if self._token is not None:
+            self._var.reset(self._token)
+            self._token = None
+        return False
+
+
 class Tracer:
     """Collects nested spans; exports Chrome trace JSON / a text tree.
 
@@ -132,9 +231,16 @@ class Tracer:
 
     def __init__(self) -> None:
         self._clock = time.perf_counter
+        # The perf_counter epoch times spans; the wall epoch captured at
+        # the same instant anchors them on a cross-process-comparable
+        # timebase for merged cluster traces.
         self._epoch = self._clock()
+        self._wall_epoch = time.time()
         self._current: "contextvars.ContextVar[Optional[Span]]" = (
             contextvars.ContextVar(f"repro-obs-span-{id(self)}", default=None)
+        )
+        self._remote: "contextvars.ContextVar[Optional[TraceContext]]" = (
+            contextvars.ContextVar(f"repro-obs-remote-{id(self)}", default=None)
         )
         self._lock = threading.Lock()
         self._finished: List[Span] = []
@@ -146,8 +252,31 @@ class Tracer:
     ) -> _SpanContext:
         """Open a span; use as ``with tracer.span("name") as s:``."""
         effective_parent = parent if parent is not None else self._current.get()
-        span = Span(name, effective_parent, self._clock(), dict(args))
+        # ``args`` is this call's own kwargs dict — safe to adopt.
+        span = Span(name, effective_parent, self._clock(), args)
+        if effective_parent is not None:
+            span.trace_id = effective_parent.trace_id
+        else:
+            remote = self._remote.get()
+            if remote is not None:
+                span.trace_id = remote.trace_id
+                span.remote_parent_id = remote.parent_span_id
         return _SpanContext(self, span)
+
+    def remote_context(self, ctx: Optional[TraceContext]) -> "_RemoteContext":
+        """Bind a remote :class:`TraceContext` for the enclosed block:
+        root spans opened inside adopt its trace id and remote parent.
+        ``None`` is accepted and makes the block a no-op, so call sites
+        need no branching on whether a request carried a trace."""
+        return _RemoteContext(self._remote, ctx)
+
+    def current_trace_context(self) -> Optional[TraceContext]:
+        """The context to inject into an outbound message: the innermost
+        open span (as parent), else any bound remote context."""
+        span = self._current.get()
+        if span is not None and span.trace_id is not None:
+            return TraceContext(span.trace_id, span.span_id)
+        return self._remote.get()
 
     def trace(self, name: Optional[str] = None) -> Callable:
         """Decorator form: the wrapped call body becomes one span."""
@@ -194,6 +323,23 @@ class Tracer:
             self._finished.clear()
             self._roots.clear()
         self._epoch = self._clock()
+        self._wall_epoch = time.time()
+
+    def take_trace(self, trace_id: str) -> List[Span]:
+        """Remove and return every finished span of one trace.
+
+        Long-lived servers call this after answering a request so the
+        tracer's retained-span list stays bounded by in-flight work
+        instead of growing with uptime.
+        """
+        with self._lock:
+            taken = [s for s in self._finished if s.trace_id == trace_id]
+            if taken:
+                self._finished = [
+                    s for s in self._finished if s.trace_id != trace_id
+                ]
+                self._roots = [s for s in self._roots if s.trace_id != trace_id]
+        return taken
 
     # -- exports ---------------------------------------------------------
     def to_chrome_trace(self) -> Dict[str, Any]:
@@ -217,6 +363,37 @@ class Tracer:
             })
         events.sort(key=lambda e: e["ts"])
         return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def span_records(self, spans: List[Span]) -> List[Dict[str, Any]]:
+        """JSON-able wire records for ``spans``, on a wall-clock
+        timebase (microseconds since the Unix epoch) so records from
+        different processes land on one comparable axis.
+
+        ``parent_span_id`` is the local parent's id when the span has
+        one, else the remote parent carried in by the trace context —
+        the receiving side reconstructs one tree spanning processes.
+        """
+        pid = os.getpid()
+        records = []
+        for span in spans:
+            if span.parent is not None:
+                parent_id = span.parent.span_id
+            else:
+                parent_id = span.remote_parent_id
+            wall_start = self._wall_epoch + (span.start_s - self._epoch)
+            records.append({
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_span_id": parent_id,
+                "trace_id": span.trace_id,
+                "ts_us": wall_start * 1e6,
+                "dur_us": span.duration_s * 1e6,
+                "pid": pid,
+                "tid": span.tid,
+                "args": {k: _jsonable(v) for k, v in span.args.items()},
+            })
+        records.sort(key=lambda r: r["ts_us"])
+        return records
 
     def render_tree(self, max_children: int = 12) -> str:
         """An indented text tree of the trace, durations in ms.
@@ -253,6 +430,14 @@ def _jsonable(value: Any) -> Any:
     return str(value)
 
 
+#: Shared dead contextvar backing NullTracer.remote_context — the
+#: returned manager never sets it, so it costs one allocation and no
+#: contextvar traffic.
+_NULL_REMOTE_VAR: "contextvars.ContextVar[Optional[TraceContext]]" = (
+    contextvars.ContextVar("repro-obs-remote-null", default=None)
+)
+
+
 class NullTracer:
     """The zero-overhead tracer: every ``span()`` is the same no-op
     object, nothing is recorded, exports are empty."""
@@ -270,6 +455,18 @@ class NullTracer:
 
     def current_span(self) -> Optional[Span]:
         return None
+
+    def remote_context(self, ctx: Optional[TraceContext]) -> "_RemoteContext":
+        return _RemoteContext(_NULL_REMOTE_VAR, None)
+
+    def current_trace_context(self) -> Optional[TraceContext]:
+        return None
+
+    def take_trace(self, trace_id: str) -> List[Span]:
+        return []
+
+    def span_records(self, spans: List[Span]) -> List[Dict[str, Any]]:
+        return []
 
     @property
     def spans(self) -> Tuple[Span, ...]:

@@ -19,7 +19,12 @@ from repro.mapreduce.cluster import ClusterConfig, SimulatedCluster
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.failures import FailurePolicy
 from repro.metrics.accuracy import AccuracyReport, accuracy_of
-from repro.obs import get_tracer, provenance_listening, record_provenance
+from repro.obs import (
+    get_tracer,
+    provenance_evidence_listening,
+    provenance_listening,
+    record_provenance,
+)
 from repro.metrics.timing import CostModel, StageTimes
 from repro.parallel.edp_job import ParallelEDP
 from repro.parallel.filter_job import ParallelFilterStats, ParallelVIDFilter
@@ -96,7 +101,11 @@ class ParallelEVMatcher:
 
         record_provenance(
             provenance_of(
-                algorithm, results, store=self.store, candidates=candidates
+                algorithm,
+                results,
+                store=self.store,
+                candidates=candidates,
+                include_evidence=provenance_evidence_listening(),
             )
         )
 

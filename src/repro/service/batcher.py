@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.matcher import MatchReport
 from repro.service.api import (
@@ -50,11 +50,16 @@ class Waiter:
         started: ``perf_counter`` stamp at submission (per-caller
             latency, even for deduplicated waiters).
         deduplicated: attached to an earlier identical request.
+        parent_span: the submitting thread's innermost open span (if
+            tracing), so the worker-pool thread that executes the
+            request can parent its ``service.execute`` span under the
+            submitter's trace — contextvars do not cross the queue.
     """
 
     future: Future
     started: float
     deduplicated: bool = False
+    parent_span: Optional[object] = None
 
 
 @dataclass

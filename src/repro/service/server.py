@@ -32,6 +32,7 @@ in-process API; a network front end would be a thin shim over
 
 from __future__ import annotations
 
+import contextlib
 import queue
 import threading
 import time
@@ -41,8 +42,9 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.incremental import IncrementalMatcher
 from repro.core.matcher import EVMatcher, MatcherConfig, MatchReport
-from repro.obs import get_event_log, get_registry
+from repro.obs import get_event_log, get_registry, get_tracer
 from repro.obs import events as ev
+from repro.obs.registry import merge_expositions
 from repro.sensing.scenarios import EVScenario, ScenarioStore
 from repro.service.api import (
     STATUS_ERROR,
@@ -377,11 +379,15 @@ class MatchService:
             )
             self._observe("match", STATUS_OK, latency, cached=True)
             return future
-        waiter = Waiter(future=future, started=started)
+        waiter = Waiter(
+            future=future,
+            started=started,
+            parent_span=get_tracer().current_span(),
+        )
         if not self.batcher.admit(request, waiter):
             return future  # attached to an identical in-flight request
         try:
-            self._queue.put_nowait(("match", request))
+            self._queue.put_nowait(("match", request, waiter.parent_span))
         except queue.Full:
             for shed_waiter in self.batcher.abandon(request):
                 self._finish_match(
@@ -400,7 +406,11 @@ class MatchService:
             future.set_result(replace(cached, cached=True, latency_s=latency))
             self._observe("investigate", STATUS_OK, latency, cached=True)
             return future
-        waiter = Waiter(future=future, started=started)
+        waiter = Waiter(
+            future=future,
+            started=started,
+            parent_span=get_tracer().current_span(),
+        )
         try:
             self._queue.put_nowait(("investigate", request, waiter))
         except queue.Full:
@@ -516,9 +526,12 @@ class MatchService:
 
         Renders the service's private registry (``service_*`` counters,
         latencies, and the gauges the ``stats`` endpoint reports)
-        followed by the process-global registry — which is where the
+        merged with the process-global registry — which is where the
         matching pipeline publishes its ``ev_*`` / ``mr_*`` counters —
         skipping the latter when the service was built to share it.
+        The merge (:func:`repro.obs.registry.merge_expositions`) groups
+        samples by metric family, so a family present in both
+        registries gets exactly one ``# HELP``/``# TYPE`` header pair.
         """
         started = time.perf_counter()
         gauge = self.metrics.registry.gauge(
@@ -531,7 +544,7 @@ class MatchService:
         if global_registry is not self.metrics.registry:
             parts.append(global_registry.render_prometheus())
         self.metrics.observe("metrics", STATUS_OK, time.perf_counter() - started)
-        return MetricsResponse(text="".join(parts))
+        return MetricsResponse(text=merge_expositions(parts))
 
     # -- worker pool -------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -541,14 +554,17 @@ class MatchService:
                 return
             if item[0] == "match":
                 batch = [item[1]]
-                deferred = self._drain_matches(batch)
-                self._execute_match_batch(batch)
+                parents = [item[2] if len(item) > 2 else None]
+                deferred = self._drain_matches(batch, parents)
+                self._execute_match_batch(batch, parents)
                 for extra in deferred:
                     self._handle_investigate(extra[1], extra[2])
             else:
                 self._handle_investigate(item[1], item[2])
 
-    def _drain_matches(self, batch: List[MatchRequest]) -> List[tuple]:
+    def _drain_matches(
+        self, batch: List[MatchRequest], parents: List[object]
+    ) -> List[tuple]:
         """Opportunistically pull more match work for the same Matcher
         call; non-match items are deferred, sentinels re-queued."""
         deferred: List[tuple] = []
@@ -562,18 +578,38 @@ class MatchService:
                 break
             if extra[0] == "match":
                 batch.append(extra[1])
+                parents.append(extra[2] if len(extra) > 2 else None)
             else:
                 deferred.append(extra)
         return deferred
 
-    def _execute_match_batch(self, batch: List[MatchRequest]) -> None:
+    def _execute_span(self, parent, endpoint: str, **args):
+        """A ``service.execute`` span under the submitter's trace.
+
+        Worker-pool threads never inherit the submitting thread's
+        contextvars, so the parent travels with the queue item / waiter
+        and is attached explicitly; untraced requests (no parent) cost
+        nothing — no span is opened, so nothing accumulates in the
+        tracer from requests whose spans would never be collected.
+        """
+        if parent is None:
+            return contextlib.nullcontext()
+        return get_tracer().span(
+            "service.execute", parent=parent, endpoint=endpoint, **args
+        )
+
+    def _execute_match_batch(
+        self, batch: List[MatchRequest], parents: Optional[List[object]] = None
+    ) -> None:
         if self.config.worker_delay_s:
             time.sleep(self.config.worker_delay_s)
-        self._rw.acquire_read()
-        try:
-            resolutions = self.batcher.execute(batch, self._run_match)
-        finally:
-            self._rw.release_read()
+        parent = next((p for p in parents or [] if p is not None), None)
+        with self._execute_span(parent, "match", batch=len(batch)):
+            self._rw.acquire_read()
+            try:
+                resolutions = self.batcher.execute(batch, self._run_match)
+            finally:
+                self._rw.release_read()
         cached_keys: set = set()
         for request, waiter, response in resolutions:
             key = request.cache_key()
@@ -611,25 +647,26 @@ class MatchService:
     ) -> None:
         if self.config.worker_delay_s:
             time.sleep(self.config.worker_delay_s)
-        self._rw.acquire_read()
-        try:
-            keys = self.shards.scenarios_of(request.eid)
-            response = InvestigateResponse(
-                status=STATUS_OK,
-                eid=request.eid,
-                num_scenarios=len(keys),
-                presence=self.shards.presence_windows(request.eid),
-                co_travelers=self.shards.co_travelers(
-                    request.eid, min_shared=request.min_shared
-                ),
-                shards_touched=len(self.shards.shards_of_eid(request.eid)),
-            )
-        except Exception as exc:
-            response = InvestigateResponse(
-                status=STATUS_ERROR, eid=request.eid, error=str(exc)
-            )
-        finally:
-            self._rw.release_read()
+        with self._execute_span(waiter.parent_span, "investigate"):
+            self._rw.acquire_read()
+            try:
+                keys = self.shards.scenarios_of(request.eid)
+                response = InvestigateResponse(
+                    status=STATUS_OK,
+                    eid=request.eid,
+                    num_scenarios=len(keys),
+                    presence=self.shards.presence_windows(request.eid),
+                    co_travelers=self.shards.co_travelers(
+                        request.eid, min_shared=request.min_shared
+                    ),
+                    shards_touched=len(self.shards.shards_of_eid(request.eid)),
+                )
+            except Exception as exc:
+                response = InvestigateResponse(
+                    status=STATUS_ERROR, eid=request.eid, error=str(exc)
+                )
+            finally:
+                self._rw.release_read()
         if response.status == STATUS_OK and self.cache.enabled:
             self.cache.put(request.cache_key(), response, eids=(request.eid,))
         response = replace(response)  # cached template stays latency-free

@@ -150,7 +150,9 @@ class TestPipelineEvents:
         types = {e["type"] for e in event_log.events()}
         assert ev.E_SPLIT_STARTED in types
         assert ev.E_SPLIT_CONVERGED in types
-        assert ev.V_MATCH_DECIDED in types
+        # Per-decision chatter is debug-level; the info-level record of
+        # each decision is its match.provenance mirror.
+        assert ev.V_MATCH_DECIDED not in types
         assert ev.MATCH_PROVENANCE in types
         assert len(run_context.provenance) == len(targets)
         for record in run_context.provenance:
@@ -158,6 +160,22 @@ class TestPipelineEvents:
                 record.predicted_vid, int
             )
             assert "EID" in record.explain()
+
+    def test_debug_level_records_per_decision_chatter(
+        self, ideal_dataset, run_context, tracer
+    ):
+        log = EventLog(capacity=256, level="debug")
+        previous = set_event_log(log)
+        try:
+            targets = list(ideal_dataset.sample_targets(6, seed=1))
+            EVMatcher(ideal_dataset.store).match(targets)
+        finally:
+            set_event_log(previous)
+        types = {e["type"] for e in log.events()}
+        assert ev.V_MATCH_DECIDED in types
+        assert ev.E_TARGET_DISTINGUISHED in types
+        decided = log.events(ev.V_MATCH_DECIDED)
+        assert len(decided) == len(targets)
 
     def test_provenance_survives_mapreduce_engine(
         self, ideal_dataset, event_log, run_context
