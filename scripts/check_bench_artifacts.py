@@ -24,7 +24,13 @@ validates a flight-recorder run report (``repro match --report`` /
 ``repro report --from-events``): the file must carry every pinned
 section heading.  ``--chrome-trace`` validates a merged cluster trace
 (the gateway's ``trace`` verb): Chrome trace-event JSON with complete
-spans from at least two processes, all under one trace id.  Exit
+spans from at least two processes, all under one trace id.
+``--collapsed`` / ``--speedscope`` validate profiler artifacts
+(``repro cluster profile`` / ``repro match --profile``): non-empty
+stacks with positive counts, speedscope weights monotone
+non-increasing per profile with all frame indices in range, and —
+with ``--profile-workers N`` — stacks from at least N distinct
+``worker=<id>`` roots (collapsed) / N profiles (speedscope).  Exit
 status 0 when everything passes.
 """
 
@@ -49,7 +55,7 @@ BENCH_NAME = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
 #: remaining payload still satisfies the generic schema.
 REQUIRED_ENTRIES = {
     "BENCH_kernels.json": ("split", "split_65536", "filter"),
-    "BENCH_obs.json": ("overhead", "event_shipping"),
+    "BENCH_obs.json": ("overhead", "event_shipping", "profiler"),
 }
 
 
@@ -178,6 +184,118 @@ def check_chrome_trace(path: Path) -> int:
     return 1 if failures else 0
 
 
+def check_collapsed(path: Path, profile_workers: int) -> int:
+    """Validate a collapsed-stack profile (``frame;frame count`` lines).
+
+    Every line must carry a non-empty stack and a positive integer
+    count; with ``profile_workers`` > 0 the stacks must be rooted under
+    at least that many distinct ``worker=<id>`` frames — the shape the
+    cluster ``profile`` verb merges.
+    """
+    if not path.is_file():
+        print(f"MISSING collapsed profile {path}")
+        return 1
+    failures = 0
+    workers = set()
+    stacks = 0
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        stack, _, count = line.rpartition(" ")
+        if not stack or not count.isdigit() or int(count) <= 0:
+            print(
+                f"INVALID collapsed {path.name}:{lineno}: expected "
+                f"'frame;frame <count>', got {line!r}"
+            )
+            failures += 1
+            continue
+        frames = stack.split(";")
+        if not all(frames):
+            print(f"INVALID collapsed {path.name}:{lineno}: empty frame")
+            failures += 1
+            continue
+        stacks += 1
+        if frames[0].startswith("worker="):
+            workers.add(frames[0])
+    if stacks == 0:
+        print(f"INVALID collapsed {path.name}: no stacks")
+        return 1
+    if len(workers) < profile_workers:
+        print(
+            f"INVALID collapsed {path.name}: stacks from only "
+            f"{len(workers)} worker(s) {sorted(workers)}; "
+            f"expected >= {profile_workers}"
+        )
+        failures += 1
+    if not failures:
+        suffix = f" from {len(workers)} workers" if workers else ""
+        print(f"ok      {path.name}: {stacks} stacks{suffix}")
+    return 1 if failures else 0
+
+
+def check_speedscope(path: Path, profile_workers: int) -> int:
+    """Validate a speedscope ``"sampled"`` document.
+
+    Each profile must have parallel ``samples``/``weights`` arrays,
+    frame indices inside the shared frame table, and weights monotone
+    non-increasing (the exporter sorts stacks heaviest-first, so an
+    out-of-order weight means a broken export).
+    """
+    if not path.is_file():
+        print(f"MISSING speedscope profile {path}")
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"INVALID speedscope {path.name}: not JSON ({exc})")
+        return 1
+    frames = payload.get("shared", {}).get("frames", [])
+    profiles = payload.get("profiles", [])
+    failures = 0
+    if not profiles:
+        print(f"INVALID speedscope {path.name}: no profiles")
+        return 1
+    if len(profiles) < profile_workers:
+        print(
+            f"INVALID speedscope {path.name}: only {len(profiles)} "
+            f"profile(s); expected >= {profile_workers}"
+        )
+        failures += 1
+    for profile in profiles:
+        name = profile.get("name", "?")
+        samples = profile.get("samples", [])
+        weights = profile.get("weights", [])
+        if not samples or len(samples) != len(weights):
+            print(
+                f"INVALID speedscope {path.name} [{name}]: "
+                f"{len(samples)} samples vs {len(weights)} weights"
+            )
+            failures += 1
+            continue
+        flat = [idx for stack in samples for idx in stack]
+        if any(not 0 <= idx < len(frames) for idx in flat):
+            print(
+                f"INVALID speedscope {path.name} [{name}]: frame index "
+                f"out of range (table has {len(frames)} frames)"
+            )
+            failures += 1
+        if any(w <= 0 for w in weights):
+            print(f"INVALID speedscope {path.name} [{name}]: weight <= 0")
+            failures += 1
+        if any(a < b for a, b in zip(weights, weights[1:])):
+            print(
+                f"INVALID speedscope {path.name} [{name}]: weights not "
+                "monotone non-increasing (stacks must sort heaviest first)"
+            )
+            failures += 1
+    if not failures:
+        print(
+            f"ok      {path.name}: {len(profiles)} profiles, "
+            f"{len(frames)} shared frames"
+        )
+    return 1 if failures else 0
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("sources", nargs="*", help="bench files to scan")
@@ -190,6 +308,23 @@ def main(argv) -> int:
         "--chrome-trace",
         type=Path,
         help="also validate a merged cluster Chrome trace artifact",
+    )
+    parser.add_argument(
+        "--collapsed",
+        type=Path,
+        help="also validate a collapsed-stack profile artifact",
+    )
+    parser.add_argument(
+        "--speedscope",
+        type=Path,
+        help="also validate a speedscope profile artifact",
+    )
+    parser.add_argument(
+        "--profile-workers",
+        type=int,
+        default=0,
+        help="distinct worker= roots (--collapsed) / profiles "
+        "(--speedscope) the profile artifacts must span",
     )
     args = parser.parse_args(argv)
     if args.sources:
@@ -205,6 +340,14 @@ def main(argv) -> int:
         status = max(status, check_report(args.report))
     if args.chrome_trace is not None:
         status = max(status, check_chrome_trace(args.chrome_trace))
+    if args.collapsed is not None:
+        status = max(
+            status, check_collapsed(args.collapsed, args.profile_workers)
+        )
+    if args.speedscope is not None:
+        status = max(
+            status, check_speedscope(args.speedscope, args.profile_workers)
+        )
     return status
 
 

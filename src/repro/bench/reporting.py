@@ -191,17 +191,42 @@ def validate_bench_payload(payload: object, name: str = "payload") -> None:
 
 
 def write_bench_artifact(
-    path: Union[str, Path], payload: Mapping[str, object]
+    path: Union[str, Path],
+    payload: Mapping[str, object],
+    *,
+    history: Union[bool, str, Path] = True,
+    git_sha: Union[str, None] = None,
+    ts: Union[float, None] = None,
 ) -> Path:
     """Validate and write one BENCH_*.json trajectory artifact.
+
+    Besides the snapshot file, every write appends a history entry —
+    ``{artifact, ts, git_sha, backend_label, payload}`` — to
+    ``BENCH_HISTORY.jsonl`` beside the artifact (the perf-regression
+    sentinel's input; see :mod:`repro.obs.regress`).  ``history`` may
+    be an explicit path, ``True`` for the sibling default, or ``False``
+    to skip the append; ``git_sha`` / ``ts`` default to the current
+    commit and wall clock but are parameters so replayed or imported
+    results can carry their original provenance.
 
     Emits a ``bench.artifact`` event to the flight recorder (when one
     is installed) so an instrumented bench run records what it
     published.  Returns the path written.
     """
+    from repro.obs import regress
+
     path = Path(path)
     validate_bench_payload(payload, name=path.name)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    if history is not False:
+        history_path = (
+            path.parent / regress.HISTORY_NAME
+            if history is True
+            else Path(history)
+        )
+        regress.append_bench_history(
+            history_path, path.name, payload, git_sha=git_sha, ts=ts
+        )
     from repro.obs import events as ev
     from repro.obs import get_event_log
 

@@ -81,6 +81,21 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON (open in chrome://tracing or Perfetto)",
     )
     match.add_argument(
+        "--profile",
+        metavar="OUT.collapsed",
+        help="continuously sample the run's wall-clock stacks and write "
+        "a collapsed-stack profile (plus OUT.collapsed.speedscope.json "
+        "for https://speedscope.app); stacks are rooted under the "
+        "active tracer spans",
+    )
+    match.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="profiler sample rate (default: 97)",
+    )
+    match.add_argument(
         "--metrics",
         action="store_true",
         help="print the metrics registry as Prometheus text after the run",
@@ -212,7 +227,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="live per-worker view of a running gateway: qps, p99, "
         "backend, restarts, telemetry lag",
     )
-    for csub in (cserve, cloadtest, ctrace):
+    cprofile = cluster_sub.add_parser(
+        "profile",
+        help="run requests against a fresh self-profiling fleet and "
+        "write one merged collapsed-stack profile (each stack rooted "
+        "under worker=<id>), plus a speedscope document",
+    )
+    cslowlog = cluster_sub.add_parser(
+        "slowlog",
+        help="fetch a running gateway's merged slow-query exemplars "
+        "(slowest first, tagged by worker)",
+    )
+    for csub in (cserve, cloadtest, ctrace, cprofile):
         csub.add_argument(
             "--dataset", help="load a saved world instead of building"
         )
@@ -246,6 +272,24 @@ def build_parser() -> argparse.ArgumentParser:
             "--events", default=None, metavar="OUT.jsonl",
             help="mirror the flight-recorder event log here",
         )
+        csub.add_argument(
+            "--telemetry-interval", type=float, default=1.0,
+            metavar="SECONDS",
+            help="how often workers piggyback metrics/events on "
+            "heartbeats (lower = fresher top/metrics, more overhead)",
+        )
+        csub.add_argument(
+            "--events-per-beat", type=int, default=256,
+            metavar="N",
+            help="flight-recorder events shipped per telemetry beat; "
+            "raise when the ev_obs_ship_lag gauge stays non-zero "
+            "under load (shipping loss), lower to cap beat size",
+        )
+        csub.add_argument(
+            "--profile-hz", type=float, default=0.0, metavar="HZ",
+            help="continuous-profiling sample rate inside each worker "
+            "(0 = off; the gateway's profile verb needs > 0)",
+        )
     cserve.add_argument(
         "--port", type=int, default=0,
         help="gateway port (0 picks an ephemeral one)",
@@ -258,6 +302,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests", type=int, default=1,
         help="traced match requests to issue (the last one's trace is "
         "written)",
+    )
+    cprofile.add_argument(
+        "output", metavar="OUT.collapsed",
+        help="where the merged collapsed-stack profile is written "
+        "(OUT.collapsed.speedscope.json is written beside it)",
+    )
+    cprofile.add_argument(
+        "--requests", type=int, default=8,
+        help="match requests to drive through the gateway while the "
+        "workers self-profile",
+    )
+    cslowlog.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the running gateway to query",
+    )
+    cslowlog.add_argument(
+        "--limit", type=int, default=16,
+        help="merged exemplars to fetch (slowest first)",
     )
     ctop.add_argument(
         "--connect", required=True, metavar="HOST:PORT",
@@ -416,13 +478,24 @@ def run_match(args: argparse.Namespace, out=None) -> int:
     targets = list(dataset.sample_targets(min(args.targets, len(dataset.eids)), seed=1))
 
     # The flight recorder needs real spans so every event carries a
-    # span_id, so --events/--report imply an installed Tracer.
+    # span_id, so --events/--report imply an installed Tracer — and so
+    # does --profile, whose samples are rooted under the active spans.
+    profile_path = getattr(args, "profile", None)
     tracer = previous_tracer = None
-    if getattr(args, "trace", None) or recording:
+    if getattr(args, "trace", None) or recording or profile_path:
         from repro.obs import Tracer, set_tracer
 
         tracer = Tracer()
         previous_tracer = set_tracer(tracer)
+    profiler = None
+    if profile_path:
+        from repro.obs import DEFAULT_PROFILE_HZ, SamplingProfiler, set_profiler
+
+        profiler = SamplingProfiler(
+            hz=getattr(args, "profile_hz", None) or DEFAULT_PROFILE_HZ,
+            tag="match",
+        ).start()
+        previous_profiler = set_profiler(profiler)
     event_log = run = previous_log = previous_run = None
     if recording:
         from repro.obs import (
@@ -478,6 +551,12 @@ def run_match(args: argparse.Namespace, out=None) -> int:
                 report = matcher.match_edp(targets)
                 rows.append(_report_row("edp", report, dataset))
     finally:
+        profile_snapshot = None
+        if profiler is not None:
+            from repro.obs import set_profiler
+
+            profile_snapshot = profiler.stop()
+            set_profiler(previous_profiler)
         if recording:
             from repro.obs import set_event_log, set_run_context
 
@@ -495,6 +574,8 @@ def run_match(args: argparse.Namespace, out=None) -> int:
     print(render_rows(f"match {len(targets)} EIDs", columns, rows), file=out)
     if tracer is not None and getattr(args, "trace", None):
         _write_trace(tracer, args.trace, out)
+    if profile_snapshot is not None:
+        _write_profile(profile_snapshot, profile_path, out)
     if getattr(args, "metrics", False):
         from repro.obs import get_registry
 
@@ -539,6 +620,25 @@ def _write_flight_recorder(
         with open(report_path, "w", encoding="utf-8") as fh:
             fh.write(rendered)
         print(f"wrote run report to {report_path}", file=out)
+
+
+def _write_profile(snapshot, path: str, out) -> None:
+    """Write one snapshot as collapsed stacks + a speedscope document."""
+    import json
+
+    collapsed = snapshot.collapsed()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(collapsed + ("\n" if collapsed else ""))
+    speedscope_path = f"{path}.speedscope.json"
+    with open(speedscope_path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot.speedscope(), fh)
+    stacks = len(collapsed.splitlines()) if collapsed else 0
+    print(
+        f"wrote {snapshot.samples} samples ({stacks} distinct stacks, "
+        f"{snapshot.hz:g} Hz) to {path} and {speedscope_path} "
+        "(flamegraph.pl / https://speedscope.app)",
+        file=out,
+    )
 
 
 def _write_trace(tracer, path: str, out) -> None:
@@ -878,6 +978,9 @@ def _cluster_stack(args: argparse.Namespace, out):
             journal_path=os.path.join(journal_dir, f"w{i}.journal.jsonl"),
             service=service_config,
             host=args.host,
+            telemetry_interval_s=getattr(args, "telemetry_interval", 1.0),
+            max_events_per_beat=getattr(args, "events_per_beat", 256),
+            profile_hz=getattr(args, "profile_hz", 0.0),
         )
         for i in range(args.processes)
     ]
@@ -923,7 +1026,7 @@ def run_cluster_serve(args: argparse.Namespace, out=None) -> int:
         )
         print(
             "NDJSON verbs: match investigate ingest health stats metrics "
-            "trace ping events(SSE stream); Ctrl-C drains",
+            "trace profile slowlog ping events(SSE stream); Ctrl-C drains",
             file=out,
         )
         stop = threading.Event()
@@ -1096,6 +1199,173 @@ def run_cluster_trace(args: argparse.Namespace, out=None) -> int:
         set_tracer(previous_tracer)
 
 
+def run_cluster_profile(args: argparse.Namespace, out=None) -> int:
+    """``repro cluster profile OUT.collapsed``: one cluster flamegraph.
+
+    Stands up a fresh fleet with every worker self-profiling
+    (``--profile-hz``, default 97 when left at 0), drives ``--requests``
+    match requests through the gateway so there is work to sample,
+    fetches the merged profile over the ``profile`` verb — every stack
+    rooted under a ``worker=<id>`` frame — and writes the collapsed
+    text plus ``OUT.collapsed.speedscope.json``.
+    """
+    out = out if out is not None else sys.stdout
+    import json
+    import time
+
+    from repro.cluster import GatewayClient
+    from repro.obs import EventLog, set_event_log
+    from repro.obs.profiler import DEFAULT_PROFILE_HZ
+
+    if not args.profile_hz:
+        args.profile_hz = DEFAULT_PROFILE_HZ
+    log = EventLog(sink=args.events) if args.events else EventLog()
+    previous_log = set_event_log(log)
+    supervisor = gateway = None
+    try:
+        dataset, supervisor, _router, gateway = _cluster_stack(args, out)
+        print(
+            f"profiling the fleet at {args.profile_hz:g} Hz "
+            f"({max(1, args.requests)} match requests)...",
+            file=out,
+        )
+        with GatewayClient(gateway.host, gateway.port) as client:
+            for i in range(max(1, args.requests)):
+                targets = dataset.sample_targets(
+                    min(3, len(dataset.eids)), seed=args.seed + i
+                )
+                response = client.call(
+                    {
+                        "verb": "match",
+                        "targets": [eid.index for eid in targets],
+                        "algorithm": "ss",
+                    }
+                )
+                if response.get("status") != "ok":
+                    print(
+                        f"match failed: {response.get('error')}", file=out
+                    )
+                    return 1
+            # The samplers run at ~10ms granularity: briefly re-poll so
+            # short bursts of work land in at least two workers' stacks
+            # before the merge is fetched.
+            deadline = time.monotonic() + 10.0
+            while True:
+                profile = client.merged_profile()
+                sampled = [
+                    wid
+                    for wid in profile["workers"]
+                    if f"worker={wid};" in profile["collapsed"]
+                ]
+                if len(sampled) >= 2 or time.monotonic() >= deadline:
+                    break
+                time.sleep(0.25)
+        collapsed = str(profile["collapsed"])
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(collapsed + ("\n" if collapsed else ""))
+        speedscope_path = f"{args.output}.speedscope.json"
+        with open(speedscope_path, "w", encoding="utf-8") as fh:
+            json.dump(profile["speedscope"], fh)
+        print(
+            f"wrote {args.output} and {speedscope_path}: "
+            f"{profile.get('samples', 0)} samples across "
+            f"{len(sampled)} sampled workers "
+            f"(of {len(profile['workers'])} profiled)",
+            file=out,
+        )
+        return 0
+    finally:
+        if gateway is not None:
+            gateway.drain(timeout=5.0)
+        if supervisor is not None:
+            supervisor.stop()
+        log.close()
+        set_event_log(previous_log)
+
+
+def run_cluster_slowlog(args: argparse.Namespace, out=None) -> int:
+    """``repro cluster slowlog --connect HOST:PORT``: the fleet's
+    merged slow-query exemplars, slowest first, plus the slowest
+    request's span tree."""
+    out = out if out is not None else sys.stdout
+    from repro.cluster import GatewayClient, GatewayError
+
+    host, _, port = args.connect.rpartition(":")
+    try:
+        with GatewayClient(host or "127.0.0.1", int(port)) as client:
+            reply = client.slowlog(limit=args.limit)
+    except GatewayError as exc:
+        print(f"gateway unreachable: {exc}", file=out)
+        return 1
+    workers = reply.get("workers", {})
+    for worker_id in sorted(workers):
+        policy = workers[worker_id]
+        threshold = policy.get("threshold_s")
+        print(
+            f"{worker_id}: mode={policy.get('mode', '?')} "
+            f"threshold="
+            + (f"{float(threshold) * 1e3:.1f}ms" if threshold else "warming")
+            + f" captured={policy.get('captured', 0)}"
+            f" considered={policy.get('considered', 0)}",
+            file=out,
+        )
+    records = reply.get("records", [])
+    if not records:
+        print("no slow queries captured yet", file=out)
+        return 0
+    rows = [
+        {
+            "worker": record.get("worker", "?"),
+            "endpoint": record.get("endpoint", "?"),
+            "latency_ms": f"{float(record.get('latency_s', 0.0)) * 1e3:.1f}",
+            "threshold_ms": (
+                f"{float(record.get('threshold_s', 0.0)) * 1e3:.1f}"
+            ),
+            "backend": record.get("backend_label", "?"),
+            "trace_id": (record.get("trace_id") or "-")[:12],
+            "detail": ",".join(
+                f"{k}={v}" for k, v in sorted(
+                    (record.get("detail") or {}).items()
+                )
+            )[:40],
+        }
+        for record in records
+    ]
+    columns = (
+        "worker", "endpoint", "latency_ms", "threshold_ms",
+        "backend", "trace_id", "detail",
+    )
+    print(
+        render_rows(
+            f"slow queries — {args.connect}, {len(records)} exemplars",
+            columns,
+            rows,
+        ),
+        file=out,
+    )
+    slowest = records[0]
+    spans = slowest.get("spans")
+    if spans:
+        print(
+            f"\nslowest ({slowest.get('endpoint')} on "
+            f"{slowest.get('worker')}, "
+            f"{float(slowest.get('latency_s', 0.0)) * 1e3:.1f}ms):",
+            file=out,
+        )
+        _print_span_tree(spans, out)
+    return 0
+
+
+def _print_span_tree(node: dict, out, depth: int = 0) -> None:
+    took = float(node.get("dur_ms", 0.0))
+    print(f"  {'  ' * depth}{node.get('name', '?')}  {took:.1f}ms", file=out)
+    for child in node.get("children", []) or []:
+        _print_span_tree(child, out, depth + 1)
+    elided = int(node.get("elided", 0) or 0)
+    if elided:
+        print(f"  {'  ' * (depth + 1)}... {elided} spans elided", file=out)
+
+
 def run_cluster_top(args: argparse.Namespace, out=None) -> int:
     """``repro cluster top --connect HOST:PORT``: live fleet view.
 
@@ -1181,6 +1451,10 @@ def run_cluster(args: argparse.Namespace, out=None) -> int:
         return run_cluster_loadtest(args, out)
     if args.cluster_command == "trace":
         return run_cluster_trace(args, out)
+    if args.cluster_command == "profile":
+        return run_cluster_profile(args, out)
+    if args.cluster_command == "slowlog":
+        return run_cluster_slowlog(args, out)
     if args.cluster_command == "top":
         return run_cluster_top(args, out)
     raise AssertionError(

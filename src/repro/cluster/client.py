@@ -147,6 +147,36 @@ class GatewayClient:
             )
         return wire
 
+    def merged_profile(self) -> Dict[str, Any]:
+        """One cluster-wide profile: the gateway fans out to every
+        profiled worker and merges their stack aggregates.
+
+        Returns the whole wire reply — ``collapsed`` (flamegraph text,
+        one ``worker=<id>``-rooted stack per line), ``speedscope``
+        (document dict), ``workers``, ``samples``.  Raises
+        :class:`GatewayError` when no worker is profiling
+        (``WorkerSpec.profile_hz == 0`` fleet-wide).
+        """
+        wire = self.call({"verb": "profile"})
+        if wire.get("status") != "ok":
+            raise GatewayError(
+                f"profile fetch failed: {wire.get('error', wire)}"
+            )
+        return wire
+
+    def slowlog(self, limit: Optional[int] = 16) -> Dict[str, Any]:
+        """The fleet's merged slow-query exemplars (slowest first, each
+        tagged ``worker=<id>``) plus per-worker capture summaries."""
+        message: Dict[str, Any] = {"verb": "slowlog"}
+        if limit is not None:
+            message["limit"] = int(limit)
+        wire = self.call(message)
+        if wire.get("status") != "ok":
+            raise GatewayError(
+                f"slowlog fetch failed: {wire.get('error', wire)}"
+            )
+        return wire
+
     def ping(self) -> bool:
         return self.call({"verb": "ping"}).get("status") == "ok"
 

@@ -25,6 +25,16 @@ Verbs:
 * ``trace`` — one merged Chrome trace for a cluster request
   (``trace_id`` option; defaults to the latest): gateway and worker
   spans under a single trace id on one wall-clock axis.
+* ``profile`` — fan out to every available worker's continuous
+  sampling profiler (``WorkerSpec.profile_hz > 0``), merge the
+  returned stack aggregates with each frame rooted under a
+  ``worker=<id>`` frame, and answer with both a collapsed-stack text
+  (``collapsed``) and a speedscope document (``speedscope``) — one
+  cluster-wide flamegraph.  The gateway's own profiler joins the merge
+  when one is running in-process.
+* ``slowlog`` — fan out to every available worker's slow-query log and
+  answer with the merged exemplars (slowest first, each tagged
+  ``worker=<id>``) plus each worker's capture-policy summary.
 * ``ping`` — liveness.
 * ``events`` — switches the connection into an **SSE-style stream**:
   the gateway tails the process event log (the flight recorder) and
@@ -58,10 +68,11 @@ from typing import Any, Dict, Optional, Set
 from repro.cluster import codec
 from repro.cluster.protocol import ProtocolError, decode_line, encode_line
 from repro.cluster.router import ClusterRouter
-from repro.cluster.supervisor import Supervisor
+from repro.cluster.supervisor import Supervisor, WorkerError
 from repro.cluster.telemetry import ClusterTelemetry
 from repro.obs import get_event_log, get_registry
 from repro.obs import events as ev
+from repro.obs.profiler import get_profiler, merge_collapsed, merged_speedscope
 from repro.obs.registry import merge_expositions
 from repro.obs.tracing import (
     TraceContext,
@@ -76,6 +87,12 @@ from repro.service.health import HealthTracker, SLOConfig
 
 #: Verbs the router forwards to workers.
 DATA_VERBS = ("match", "investigate", "ingest")
+
+#: Verbs the gateway answers by fanning out to every available worker
+#: itself (not via the router — there is no key to route on).  They do
+#: one blocking socket exchange per worker, so they run on the dispatch
+#: pool like data-plane requests.
+FANOUT_VERBS = ("profile", "slowlog")
 
 
 class ClusterGateway:
@@ -269,6 +286,114 @@ class ClusterGateway:
             "chrome": chrome,
         }
 
+    def _fanout(
+        self, verb: str, message: Dict[str, Any]
+    ) -> "tuple[Dict[str, Dict[str, Any]], Dict[str, str]]":
+        """Ask every available worker ``message``; returns
+        ``(replies_by_worker, errors_by_worker)``.  Blocking — callers
+        run it on the dispatch pool."""
+        replies: Dict[str, Dict[str, Any]] = {}
+        errors: Dict[str, str] = {}
+        for worker_id in self.supervisor.available():
+            try:
+                reply = self.supervisor.worker(worker_id).request(dict(message))
+            except WorkerError as exc:
+                errors[worker_id] = str(exc)
+                continue
+            if reply.get("status") == STATUS_OK:
+                replies[worker_id] = reply
+            else:
+                errors[worker_id] = str(reply.get("error", f"no {verb}"))
+        return replies, errors
+
+    def _profile_response(self) -> Dict[str, Any]:
+        """The ``profile`` verb: merge every worker's profiler snapshot
+        (plus the gateway's own, when one runs in-process) into a
+        single collapsed-stack / speedscope pair."""
+        replies, errors = self._fanout("profile", {"verb": "profile"})
+        profiles: Dict[str, Dict[str, Any]] = {}
+        for worker_id, reply in replies.items():
+            wire = reply.get("profile")
+            if isinstance(wire, dict):
+                profiles[worker_id] = wire
+            else:
+                errors[worker_id] = "malformed profile payload"
+        own = get_profiler()
+        if getattr(own, "running", False):
+            profiles["gateway"] = own.snapshot().to_wire()
+        if not profiles:
+            detail = "; ".join(
+                f"{wid}: {err}" for wid, err in sorted(errors.items())
+            )
+            return codec.error_response(
+                "profile",
+                "no profiles collected" + (f" ({detail})" if detail else ""),
+            )
+        return {
+            "verb": "profile",
+            "status": STATUS_OK,
+            "workers": sorted(profiles),
+            "errors": errors,
+            "samples": sum(int(p.get("samples", 0)) for p in profiles.values()),
+            "collapsed": merge_collapsed(profiles),
+            "speedscope": merged_speedscope(profiles),
+        }
+
+    def _slowlog_response(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """The ``slowlog`` verb: the fleet's slow-query exemplars
+        merged slowest-first, each tagged with its worker id."""
+        raw_limit = message.get("limit")
+        try:
+            limit = None if raw_limit is None else int(raw_limit)
+        except (TypeError, ValueError):
+            return codec.error_response("slowlog", f"bad limit {raw_limit!r}")
+        request: Dict[str, Any] = {"verb": "slowlog"}
+        if limit is not None:
+            request["limit"] = limit
+        replies, errors = self._fanout("slowlog", request)
+        records: "list[Dict[str, Any]]" = []
+        workers: Dict[str, Dict[str, Any]] = {}
+        for worker_id, reply in replies.items():
+            payload = reply.get("slowlog")
+            if not isinstance(payload, dict):
+                errors[worker_id] = "malformed slowlog payload"
+                continue
+            workers[worker_id] = {
+                key: value
+                for key, value in payload.items()
+                if key != "records"
+            }
+            for record in payload.get("records") or []:
+                if isinstance(record, dict):
+                    records.append({**record, "worker": worker_id})
+        if not workers:
+            detail = "; ".join(
+                f"{wid}: {err}" for wid, err in sorted(errors.items())
+            )
+            return codec.error_response(
+                "slowlog",
+                "no slowlog collected" + (f" ({detail})" if detail else ""),
+            )
+        records.sort(
+            key=lambda record: -float(record.get("latency_s") or 0.0)
+        )
+        if limit is not None:
+            records = records[:limit]
+        return {
+            "verb": "slowlog",
+            "status": STATUS_OK,
+            "records": records,
+            "workers": workers,
+            "errors": errors,
+        }
+
+    def _fanout_dispatch(
+        self, verb: str, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        if verb == "profile":
+            return self._profile_response()
+        return self._slowlog_response(message)
+
     def _local_dispatch(
         self, verb: str, message: Dict[str, Any]
     ) -> Dict[str, Any]:
@@ -354,6 +479,18 @@ class ClusterGateway:
             latency = time.perf_counter() - started
             status = str(response.get("status", STATUS_ERROR))
             self.health_tracker.record(status, latency)
+        elif verb in FANOUT_VERBS:
+            loop = asyncio.get_event_loop()
+            try:
+                response = await loop.run_in_executor(
+                    self._executor, self._fanout_dispatch, verb, message
+                )
+            except Exception as exc:
+                response = codec.error_response(
+                    verb, f"{type(exc).__name__}: {exc}"
+                )
+            latency = time.perf_counter() - started
+            status = str(response.get("status", STATUS_ERROR))
         else:
             response = self._local_dispatch(verb, message)
             latency = time.perf_counter() - started

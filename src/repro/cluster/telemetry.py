@@ -56,10 +56,22 @@ __all__ = [
     "MetricsFederation",
     "TraceCollector",
     "ClusterTelemetry",
+    "DEFAULT_TRACE_MAX_AGE_S",
+    "TRACES_EVICTED_METRIC",
 ]
 
 #: How many distinct traces the gateway retains (LRU eviction).
 DEFAULT_MAX_TRACES = 64
+
+#: How long an untouched trace survives before the age sweep drops it.
+#: A trace that stops receiving records was abandoned mid-flight (the
+#: client hung up, a worker died before returning its spans): without
+#: an age bound it would sit in the store until enough *new* traces
+#: arrived to push it out by LRU — on a quiet gateway, forever.
+DEFAULT_TRACE_MAX_AGE_S = 300.0
+
+#: Counter counting both LRU and age evictions, labelled by reason.
+TRACES_EVICTED_METRIC = "ev_cluster_traces_evicted_total"
 
 
 def _series_map(state: Dict[str, Any]) -> Dict[Tuple[str, LabelKey], Dict[str, Any]]:
@@ -277,15 +289,40 @@ class TraceCollector:
     via the router and from the gateway's own tracer; each trace's
     records become Chrome complete events as they land, so exporting a
     merged trace is a read, not a join.
+
+    Two eviction paths keep the store bounded: LRU when the trace
+    *count* exceeds ``max_traces``, and an age sweep dropping traces
+    untouched for ``max_age_s`` (abandoned mid-flight traces would
+    otherwise pin memory on a quiet gateway where LRU pressure never
+    arrives).  Both increment :data:`TRACES_EVICTED_METRIC`, labelled
+    ``reason="lru"`` / ``reason="age"``, and the per-reason tallies are
+    mirrored on :attr:`evicted` for registry-free inspection.
     """
 
-    def __init__(self, max_traces: int = DEFAULT_MAX_TRACES) -> None:
+    def __init__(
+        self,
+        max_traces: int = DEFAULT_MAX_TRACES,
+        max_age_s: float = DEFAULT_TRACE_MAX_AGE_S,
+        clock: Any = time.monotonic,
+    ) -> None:
         if max_traces <= 0:
             raise ValueError(f"max_traces must be positive, got {max_traces}")
+        if max_age_s <= 0:
+            raise ValueError(f"max_age_s must be positive, got {max_age_s}")
         self.max_traces = max_traces
+        self.max_age_s = max_age_s
+        self._clock = clock
         self._lock = threading.Lock()
         self._traces: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+        #: trace id -> last clock reading at which records arrived.
+        #: ``_traces``'s LRU order and these timestamps agree (both are
+        #: refreshed by the same touch), so the age sweep only ever has
+        #: to look at the front of the OrderedDict.
+        self._touched: Dict[str, float] = {}
         self._process_labels: Dict[int, str] = {}
+        #: Per-reason eviction tallies (``lru`` / ``age``).
+        self.evicted: Dict[str, int] = {"lru": 0, "age": 0}
+        self._evicted_counter: Optional[Tuple[Any, Any]] = None
 
     def add_records(
         self,
@@ -322,6 +359,7 @@ class TraceCollector:
             events.append(event)
         if not events:
             return
+        now = self._clock()
         with self._lock:
             if label:
                 for event in events:
@@ -332,8 +370,56 @@ class TraceCollector:
                 self._traces[trace_id] = bucket
             bucket.extend(events)
             self._traces.move_to_end(trace_id)
+            self._touched[trace_id] = now
+            lru = 0
             while len(self._traces) > self.max_traces:
-                self._traces.popitem(last=False)
+                victim, _ = self._traces.popitem(last=False)
+                self._touched.pop(victim, None)
+                lru += 1
+            aged = self._sweep_locked(now)
+        self._record_evictions("lru", lru)
+        self._record_evictions("age", aged)
+
+    def _sweep_locked(self, now: float) -> int:
+        """Drop traces untouched for ``max_age_s`` (lock held)."""
+        horizon = now - self.max_age_s
+        aged = 0
+        while self._traces:
+            oldest = next(iter(self._traces))
+            if self._touched.get(oldest, now) > horizon:
+                break
+            del self._traces[oldest]
+            self._touched.pop(oldest, None)
+            aged += 1
+        return aged
+
+    def _record_evictions(self, reason: str, count: int) -> None:
+        if not count:
+            return
+        self.evicted[reason] = self.evicted.get(reason, 0) + count
+        registry = get_registry()
+        cached = self._evicted_counter
+        if cached is None or cached[0] is not registry:
+            counter = registry.counter(
+                TRACES_EVICTED_METRIC,
+                "Traces evicted from the gateway's bounded trace store",
+            )
+            self._evicted_counter = cached = (registry, counter)
+        cached[1].inc(count, reason=reason)
+
+    def evict_stale(self, now: Optional[float] = None) -> int:
+        """Run the age sweep now; returns how many traces were dropped.
+
+        ``now`` overrides the collector's clock reading so tests can
+        advance time deterministically.  Also called from
+        :meth:`ClusterTelemetry.describe`, so a gateway that is being
+        *observed* sheds abandoned traces even with no new ones
+        arriving.
+        """
+        with self._lock:
+            aged = self._sweep_locked(self._clock() if now is None else now)
+        self._record_evictions("age", aged)
+        return aged
 
     def trace_ids(self) -> List[str]:
         """Known trace ids, oldest first."""
@@ -431,6 +517,7 @@ class ClusterTelemetry:
 
     def describe(self) -> Dict[str, Any]:
         """Per-worker summaries (with beat lag) for the ``stats`` verb."""
+        self.traces.evict_stale()
         now = time.time()
         with self._lock:
             workers = {

@@ -67,6 +67,11 @@ from repro.obs.events import (
     get_event_log,
     set_event_log,
 )
+from repro.obs.profiler import (
+    MAX_PROFILE_HZ,
+    SamplingProfiler,
+    set_profiler,
+)
 from repro.obs.registry import get_registry
 from repro.obs.tracing import (
     TraceContext,
@@ -115,6 +120,11 @@ class WorkerSpec:
             telemetry payload; ``0`` disables telemetry entirely.
         max_events_per_beat: flight-recorder events shipped per
             telemetry beat at most; overflow is shed and counted.
+        profile_hz: continuous-profiling sample rate; ``0`` (default)
+            keeps the worker unprofiled.  A profiled worker answers
+            the ``profile`` verb with its aggregated collapsed stacks
+            (requires ``obs``, which provides the tracer whose spans
+            label the samples).
     """
 
     worker_id: str
@@ -128,6 +138,7 @@ class WorkerSpec:
     obs: bool = True
     telemetry_interval_s: float = 1.0
     max_events_per_beat: int = 256
+    profile_hz: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.worker_id:
@@ -150,6 +161,11 @@ class WorkerSpec:
             raise ValueError(
                 f"max_events_per_beat must be positive, "
                 f"got {self.max_events_per_beat}"
+            )
+        if not 0 <= self.profile_hz <= MAX_PROFILE_HZ:
+            raise ValueError(
+                f"profile_hz must be in [0, {MAX_PROFILE_HZ:.0f}], "
+                f"got {self.profile_hz}"
             )
 
 
@@ -242,6 +258,7 @@ class _WorkerServer:
         self._journal_lock = threading.Lock()
         self._send_lock = threading.Lock()
         self._shipper: Optional[EventShipper] = None
+        self._profiler: Optional[SamplingProfiler] = None
 
     # -- control pipe ----------------------------------------------------
     def _control_send(self, message: Dict[str, Any]) -> None:
@@ -392,6 +409,32 @@ class _WorkerServer:
             wire = codec.response_to_wire(self.service.health())
             wire["worker"] = self.spec.worker_id
             return wire
+        if verb == "profile":
+            if self._profiler is None:
+                return codec.error_response(
+                    "profile",
+                    "profiling disabled on this worker "
+                    "(set WorkerSpec.profile_hz > 0)",
+                )
+            snapshot = self._profiler.snapshot()
+            return {
+                "verb": "profile",
+                "status": "ok",
+                "worker": self.spec.worker_id,
+                "profile": snapshot.to_wire(),
+            }
+        if verb == "slowlog":
+            raw_limit = message.get("limit")
+            payload = self.service.slowlog(
+                limit=None if raw_limit is None else int(raw_limit)
+            )
+            payload["backend_label"] = self.backend
+            return {
+                "verb": "slowlog",
+                "status": "ok",
+                "worker": self.spec.worker_id,
+                "slowlog": payload,
+            }
         if verb in ("ingest", "match", "investigate"):
             return self._handle_data(message, verb)
         raise codec.CodecError(f"unknown verb {verb!r}")
@@ -419,12 +462,17 @@ class _WorkerServer:
             return self._dispatch_data(message, verb)
         remote = extract_trace(message)
         local = remote if remote is not None else TraceContext(new_trace_id())
-        with tracer.remote_context(local):
-            with tracer.span(
-                "worker.request", verb=verb, worker=self.spec.worker_id
-            ):
-                response = self._dispatch_data(message, verb)
-        spans = tracer.take_trace(local.trace_id)
+        try:
+            with tracer.remote_context(local):
+                with tracer.span(
+                    "worker.request", verb=verb, worker=self.spec.worker_id
+                ):
+                    response = self._dispatch_data(message, verb)
+        finally:
+            # Pop the trace's spans even when the dispatch raised —
+            # otherwise an erroring request (whose trace is never
+            # collected) leaks its spans into the tracer forever.
+            spans = tracer.take_trace(local.trace_id)
         if remote is not None:
             response["trace_id"] = remote.trace_id
             response["spans"] = tracer.span_records(spans)
@@ -473,6 +521,14 @@ class _WorkerServer:
             self._shipper = EventShipper(
                 log, max_per_collect=self.spec.max_events_per_beat
             )
+        if self.spec.profile_hz > 0:
+            # Continuous self-profiling: the sampler runs for the
+            # worker's whole lifetime; the ``profile`` verb snapshots
+            # it on demand.
+            self._profiler = SamplingProfiler(
+                hz=self.spec.profile_hz, tag=self.spec.worker_id
+            ).start()
+            set_profiler(self._profiler)
         service, reloaded, self.backend = _build_service(self.spec)
         self.service = service.start()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -514,6 +570,8 @@ class _WorkerServer:
                 ).start()
         finally:
             listener.close()
+            if self._profiler is not None:
+                self._profiler.stop()
             # Drain in-flight work before exiting so a graceful stop
             # loses no accepted requests.
             self.service.stop(timeout=10.0)

@@ -18,7 +18,15 @@ here rather than ad-hoc ``perf_counter`` calls:
   per-match :class:`ProvenanceRecord`\\ s answering "why this
   EID→VID";
 * :mod:`repro.obs.report` — the markdown run-report renderer joining
-  manifest + metrics + span tree + event timeline + provenance.
+  manifest + metrics + span tree + event timeline + provenance;
+* :mod:`repro.obs.profiler` — the continuous wall-clock sampling
+  profiler (collapsed-stack / speedscope exports, span attribution,
+  cluster merge helpers);
+* :mod:`repro.obs.slowlog` — bounded slow-query exemplars (span tree +
+  kernel counters + trace id for every request over a threshold);
+* :mod:`repro.obs.regress` — the perf-regression sentinel:
+  ``BENCH_HISTORY.jsonl`` append/load/validate plus direction +
+  tolerance rules over the trajectory.
 
 ``repro.obs`` sits below every other package (it imports nothing from
 ``repro``) so core, mapreduce, and service can all record to it.  The
@@ -29,6 +37,7 @@ metric / span / event catalogues live in ``docs/architecture.md``
 from repro.obs.events import (
     EVENT_TYPES,
     EVENTS_DROPPED_METRIC,
+    SHIP_LAG_METRIC,
     EventLog,
     EventShipper,
     NullEventLog,
@@ -36,6 +45,17 @@ from repro.obs.events import (
     load_events,
     null_event_log,
     set_event_log,
+)
+from repro.obs.profiler import (
+    DEFAULT_PROFILE_HZ,
+    NullProfiler,
+    ProfileSnapshot,
+    SamplingProfiler,
+    get_profiler,
+    merge_collapsed,
+    merged_speedscope,
+    null_profiler,
+    set_profiler,
 )
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
@@ -55,6 +75,12 @@ from repro.obs.report import (
     markdown_table,
     render_report_from_events,
     render_run_report,
+)
+from repro.obs.slowlog import (
+    SLOW_QUERIES_METRIC,
+    SlowLogConfig,
+    SlowQueryLog,
+    serialize_span_tree,
 )
 from repro.obs.runs import (
     EvidenceItem,
@@ -84,6 +110,7 @@ from repro.obs.tracing import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_PROFILE_HZ",
     "EVENT_TYPES",
     "EVENTS_DROPPED_METRIC",
     "EventLog",
@@ -93,15 +120,23 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullEventLog",
+    "NullProfiler",
     "NullTracer",
+    "ProfileSnapshot",
     "ProvenanceRecord",
     "RUN_REPORT_SECTIONS",
     "RunContext",
+    "SHIP_LAG_METRIC",
+    "SLOW_QUERIES_METRIC",
+    "SamplingProfiler",
+    "SlowLogConfig",
+    "SlowQueryLog",
     "Span",
     "TraceContext",
     "Tracer",
     "extract_trace",
     "get_event_log",
+    "get_profiler",
     "get_registry",
     "get_run_context",
     "get_tracer",
@@ -109,19 +144,24 @@ __all__ = [
     "load_events",
     "load_run_records",
     "markdown_table",
+    "merge_collapsed",
     "merge_expositions",
+    "merged_speedscope",
     "nearest_rank",
     "new_run_context",
     "new_trace_id",
     "null_event_log",
+    "null_profiler",
     "null_registry",
     "null_tracer",
+    "serialize_span_tree",
     "provenance_evidence_listening",
     "provenance_listening",
     "record_provenance",
     "render_report_from_events",
     "render_run_report",
     "set_event_log",
+    "set_profiler",
     "set_registry",
     "set_run_context",
     "set_tracer",

@@ -67,6 +67,13 @@ DEFAULT_CAPACITY = 4096
 #: saturation, and operators need that loss to be *visible*.
 EVENTS_DROPPED_METRIC = "ev_obs_events_dropped_total"
 
+#: Gauge (on the process-global registry) of the shipping backlog a
+#: single :meth:`EventShipper.collect` could not carry: fresh events
+#: beyond ``max_per_collect`` at beat time.  Sustained non-zero means
+#: emission outruns the shipping budget — raise ``--events-per-beat``
+#: or shorten ``--telemetry-interval`` (see docs/architecture.md).
+SHIP_LAG_METRIC = "ev_obs_ship_lag"
+
 #: The event-type catalogue (documented in ``docs/architecture.md``).
 #: E stage (set splitting / refining):
 E_SPLIT_STARTED = "e.split.started"
@@ -90,6 +97,7 @@ SERVICE_CACHE_EVICTED = "service.cache.evicted"
 SERVICE_SHARD_ASSIGNED = "service.shard.assigned"
 SERVICE_DRAIN_STARTED = "service.drain.started"
 SERVICE_DRAIN_COMPLETED = "service.drain.completed"
+SERVICE_QUERY_SLOW = "service.query.slow"
 #: Cluster layer (:mod:`repro.cluster`):
 CLUSTER_WORKER_SPAWNED = "cluster.worker.spawned"
 CLUSTER_WORKER_READY = "cluster.worker.ready"
@@ -135,6 +143,7 @@ EVENT_TYPES = (
     SERVICE_SHARD_ASSIGNED,
     SERVICE_DRAIN_STARTED,
     SERVICE_DRAIN_COMPLETED,
+    SERVICE_QUERY_SLOW,
     CLUSTER_WORKER_SPAWNED,
     CLUSTER_WORKER_READY,
     CLUSTER_WORKER_CRASHED,
@@ -428,8 +437,10 @@ class EventShipper:
         self.max_per_collect = max_per_collect
         self.shipped = 0
         self.dropped = 0
+        self.lag = 0
         self._last_seq = 0
         self._primed = False
+        self._lag_gauge: Optional[tuple] = None
 
     def collect(self) -> Tuple[List[Dict[str, Any]], int]:
         """``(fresh events, dropped count)`` since the last collect.
@@ -444,15 +455,36 @@ class EventShipper:
             # Events between the cursor and the oldest retained one
             # fell off the ring before we saw them.
             dropped += fresh[0]["seq"] - self._last_seq - 1
-        if len(fresh) > self.max_per_collect:
-            dropped += len(fresh) - self.max_per_collect
+        lag = max(0, len(fresh) - self.max_per_collect)
+        if lag:
+            dropped += lag
             fresh = fresh[-self.max_per_collect:]
         if fresh:
             self._last_seq = fresh[-1]["seq"]
         self._primed = True
         self.shipped += len(fresh)
         self.dropped += dropped
+        self.lag = lag
+        self._set_lag_gauge(lag)
         return fresh, dropped
+
+    def _set_lag_gauge(self, lag: int) -> None:
+        # Cached handle, same pattern as the ring's drop counter: one
+        # gauge set per heartbeat must not re-resolve the registry name.
+        registry = get_registry()
+        cached = self._lag_gauge
+        if cached is None or cached[0] is not registry:
+            cached = (
+                registry,
+                registry.gauge(
+                    SHIP_LAG_METRIC,
+                    "Fresh events beyond the per-collect shipping budget "
+                    "at the last heartbeat (sustained >0 = shipping lags "
+                    "emission)",
+                ),
+            )
+            self._lag_gauge = cached
+        cached[1].set(lag)
 
 
 def load_events(path: str) -> List[Dict[str, Any]]:

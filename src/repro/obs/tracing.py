@@ -181,14 +181,36 @@ class _SpanContext:
         self._token: Optional[contextvars.Token] = None
 
     def __enter__(self) -> Span:
-        self._token = self._tracer._current.set(self._span)
-        return self._span
+        span = self._span
+        self._token = self._tracer._current.set(span)
+        # Per-thread open-span registry for the sampling profiler: only
+        # the owning thread mutates its own stack (enter/exit happen on
+        # the thread that opened the span), so plain list ops suffice.
+        active = self._tracer._active
+        stack = active.get(span.tid)
+        if stack is None:
+            active[span.tid] = [span]
+        else:
+            stack.append(span)
+        return span
 
     def __exit__(self, *exc_info: Any) -> bool:
         span = self._span
         span.end_s = self._tracer._clock()
         if self._token is not None:
             self._tracer._current.reset(self._token)
+        active = self._tracer._active
+        stack = active.get(span.tid)
+        if stack:
+            if stack[-1] is span:
+                stack.pop()
+            else:  # tolerate out-of-order exits; never raise from exit
+                try:
+                    stack.remove(span)
+                except ValueError:
+                    pass
+            if not stack:
+                active.pop(span.tid, None)
         self._tracer._record(span)
         return False
 
@@ -245,6 +267,10 @@ class Tracer:
         self._lock = threading.Lock()
         self._finished: List[Span] = []
         self._roots: List[Span] = []
+        # tid -> that thread's currently-open spans, outermost first.
+        # Written only by the owning thread; read (racily but safely,
+        # under the GIL) by the sampling profiler's thread.
+        self._active: Dict[int, List[Span]] = {}
 
     # -- recording -------------------------------------------------------
     def span(
@@ -296,6 +322,23 @@ class Tracer:
     def current_span(self) -> Optional[Span]:
         """The innermost open span on this thread's context, if any."""
         return self._current.get()
+
+    def active_span_stacks(self) -> Dict[int, Tuple[str, ...]]:
+        """Snapshot of every thread's open span names, outermost first.
+
+        This is how the sampling profiler attributes a stack sample to
+        the spans that were open on the sampled thread: the contextvar
+        can't be read cross-thread, but the per-thread stacks can.  The
+        read races benignly with the owning threads (list/dict ops are
+        atomic under the GIL); a sample landing mid-transition merely
+        attributes one tick to the neighbouring span.
+        """
+        stacks: Dict[int, Tuple[str, ...]] = {}
+        for tid, stack in list(self._active.items()):
+            names = tuple(span.name for span in list(stack))
+            if names:
+                stacks[tid] = names
+        return stacks
 
     def _record(self, span: Span) -> None:
         with self._lock:
@@ -455,6 +498,9 @@ class NullTracer:
 
     def current_span(self) -> Optional[Span]:
         return None
+
+    def active_span_stacks(self) -> Dict[int, Tuple[str, ...]]:
+        return {}
 
     def remote_context(self, ctx: Optional[TraceContext]) -> "_RemoteContext":
         return _RemoteContext(_NULL_REMOTE_VAR, None)

@@ -106,6 +106,22 @@ class HealthTracker:
         while window and window[0][0] < horizon:
             window.popleft()
 
+    def latency_p99(self) -> "float | None":
+        """The rolling-window latency p99 in seconds, or ``None`` while
+        the window is undersampled.
+
+        The slow-query log's adaptive threshold reads this on every
+        request, so it is a light path: one prune + one nearest-rank
+        over the bounded window, no SLO judging.
+        """
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            if len(self._window) < self.slo.min_samples:
+                return None
+            latencies = [latency for _, _, latency in self._window]
+        return nearest_rank(latencies, 99.0)
+
     def snapshot(self) -> HealthResponse:
         """Judge the current window against the declared objectives."""
         now = self._clock()

@@ -45,6 +45,7 @@ from repro.core.matcher import EVMatcher, MatcherConfig, MatchReport
 from repro.obs import get_event_log, get_registry, get_tracer
 from repro.obs import events as ev
 from repro.obs.registry import merge_expositions
+from repro.obs.slowlog import SlowLogConfig, SlowQueryLog
 from repro.sensing.scenarios import EVScenario, ScenarioStore
 from repro.service.api import (
     STATUS_ERROR,
@@ -90,6 +91,8 @@ class ServiceConfig:
             hook for overload/shedding scenarios (0 in production).
         slo: declared objectives the ``health`` verb judges the
             rolling request window against.
+        slowlog: slow-query exemplar capture policy; the default is
+            adaptive (``3 ×`` the rolling p99 from the health window).
     """
 
     workers: int = 2
@@ -101,6 +104,7 @@ class ServiceConfig:
     matcher: MatcherConfig = MatcherConfig()
     worker_delay_s: float = 0.0
     slo: SLOConfig = SLOConfig()
+    slowlog: SlowLogConfig = SlowLogConfig()
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -182,6 +186,9 @@ class MatchService:
         )
         self.metrics = ServiceMetrics()
         self.health_tracker = HealthTracker(self.config.slo)
+        self.slow_queries = SlowQueryLog(
+            self.config.slowlog, p99_source=self.health_tracker.latency_p99
+        )
         matcher_cfg = self.config.matcher
         coupled = matcher_cfg.use_exclusion or matcher_cfg.refining is not None
         self.batcher = MatchBatcher(
@@ -332,6 +339,14 @@ class MatchService:
     def health(self) -> HealthResponse:
         """The ``health`` verb: SLO pass/fail over the rolling window."""
         return self.health_tracker.snapshot()
+
+    def slowlog(self, limit: Optional[int] = None) -> dict:
+        """The ``slowlog`` verb: retained slow-query exemplars (newest
+        first) plus the capture policy summary."""
+        return {
+            **self.slow_queries.describe(),
+            "records": self.slow_queries.records(limit=limit),
+        }
 
     # -- async API ---------------------------------------------------------
     def submit(self, request: Request) -> "Future":
@@ -598,18 +613,41 @@ class MatchService:
             "service.execute", parent=parent, endpoint=endpoint, **args
         )
 
+    #: Kernel counters whose per-batch deltas a slow-query exemplar
+    #: carries.  The counters are process-global, so under concurrent
+    #: batches the deltas are best-effort attribution, not an exact
+    #: per-request bill — good enough to tell "examined 40x the usual
+    #: scenarios" from "same work, slower machine".
+    _SLOWLOG_COUNTERS = (
+        ("scenarios_examined", "ev_e_scenarios_examined_total"),
+        ("cache_hits", "ev_cache_hits_total"),
+        ("cache_misses", "ev_cache_misses_total"),
+    )
+
+    def _kernel_counter_totals(self) -> dict:
+        registry = get_registry()
+        return {
+            key: registry.counter(name).total()
+            for key, name in self._SLOWLOG_COUNTERS
+        }
+
     def _execute_match_batch(
         self, batch: List[MatchRequest], parents: Optional[List[object]] = None
     ) -> None:
         if self.config.worker_delay_s:
             time.sleep(self.config.worker_delay_s)
         parent = next((p for p in parents or [] if p is not None), None)
-        with self._execute_span(parent, "match", batch=len(batch)):
+        counters_before = self._kernel_counter_totals()
+        with self._execute_span(parent, "match", batch=len(batch)) as exec_span:
             self._rw.acquire_read()
             try:
                 resolutions = self.batcher.execute(batch, self._run_match)
             finally:
                 self._rw.release_read()
+        counters = {
+            key: total - counters_before[key]
+            for key, total in self._kernel_counter_totals().items()
+        }
         cached_keys: set = set()
         for request, waiter, response in resolutions:
             key = request.cache_key()
@@ -620,7 +658,10 @@ class MatchService:
             ):
                 self.cache.put(key, dict(response.matches), eids=request.targets)
                 cached_keys.add(key)
-            self._finish_match(request, waiter, response)
+            self._finish_match(
+                request, waiter, response,
+                exec_span=exec_span, counters=counters,
+            )
 
     def _run_match(
         self, algorithm: str, targets: Tuple[EID, ...]
@@ -630,7 +671,12 @@ class MatchService:
         return self._matcher.match(list(targets))
 
     def _finish_match(
-        self, request: MatchRequest, waiter: Waiter, response: MatchResponse
+        self,
+        request: MatchRequest,
+        waiter: Waiter,
+        response: MatchResponse,
+        exec_span=None,
+        counters: Optional[dict] = None,
     ) -> None:
         response.latency_s = time.perf_counter() - waiter.started
         self._observe(
@@ -641,13 +687,33 @@ class MatchService:
             batched=response.batched_with > 0,
         )
         waiter.future.set_result(response)
+        # After the future resolves: exemplar capture must never delay
+        # the answer.  The execute span is closed by now, so its
+        # subtree (e.split / v.filter / ...) is complete.
+        self.slow_queries.consider(
+            endpoint="match",
+            latency_s=response.latency_s,
+            status=response.status,
+            trace_id=getattr(exec_span, "trace_id", None),
+            span=exec_span,
+            detail={
+                "targets": ",".join(str(t.index) for t in request.targets),
+                "algorithm": request.algorithm,
+                "batched_with": response.batched_with,
+                "cached": response.cached,
+            },
+            counters=counters,
+            backend=self.config.matcher.split.backend,
+        )
 
     def _handle_investigate(
         self, request: InvestigateRequest, waiter: Waiter
     ) -> None:
         if self.config.worker_delay_s:
             time.sleep(self.config.worker_delay_s)
-        with self._execute_span(waiter.parent_span, "investigate"):
+        with self._execute_span(
+            waiter.parent_span, "investigate"
+        ) as exec_span:
             self._rw.acquire_read()
             try:
                 keys = self.shards.scenarios_of(request.eid)
@@ -673,3 +739,12 @@ class MatchService:
         response.latency_s = time.perf_counter() - waiter.started
         self._observe("investigate", response.status, response.latency_s)
         waiter.future.set_result(response)
+        self.slow_queries.consider(
+            endpoint="investigate",
+            latency_s=response.latency_s,
+            status=response.status,
+            trace_id=getattr(exec_span, "trace_id", None),
+            span=exec_span,
+            detail={"eid": request.eid.index, "min_shared": request.min_shared},
+            backend=self.config.matcher.split.backend,
+        )

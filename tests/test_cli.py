@@ -219,3 +219,69 @@ class TestStream:
         types = {event["type"] for event in events}
         assert "stream.window.closed" in types
         assert "stream.scenario.emitted" in types
+
+
+class TestProfilingCli:
+    def test_match_profile_flags(self):
+        args = build_parser().parse_args(
+            ["match", "--profile", "out.collapsed", "--profile-hz", "50"]
+        )
+        assert args.profile == "out.collapsed"
+        assert args.profile_hz == 50.0
+        # Off by default: no sampler thread unless asked for.
+        args = build_parser().parse_args(["match"])
+        assert args.profile is None
+        assert args.profile_hz is None
+
+    def test_cluster_profile_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "cluster", "profile", "out.collapsed",
+                "--requests", "4", "--profile-hz", "250",
+                "--events-per-beat", "64", "--telemetry-interval", "0.5",
+            ]
+        )
+        assert args.cluster_command == "profile"
+        assert args.output == "out.collapsed"
+        assert args.requests == 4
+        assert args.profile_hz == 250.0
+        assert args.events_per_beat == 64
+        assert args.telemetry_interval == 0.5
+
+    def test_cluster_serve_ships_tuning_flags(self):
+        args = build_parser().parse_args(["cluster", "serve"])
+        assert args.telemetry_interval == 1.0
+        assert args.events_per_beat == 256
+        assert args.profile_hz == 0.0  # profiling is opt-in
+
+    def test_cluster_slowlog_parsing(self):
+        args = build_parser().parse_args(
+            ["cluster", "slowlog", "--connect", "127.0.0.1:7000", "--limit", "5"]
+        )
+        assert args.cluster_command == "slowlog"
+        assert args.connect == "127.0.0.1:7000"
+        assert args.limit == 5
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "slowlog"])
+
+    def test_match_profile_writes_both_artifacts(self, tmp_path, capsys):
+        out = str(tmp_path / "prof.collapsed")
+        code = main(
+            [
+                "match",
+                "--people", "40", "--cells", "2", "--targets", "8",
+                "--duration", "300", "--profile", out,
+                "--profile-hz", "400",
+            ]
+        )
+        assert code == 0
+        collapsed = open(out).read()
+        assert collapsed.strip(), "profiler landed no samples"
+        for line in collapsed.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+        import json
+
+        doc = json.load(open(out + ".speedscope.json"))
+        assert doc["profiles"], "speedscope document is empty"
+        assert "profile" in capsys.readouterr().out

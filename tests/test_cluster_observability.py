@@ -9,7 +9,11 @@ log enabled end to end.  These are the ISSUE's acceptance demos:
   every live worker, and federated counters survive a kill+restart
   (delta re-basing);
 * the SSE ``events`` verb streams worker-originated flight-recorder
-  events, correlated by worker id.
+  events, correlated by worker id;
+* the ``profile`` verb merges per-worker sampling profiles into one
+  collapsed/speedscope document spanning >= 2 worker processes;
+* the ``slowlog`` verb merges worker slow-query exemplars, slowest
+  first, tagged with the originating worker.
 """
 
 import re
@@ -32,6 +36,7 @@ from repro.datagen.config import ExperimentConfig
 from repro.datagen.dataset import EVDataset, build_dataset
 from repro.datagen.io import save_dataset
 from repro.obs import EventLog, MetricsRegistry, set_event_log, set_registry
+from repro.obs.slowlog import SlowLogConfig
 from repro.obs.tracing import Tracer, set_tracer
 from repro.sensing.scenarios import ScenarioStore
 from repro.service.api import STATUS_OK
@@ -92,8 +97,20 @@ def stack(tmp_path_factory):
                 worker_id=f"w{i}",
                 dataset_path=str(path),
                 journal_path=str(workdir / f"w{i}.journal.jsonl"),
-                service=ServiceConfig(workers=2, queue_size=64),
+                service=ServiceConfig(
+                    workers=2,
+                    queue_size=64,
+                    # A small artificial service time plus a tiny fixed
+                    # slowlog threshold: every request becomes a
+                    # slow-query exemplar, so the slowlog verb has
+                    # records to merge.
+                    worker_delay_s=0.005,
+                    slowlog=SlowLogConfig(threshold_s=0.001),
+                ),
                 telemetry_interval_s=TELEMETRY_INTERVAL_S,
+                # Sample fast so profile samples land within a short
+                # polling window.
+                profile_hz=200.0,
             )
             for i in range(2)
         ],
@@ -298,6 +315,80 @@ class TestClusterEventStream:
         assert event_type == "match.provenance"
         assert event["fields"]["worker"] in {"w0", "w1"}
         assert event.get("origin_seq") is not None
+
+    def test_cluster_profile_spans_at_least_two_workers(self, stack, client):
+        """Acceptance demo: the ``profile`` verb returns one merged
+        flamegraph whose stacks come from >= 2 worker processes."""
+        deadline = time.monotonic() + 30.0
+        seed = 61
+        while True:
+            # Keep the workers busy so the 200 Hz samplers land stacks.
+            for _ in range(4):
+                seed += 1
+                assert (
+                    client.call(match_message(stack, seed=seed))["status"]
+                    == STATUS_OK
+                )
+            profile = client.merged_profile()
+            sampled = [
+                worker_id
+                for worker_id in profile["workers"]
+                if f"worker={worker_id};" in profile["collapsed"]
+            ]
+            if len(sampled) >= 2:
+                break
+            assert time.monotonic() < deadline, (
+                f"merged profile never spanned 2 workers; "
+                f"sampled={sampled} samples={profile['samples']}"
+            )
+            time.sleep(0.2)
+
+        assert profile["status"] == STATUS_OK
+        assert {"w0", "w1"} <= set(profile["workers"])
+        assert profile["samples"] > 0
+        # Every collapsed line is worker-rooted with a positive count.
+        for line in profile["collapsed"].splitlines():
+            stack_part, _, count = line.rpartition(" ")
+            assert stack_part.startswith("worker=")
+            assert int(count) > 0
+        # The speedscope document carries one profile per worker, all
+        # indexing one shared frame table.
+        doc = profile["speedscope"]
+        names = {p["name"] for p in doc["profiles"]}
+        assert len(names) == len(doc["profiles"]) >= 2
+        frames = doc["shared"]["frames"]
+        for worker_profile in doc["profiles"]:
+            for sample in worker_profile["samples"]:
+                assert all(0 <= i < len(frames) for i in sample)
+
+    def test_cluster_slowlog_merges_worker_exemplars(self, stack, client):
+        for seed in (71, 72, 73):
+            assert (
+                client.call(match_message(stack, seed=seed))["status"]
+                == STATUS_OK
+            )
+        payload = client.slowlog(limit=8)
+        assert payload["status"] == STATUS_OK
+        # Per-worker policy envelopes (records stripped).
+        assert {"w0", "w1"} <= set(payload["workers"])
+        for summary in payload["workers"].values():
+            assert summary["mode"] == "fixed"
+            assert summary["threshold_s"] == pytest.approx(0.001)
+            assert "records" not in summary
+        # The fixture's worker_delay_s guarantees every request was an
+        # exemplar; merged records arrive slowest-first, worker-tagged.
+        records = payload["records"]
+        assert records
+        assert len(records) <= 8
+        latencies = [r["latency_s"] for r in records]
+        assert latencies == sorted(latencies, reverse=True)
+        for record in records:
+            assert record["worker"] in {"w0", "w1"}
+            assert record["endpoint"] == "match"
+            assert record["latency_s"] >= record["threshold_s"]
+            assert record["trace_id"]  # joins against merged traces
+            assert record["backend_label"]
+            assert record["spans"]["name"] == "service.execute"
 
     def test_stats_exposes_per_worker_telemetry_summaries(
         self, stack, client

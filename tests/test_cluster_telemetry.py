@@ -18,6 +18,7 @@ flows over real worker processes.  Covered:
 
 import re
 import socket
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -32,12 +33,14 @@ from repro.cluster.protocol import (
 from repro.cluster.router import ClusterRouter
 from repro.cluster.supervisor import WorkerError
 from repro.cluster.telemetry import (
+    TRACES_EVICTED_METRIC,
     ClusterTelemetry,
     MetricsFederation,
     TraceCollector,
 )
 from repro.obs.events import (
     EVENTS_DROPPED_METRIC,
+    SHIP_LAG_METRIC,
     EventLog,
     EventShipper,
     set_event_log,
@@ -234,6 +237,66 @@ class TestTraceCollector:
         assert collector.trace_ids() == ids[1:]
         assert collector.chrome_trace(ids[0]) is None
         assert collector.latest_trace_id() == ids[-1]
+        assert collector.evicted["lru"] == 1
+
+    def test_abandoned_traces_age_out(self, fresh_obs):
+        """A trace that stops receiving records must not pin the store
+        forever on a quiet gateway: the age sweep drops it and the
+        eviction is counted by reason."""
+        registry, _tracer, _log = fresh_obs
+        clock = [0.0]
+        collector = TraceCollector(
+            max_traces=8, max_age_s=10.0, clock=lambda: clock[0]
+        )
+        abandoned, live = new_trace_id(), new_trace_id()
+        collector.add_records(abandoned, [self.record(1, abandoned)])
+        clock[0] = 6.0
+        collector.add_records(live, [self.record(2, live)])
+        # Touching a trace refreshes its age: at t=12 `live` (touched
+        # at 6) survives, `abandoned` (touched at 0) is past 10s.
+        clock[0] = 12.0
+        assert collector.evict_stale() == 1
+        assert collector.trace_ids() == [live]
+        assert collector.chrome_trace(abandoned) is None
+        assert collector.evicted == {"lru": 0, "age": 1}
+        metric = registry.counter(TRACES_EVICTED_METRIC, "")
+        assert metric.total() == 1
+        # Idempotent: nothing else is old enough.
+        assert collector.evict_stale() == 0
+
+    def test_age_sweep_runs_on_add_records(self):
+        clock = [0.0]
+        collector = TraceCollector(
+            max_traces=8, max_age_s=10.0, clock=lambda: clock[0]
+        )
+        stale = new_trace_id()
+        collector.add_records(stale, [self.record(1, stale)])
+        clock[0] = 30.0
+        fresh = new_trace_id()
+        collector.add_records(fresh, [self.record(2, fresh)])
+        assert collector.trace_ids() == [fresh]
+        assert collector.evicted["age"] == 1
+
+    def test_explicit_now_overrides_the_clock(self):
+        collector = TraceCollector(max_traces=8, max_age_s=10.0)
+        tid = new_trace_id()
+        collector.add_records(tid, [self.record(1, tid)])
+        assert collector.evict_stale() == 0
+        assert collector.evict_stale(now=time.monotonic() + 60.0) == 1
+        assert collector.trace_ids() == []
+
+    def test_describe_triggers_the_sweep(self):
+        clock = [0.0]
+        telemetry = ClusterTelemetry()
+        telemetry.traces = TraceCollector(
+            max_traces=8, max_age_s=10.0, clock=lambda: clock[0]
+        )
+        tid = new_trace_id()
+        telemetry.traces.add_records(tid, [self.record(1, tid)])
+        clock[0] = 30.0
+        described = telemetry.describe()
+        assert described["traces"] == 0
+        assert telemetry.traces.evicted["age"] == 1
 
 
 class _FakeHandle:
@@ -365,6 +428,28 @@ class TestEventShipping:
         assert dropped == 3
         assert shipper.shipped == 4
         assert shipper.dropped == 3
+
+    def test_ship_lag_gauge_tracks_per_collect_backlog(self, fresh_obs):
+        """``ev_obs_ship_lag`` exposes how far each collect ran behind
+        its per-beat budget — the signal for tuning
+        ``--events-per-beat`` — and falls back to zero when a beat
+        keeps up."""
+        registry, _tracer, _log = fresh_obs
+        log = EventLog(capacity=64)
+        shipper = EventShipper(log, max_per_collect=3)
+        gauge = registry.gauge(SHIP_LAG_METRIC, "")
+        for i in range(8):
+            log.emit("service.request.shed", i=i)
+        fresh, dropped = shipper.collect()
+        # 8 fresh against a budget of 3: 5 behind, all capped ones shed.
+        assert (len(fresh), dropped) == (3, 5)
+        assert shipper.lag == 5
+        assert gauge.value() == 5
+        log.emit("service.request.shed", i=99)
+        fresh, dropped = shipper.collect()
+        assert (len(fresh), dropped) == (1, 0)
+        assert shipper.lag == 0
+        assert gauge.value() == 0
 
     def test_telemetry_beat_adopts_events_and_counts_loss(self, fresh_obs):
         registry, _tracer, log = fresh_obs
