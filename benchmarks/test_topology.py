@@ -1,0 +1,255 @@
+"""Topology-aware V-stage pruning vs the topology-blind baseline.
+
+Not a paper figure — this pins ISSUE 10's camera-graph reachability
+pruning where it binds: a tracking workload whose evidence lists carry
+**misattributed sightings**.  Electronic sensing misattributes in
+practice — MAC cloning, reader crosstalk, aliased identifiers — and a
+misread lands the target's identifier at a reader it could not have
+reached in the time available.  The topology-blind V stage pays the
+full quadratic feature-comparison bill over the corrupted evidence
+(and lets the misreads vote in the accuracy majority); the
+:class:`~repro.topology.matching.ReachabilityPruner` peels the
+misreads off against the fitted transit model before any features are
+compared.
+
+Harness design:
+
+* **Workload** — per target, every confident E-sighting in the store
+  (the retrieval shape: gather all sightings of a suspect, confirm
+  visually).  Long evidence lists are exactly where the quadratic
+  V-stage cost and the pruner both matter.
+* **Corruption** — each sighting is misattributed with probability
+  ``MISREAD_FRACTION`` to another active reader at the same tick,
+  chosen proportionally to that reader's concurrent traffic
+  (collisions happen where the traffic is).  Deterministic seed, so
+  both filter configurations see byte-identical evidence.
+* **Graphs** — a *dense* camera graph (12x12 grid: hundreds of fitted
+  edges, misreads land many hops away and look impossible) and a
+  *sparse* one (4x4 grid: a 16-node graph where most cells are a hop
+  or two apart, so a misread often looks feasible and pruning has
+  less to grab).  The contrast is the point: the finer the graph, the
+  more a misread stands out.
+
+Both worlds land in ``BENCH_topology.json`` so CI keeps a trajectory:
+``comparisons_ratio`` (baseline / topology comparisons per target) is
+pinned at ≥ 3x on the dense graph at equal-or-better accuracy, and
+the perf-regression sentinel (:mod:`repro.obs.regress`) watches both
+generations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.bench.datasets import scale
+from repro.bench.reporting import render_rows, write_bench_artifact
+from repro.core.vid_filtering import FilterConfig, VIDFilter
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import build_dataset
+from repro.metrics.accuracy import accuracy_of
+from repro.metrics.timing import SimulatedClock
+from repro.topology import TopologyConfig
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_topology.json"
+
+#: Pinned floor: topology pruning must cut V-stage comparisons per
+#: target by at least this factor on the dense-graph world (ISSUE 10).
+DENSE_MIN_RATIO = 3.0
+
+#: Fraction of each target's sightings misattributed to another reader.
+MISREAD_FRACTION = 0.5
+
+#: Seed for the (deterministic) misattribution draw.
+MISREAD_SEED = 5
+
+_RESULTS: Dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_trajectory():
+    """Collect both worlds' measurements and write the artifact."""
+    yield
+    if _RESULTS:
+        write_bench_artifact(BENCH_PATH, _RESULTS)
+
+
+def _dense_world():
+    """Fine 12x12 grid — a dense fitted graph (hundreds of edges)."""
+    return build_dataset(
+        ExperimentConfig(
+            num_people=350,
+            cells_per_side=12,
+            duration=600.0,
+            mobility_model="random_walk",
+            seed=3,
+        )
+    )
+
+
+def _sparse_world():
+    """Coarse 4x4 grid — a 16-node graph with small hop distances."""
+    return build_dataset(
+        ExperimentConfig(
+            num_people=200,
+            cells_per_side=4,
+            duration=300.0,
+            mobility_model="random_walk",
+            seed=3,
+        )
+    )
+
+
+def _num_targets(paper: int) -> int:
+    return max(8, paper // 3) if scale() == "smoke" else paper
+
+
+def _misattributed_evidence(dataset, targets):
+    """Each target's full sighting list, with ``MISREAD_FRACTION`` of
+    the keys relocated to a traffic-weighted random reader at the same
+    tick (the crosstalk model described in the module docstring)."""
+    rng = np.random.default_rng(MISREAD_SEED)
+    store = dataset.store
+    target_set = set(targets)
+    evidence = {target: [] for target in targets}
+    for key in store.keys:
+        for eid in store.e_scenario(key).inclusive:
+            if eid in target_set:
+                evidence[eid].append(key)
+    for target in targets:
+        keys = sorted(evidence[target], key=lambda k: (k.tick, k.cell_id))
+        corrupted: List = []
+        for key in keys:
+            if rng.random() < MISREAD_FRACTION:
+                elsewhere = [
+                    other
+                    for other in store.keys_at_tick(key.tick)
+                    if other.cell_id != key.cell_id
+                ]
+                if elsewhere:
+                    traffic = np.array(
+                        [
+                            len(store.e_scenario(other).inclusive)
+                            for other in elsewhere
+                        ],
+                        dtype=float,
+                    )
+                    pick = rng.choice(
+                        len(elsewhere), p=traffic / traffic.sum()
+                    )
+                    corrupted.append(elsewhere[pick])
+                    continue
+            corrupted.append(key)
+        evidence[target] = sorted(corrupted, key=lambda k: (k.tick, k.cell_id))
+    return evidence
+
+
+def _measure(dataset, num_targets: int) -> dict:
+    """Both filter configurations over identical corrupted evidence."""
+    targets = list(
+        dataset.sample_targets(min(num_targets, len(dataset.eids)), seed=1)
+    )
+    evidence = _misattributed_evidence(dataset, targets)
+    measured = {}
+    for label, config in (
+        ("baseline", FilterConfig()),
+        (
+            "topology",
+            FilterConfig(topology=TopologyConfig(model=dataset.topology)),
+        ),
+    ):
+        vid_filter = VIDFilter(dataset.store, config, clock=SimulatedClock())
+        results = vid_filter.match(evidence)
+        chosen = {eid: result.chosen for eid, result in results.items()}
+        measured[label] = {
+            "comparisons_per_target": vid_filter.clock.comparisons
+            / len(targets),
+            "accuracy_pct": accuracy_of(
+                chosen, dataset.truth, targets
+            ).percentage,
+            "report": vid_filter.topology_report(),
+        }
+    base, topo = measured["baseline"], measured["topology"]
+    report = topo["report"]
+    considered = report["pruned"] + report["kept"]
+    return {
+        "targets": len(targets),
+        "misread_fraction": MISREAD_FRACTION,
+        "baseline_comparisons_per_target": round(
+            base["comparisons_per_target"], 1
+        ),
+        "topology_comparisons_per_target": round(
+            topo["comparisons_per_target"], 1
+        ),
+        "comparisons_ratio": round(
+            base["comparisons_per_target"]
+            / max(1e-9, topo["comparisons_per_target"]),
+            2,
+        ),
+        "baseline_accuracy_pct": round(base["accuracy_pct"], 2),
+        "topology_accuracy_pct": round(topo["accuracy_pct"], 2),
+        "pruned_fraction": round(report["pruned"] / max(1, considered), 3),
+    }
+
+
+def _emit_row(name: str, row: dict) -> None:
+    columns = (
+        "world",
+        "comparisons_ratio",
+        "baseline_cmp",
+        "topology_cmp",
+        "baseline_acc",
+        "topology_acc",
+        "pruned",
+    )
+    emit(
+        render_rows(
+            f"topology pruning — {name} graph",
+            columns,
+            [
+                {
+                    "world": name,
+                    "comparisons_ratio": row["comparisons_ratio"],
+                    "baseline_cmp": row["baseline_comparisons_per_target"],
+                    "topology_cmp": row["topology_comparisons_per_target"],
+                    "baseline_acc": row["baseline_accuracy_pct"],
+                    "topology_acc": row["topology_accuracy_pct"],
+                    "pruned": row["pruned_fraction"],
+                }
+            ],
+        )
+    )
+
+
+def test_dense_graph_pruning():
+    """Dense graph: ≥ 3x fewer comparisons at equal-or-better accuracy."""
+    row = _measure(_dense_world(), _num_targets(40))
+    _RESULTS["dense"] = row
+    _emit_row("dense", row)
+    assert row["comparisons_ratio"] >= DENSE_MIN_RATIO, (
+        f"topology pruning must cut dense-graph V-stage comparisons by "
+        f">= {DENSE_MIN_RATIO}x, got {row['comparisons_ratio']}x"
+    )
+    assert row["topology_accuracy_pct"] >= row["baseline_accuracy_pct"], (
+        "pruning must never cost accuracy: "
+        f"{row['topology_accuracy_pct']} < {row['baseline_accuracy_pct']}"
+    )
+    assert row["pruned_fraction"] > 0.3
+
+
+def test_sparse_graph_pruning():
+    """Sparse graph: gains shrink (small hop distances) but never hurt."""
+    row = _measure(_sparse_world(), _num_targets(24))
+    _RESULTS["sparse"] = row
+    _emit_row("sparse", row)
+    assert row["comparisons_ratio"] >= 1.5
+    assert row["topology_accuracy_pct"] >= row["baseline_accuracy_pct"]
+    # The design point of the two-world contrast: a fine graph makes
+    # misreads look impossible; a coarse one hides them.
+    dense = _RESULTS.get("dense")
+    if dense is not None:
+        assert dense["comparisons_ratio"] >= row["comparisons_ratio"] * 0.9

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Topology matching — the camera graph as a matching prior.
+
+Electronic sensing misattributes in practice: MAC cloning, reader
+crosstalk, aliased identifiers.  A misread lands a suspect's
+identifier at a reader they could not possibly have reached in the
+time available — and the topology-blind V stage still pays the full
+quadratic feature-comparison bill over it, while the misreads vote in
+the final majority.
+
+This tour shows what `repro.topology` does about it:
+
+1. every generated world now carries a camera graph fitted from its
+   own mobility traces (cells -> nodes, observed transitions -> edges
+   with transit-time stats);
+2. corrupt a tracking workload with traffic-weighted misreads and
+   watch the `ReachabilityPruner` peel them off *before* any features
+   are compared — fewer comparisons AND restored accuracy;
+3. ask a city-wide co-traveler question: who actually *travels* with
+   the suspect, under the fitted transit model, rather than merely
+   loitering in the same cell?
+
+Run:
+    python examples/topology_matching.py
+"""
+
+import numpy as np
+
+from repro import ExperimentConfig, build_dataset
+from repro.core.vid_filtering import FilterConfig, VIDFilter
+from repro.fusion import find_convoys
+from repro.metrics.accuracy import accuracy_of
+from repro.metrics.timing import SimulatedClock
+from repro.topology import TopologyConfig
+
+MISREAD_FRACTION = 0.5
+
+
+def misattribute(store, evidence, rng):
+    """Relocate half of each target's sightings to another concurrent
+    reader, weighted by that reader's traffic (the crosstalk model)."""
+    corrupted = {}
+    for target, keys in evidence.items():
+        out = []
+        for key in keys:
+            if rng.random() < MISREAD_FRACTION:
+                elsewhere = [
+                    other
+                    for other in store.keys_at_tick(key.tick)
+                    if other.cell_id != key.cell_id
+                ]
+                if elsewhere:
+                    traffic = np.array(
+                        [len(store.e_scenario(o).inclusive) for o in elsewhere],
+                        dtype=float,
+                    )
+                    pick = rng.choice(len(elsewhere), p=traffic / traffic.sum())
+                    out.append(elsewhere[pick])
+                    continue
+            out.append(key)
+        corrupted[target] = sorted(out, key=lambda k: (k.tick, k.cell_id))
+    return corrupted
+
+
+def main() -> None:
+    print("Building a dense-grid world (the camera graph fits alongside)...")
+    dataset = build_dataset(
+        ExperimentConfig(
+            num_people=300,
+            cells_per_side=10,
+            duration=600.0,
+            mobility_model="random_walk",
+            seed=3,
+        )
+    )
+    model = dataset.topology
+    stats = model.describe()
+    print(
+        f"  fitted graph: {stats['nodes']:.0f} cells, "
+        f"{stats['edges']:.0f} directed edges "
+        f"(trace coverage {stats['coverage']:.2f}, "
+        f"mean transit {stats['mean_transit_ticks']:.1f} ticks)"
+    )
+
+    # -- a corrupted tracking workload ---------------------------------
+    targets = list(dataset.sample_targets(24, seed=1))
+    honest = {t: [] for t in targets}
+    for key in dataset.store.keys:
+        for eid in dataset.store.e_scenario(key).inclusive:
+            if eid in honest:
+                honest[eid].append(key)
+    evidence = misattribute(
+        dataset.store,
+        {t: sorted(ks, key=lambda k: (k.tick, k.cell_id)) for t, ks in honest.items()},
+        np.random.default_rng(5),
+    )
+    print(
+        f"\nTracking workload: {len(targets)} suspects, "
+        f"{sum(len(v) for v in evidence.values())} sightings, "
+        f"{MISREAD_FRACTION:.0%} misattributed to a concurrent reader."
+    )
+
+    # -- baseline vs topology over byte-identical evidence -------------
+    rows = {}
+    for label, config in (
+        ("baseline", FilterConfig()),
+        ("topology", FilterConfig(topology=TopologyConfig(model=model))),
+    ):
+        vid_filter = VIDFilter(dataset.store, config, clock=SimulatedClock())
+        results = vid_filter.match(evidence)
+        chosen = {t: results[t].chosen for t in targets}
+        rows[label] = (
+            vid_filter.clock.comparisons / len(targets),
+            accuracy_of(chosen, dataset.truth, targets).percentage,
+            vid_filter.topology_report(),
+        )
+        cmp_per_target, acc, _ = rows[label]
+        print(
+            f"  {label:<9} {cmp_per_target:8.0f} comparisons/target, "
+            f"accuracy {acc:5.1f}%"
+        )
+    base_cmp, base_acc, _ = rows["baseline"]
+    topo_cmp, topo_acc, report = rows["topology"]
+    print(
+        f"  => {base_cmp / topo_cmp:.1f}x fewer V-stage comparisons; "
+        f"the pruner dropped {report['pruned']} of "
+        f"{report['pruned'] + report['kept']} sightings as spatiotemporally "
+        f"impossible and recovered {topo_acc - base_acc:+.1f} accuracy points."
+    )
+
+    # -- city-wide co-traveler query -----------------------------------
+    print("\nWho *travels* with a suspect (graph-feasible segments only)?")
+    shown = 0
+    for suspect in targets:
+        for convoy in find_convoys(
+            dataset.store, suspect, model=model, min_shared=4
+        )[:1]:
+            print(
+                f"  {suspect.mac} + {convoy.companion.mac}: "
+                f"{convoy.sightings} shared sightings across cells "
+                f"{list(convoy.cells)} over {convoy.span_ticks} ticks"
+            )
+            shown += 1
+        if shown >= 3:
+            break
+    if not shown:
+        print("  no convoys at min_shared=4 — random walkers rarely pair up;")
+        print("  rerun with min_shared=2 to see weaker co-travel segments.")
+
+    print(
+        "\nThe same machinery is one flag away everywhere else:\n"
+        "  repro match --topology ...      # pruning + prior in the CLI\n"
+        "  repro topology build/inspect    # fit + examine a graph\n"
+        "  repro cluster serve --topology  # workers load it with the shard"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,7 @@ BENCH_NAME = re.compile(r"\bBENCH_[A-Za-z0-9_]+\.json\b")
 REQUIRED_ENTRIES = {
     "BENCH_kernels.json": ("split", "split_65536", "filter"),
     "BENCH_obs.json": ("overhead", "event_shipping", "profiler"),
+    "BENCH_topology.json": ("dense", "sparse"),
 }
 
 

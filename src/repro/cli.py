@@ -68,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--refine", action="store_true", help="enable the Algorithm 2 loop"
     )
     match.add_argument(
+        "--topology",
+        action="store_true",
+        help="use the world's fitted camera graph to prune "
+        "spatiotemporally-impossible V-stage candidates and weight "
+        "scores by transit likelihood",
+    )
+    match.add_argument(
         "--engine",
         choices=("local", "mapreduce"),
         default="local",
@@ -290,6 +297,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="continuous-profiling sample rate inside each worker "
             "(0 = off; the gateway's profile verb needs > 0)",
         )
+        csub.add_argument(
+            "--topology", action="store_true",
+            help="workers prune V-stage candidates with the world's "
+            "fitted camera graph (needs a topology-bearing dataset)",
+        )
     cserve.add_argument(
         "--port", type=int, default=0,
         help="gateway port (0 picks an ephemeral one)",
@@ -418,6 +430,40 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("random_waypoint", "random_walk", "gauss_markov", "hotspot"),
         default="random_waypoint",
     )
+
+    topology = sub.add_parser(
+        "topology",
+        help="fit, save and inspect the camera graph (cell reachability "
+        "+ transit-time distributions)",
+    )
+    topology_sub = topology.add_subparsers(dest="topology_command", required=True)
+    tbuild = topology_sub.add_parser(
+        "build",
+        help="build a world, fit its camera graph, save both to one .npz",
+    )
+    tbuild.add_argument("--out", required=True, help="output .npz path")
+    tbuild.add_argument("--people", type=int, default=400)
+    tbuild.add_argument("--cells", type=int, default=4)
+    tbuild.add_argument("--duration", type=float, default=1200.0)
+    tbuild.add_argument("--seed", type=int, default=0)
+    tbuild.add_argument("--v-miss", type=float, default=0.0)
+    tbuild.add_argument("--e-drift", type=float, default=0.0)
+    tbuild.add_argument("--vague-width", type=float, default=0.0)
+    tinspect = topology_sub.add_parser(
+        "inspect",
+        help="print a fitted camera graph's stats and busiest edges",
+    )
+    tinspect.add_argument(
+        "--dataset", help="load a saved world instead of building"
+    )
+    tinspect.add_argument("--people", type=int, default=400)
+    tinspect.add_argument("--cells", type=int, default=4)
+    tinspect.add_argument("--duration", type=float, default=1200.0)
+    tinspect.add_argument("--seed", type=int, default=0)
+    tinspect.add_argument(
+        "--edges", type=int, default=10,
+        help="busiest edges to list",
+    )
     return parser
 
 
@@ -471,10 +517,36 @@ def run_match(args: argparse.Namespace, out=None) -> int:
     if engine == "mapreduce" and args.refine:
         print("--refine is not supported with --engine mapreduce", file=sys.stderr)
         return 2
+    use_topology = getattr(args, "topology", False)
+    if engine == "mapreduce" and use_topology:
+        print("--topology is not supported with --engine mapreduce", file=sys.stderr)
+        return 2
     events_path = getattr(args, "events", None)
     report_path = getattr(args, "report", None)
     recording = bool(events_path or report_path)
     dataset = _world_from_args(args, out)
+    topology_filter = None
+    if use_topology:
+        if dataset.topology is None:
+            print(
+                "--topology needs a world with a fitted camera graph; "
+                "this dataset predates topology (rebuild it with "
+                "'repro build' or 'repro topology build')",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.core.vid_filtering import FilterConfig
+        from repro.topology import TopologyConfig
+
+        topology_filter = FilterConfig(
+            topology=TopologyConfig(model=dataset.topology)
+        )
+        print(
+            f"topology: {dataset.topology.graph.num_cells} cells, "
+            f"{dataset.topology.graph.num_edges} fitted edges "
+            f"(coverage {dataset.topology.coverage:.2f})",
+            file=out,
+        )
     targets = list(dataset.sample_targets(min(args.targets, len(dataset.eids)), seed=1))
 
     # The flight recorder needs real spans so every event carries a
@@ -518,6 +590,7 @@ def run_match(args: argparse.Namespace, out=None) -> int:
                 "algorithm": args.algorithm,
                 "engine": engine,
                 "refine": bool(args.refine),
+                "topology": use_topology,
             },
             seed=args.seed,
             backend=getattr(args, "backend", "bitset"),
@@ -538,8 +611,13 @@ def run_match(args: argparse.Namespace, out=None) -> int:
                     edp_config=EDPConfig(backend=backend),
                 )
             else:
+                overrides = {}
+                if topology_filter is not None:
+                    overrides["filter"] = topology_filter
                 matcher_config = _matcher_config(
-                    args, refining=RefiningConfig(max_rounds=4) if args.refine else None
+                    args,
+                    refining=RefiningConfig(max_rounds=4) if args.refine else None,
+                    **overrides,
                 )
                 matcher = EVMatcher(dataset.store, matcher_config)
 
@@ -793,6 +871,25 @@ def run_inspect(args: argparse.Namespace, out=None) -> int:
             f"(peak {counters['peak_bytes']:.0f})",
             file=out,
         )
+
+    # The camera graph fitted alongside this world (what --topology
+    # matching and the convoy queries consult).
+    model = dataset.topology
+    if model is not None:
+        described = model.describe()
+        print("\ncamera graph (topology):", file=out)
+        print(
+            f"  {described['nodes']:.0f} cells, {described['edges']:.0f} "
+            f"fitted edges ({100 * described['coverage']:.0f}% of "
+            "adjacent cell pairs)",
+            file=out,
+        )
+        print(
+            f"  {described['traversals']:.0f} observed traversals; "
+            f"mean transit {described['mean_transit_ticks']:.1f} ticks; "
+            f"reachability quantile q{described['quantile']:.2f}",
+            file=out,
+        )
     return 0
 
 
@@ -806,6 +903,62 @@ def run_build(args: argparse.Namespace, out=None) -> int:
         file=out,
     )
     return 0
+
+
+def run_topology(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    if args.topology_command == "build":
+        dataset = _world_from_args(args, out)
+        written = save_dataset(dataset, args.out)
+        model = dataset.topology
+        print(
+            f"saved {len(dataset.store)} scenarios + camera graph "
+            f"({model.graph.num_edges} edges over {model.graph.num_cells} "
+            f"cells, coverage {model.coverage:.2f}) to {written}",
+            file=out,
+        )
+        return 0
+    if args.topology_command == "inspect":
+        dataset = _world_from_args(args, out)
+        model = dataset.topology
+        if model is None:
+            print(
+                "this dataset has no fitted camera graph; rebuild it "
+                "with 'repro topology build'",
+                file=sys.stderr,
+            )
+            return 2
+        described = model.describe()
+        print("camera graph:", file=out)
+        print(
+            f"  {described['nodes']:.0f} cells, {described['edges']:.0f} "
+            f"fitted edges ({100 * described['coverage']:.0f}% of "
+            "adjacent cell pairs)",
+            file=out,
+        )
+        print(
+            f"  {described['traversals']:.0f} observed traversals; "
+            f"mean transit {described['mean_transit_ticks']:.1f} ticks; "
+            f"reachability quantile q{described['quantile']:.2f}",
+            file=out,
+        )
+        busiest = sorted(
+            model.graph.edges(), key=lambda item: -item[1].count
+        )[: args.edges]
+        if busiest:
+            print(f"\nbusiest {len(busiest)} edges:", file=out)
+            for (u, v), stats in busiest:
+                print(
+                    f"  {u:>4} -> {v:<4} {stats.count:>5} traversals  "
+                    f"mean {stats.mean_ticks:.1f} ticks  "
+                    f"q{described['quantile']:.2f} {stats.quantile_ticks} "
+                    "ticks",
+                    file=out,
+                )
+        return 0
+    raise AssertionError(
+        f"unhandled topology command {args.topology_command!r}"
+    )  # pragma: no cover
 
 
 def run_investigate(args: argparse.Namespace, out=None) -> int:
@@ -981,6 +1134,7 @@ def _cluster_stack(args: argparse.Namespace, out):
             telemetry_interval_s=getattr(args, "telemetry_interval", 1.0),
             max_events_per_beat=getattr(args, "events_per_beat", 256),
             profile_hz=getattr(args, "profile_hz", 0.0),
+            use_topology=getattr(args, "topology", False),
         )
         for i in range(args.processes)
     ]
@@ -1649,6 +1803,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_inspect(args)
     if args.command == "build":
         return run_build(args)
+    if args.command == "topology":
+        return run_topology(args)
     if args.command == "investigate":
         return run_investigate(args)
     if args.command == "serve":

@@ -125,6 +125,13 @@ class WorkerSpec:
             the ``profile`` verb with its aggregated collapsed stacks
             (requires ``obs``, which provides the tracer whose spans
             label the samples).
+        use_topology: enable camera-graph reachability pruning and the
+            transition prior on this worker's V stage, using the
+            fitted :class:`~repro.topology.transit.TransitModel` the
+            loaded world carries.  A world without a fitted graph
+            (pre-topology ``.npz`` files) serves topology-blind and
+            reports ``enabled: false`` in the ``ready`` message and
+            the ``stats`` verb.
     """
 
     worker_id: str
@@ -139,6 +146,7 @@ class WorkerSpec:
     telemetry_interval_s: float = 1.0
     max_events_per_beat: int = 256
     profile_hz: float = 0.0
+    use_topology: bool = False
 
     def __post_init__(self) -> None:
         if not self.worker_id:
@@ -218,8 +226,10 @@ def _pick_backend(spec: WorkerSpec) -> tuple:
 
 
 def _build_service(spec: WorkerSpec) -> tuple:
-    """(service, reloaded, backend) — standing dataset + journal +
-    the kernel backend this worker picked (see :func:`_pick_backend`)."""
+    """(service, reloaded, backend, topology) — standing dataset +
+    journal + the kernel backend this worker picked (see
+    :func:`_pick_backend`) + the topology summary (``None`` unless
+    ``spec.use_topology``)."""
     if spec.dataset_path is not None:
         from repro.datagen.io import load_dataset
 
@@ -237,13 +247,36 @@ def _build_service(spec: WorkerSpec) -> tuple:
         sink = DurableStoreSink(dataset.store, spec.journal_path)
         reloaded = sink.reloaded
     service_config, backend = _pick_backend(spec)
+    topology = None
+    if spec.use_topology:
+        model = getattr(dataset, "topology", None)
+        if model is None:
+            # The world predates topology fitting; serve topology-blind
+            # rather than dying — the summary says so out loud.
+            topology = {"enabled": False}
+        else:
+            from dataclasses import replace
+
+            from repro.topology import TopologyConfig
+
+            matcher = service_config.matcher
+            service_config = replace(
+                service_config,
+                matcher=replace(
+                    matcher,
+                    filter=replace(
+                        matcher.filter, topology=TopologyConfig(model=model)
+                    ),
+                ),
+            )
+            topology = {"enabled": True, **model.describe()}
     service = MatchService(
         dataset.store,
         grid=dataset.grid,
         universe=dataset.eids,
         config=service_config,
     )
-    return service, reloaded, backend
+    return service, reloaded, backend, topology
 
 
 class _WorkerServer:
@@ -255,6 +288,7 @@ class _WorkerServer:
         self.stop_event = threading.Event()
         self.service: Optional[MatchService] = None
         self.backend: str = "python"  # resolved in run()
+        self.topology: Optional[Dict[str, Any]] = None  # resolved in run()
         self._journal_lock = threading.Lock()
         self._send_lock = threading.Lock()
         self._shipper: Optional[EventShipper] = None
@@ -396,6 +430,7 @@ class _WorkerServer:
                 "status": "ok",
                 "worker": self.spec.worker_id,
                 "backend": self.backend,
+                "topology": self.topology,
                 "snapshot": self.service.stats().snapshot,
             }
         if verb == "metrics":
@@ -529,7 +564,9 @@ class _WorkerServer:
                 hz=self.spec.profile_hz, tag=self.spec.worker_id
             ).start()
             set_profiler(self._profiler)
-        service, reloaded, self.backend = _build_service(self.spec)
+        service, reloaded, self.backend, self.topology = _build_service(
+            self.spec
+        )
         self.service = service.start()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -544,6 +581,7 @@ class _WorkerServer:
                 "pid": os.getpid(),
                 "reloaded": reloaded,
                 "backend": self.backend,
+                "topology": self.topology,
                 "scenarios": len(self.service.store),
             }
         )

@@ -29,9 +29,12 @@ algorithm").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.topology.matching import TopologyConfig
 
 from repro.core.caches import ByteBudgetLRU
 from repro.metrics.timing import SimulatedClock
@@ -83,6 +86,15 @@ class FilterConfig:
             membership calls.  The default; ``False`` selects the
             pairwise reference path, kept for equivalence tests and
             as executable documentation of Eq. 1.
+        topology: a fitted
+            :class:`~repro.topology.matching.TopologyConfig`, or
+            ``None`` (the default: topology-blind matching, exactly the
+            paper's V stage).  When set, majority-inconsistent evidence
+            is dropped before feature comparison
+            (``topology.prune``) and Eq. 1 score vectors are multiplied
+            by per-scenario transit-consistency weights
+            (``topology.prior``); both the pairwise reference path and
+            the batched path apply the same decisions.
     """
 
     max_evidence: Optional[int] = None
@@ -92,6 +104,7 @@ class FilterConfig:
     feature_cache_bytes: Optional[int] = None
     membership_cache_bytes: Optional[int] = None
     batched_scoring: bool = True
+    topology: Optional["TopologyConfig"] = None
 
     def __post_init__(self) -> None:
         if self.max_evidence is not None and self.max_evidence <= 0:
@@ -116,6 +129,11 @@ class FilterConfig:
                 raise ValueError(
                     f"{name} must be positive or None, got {value}"
                 )
+        if self.topology is not None and not hasattr(self.topology, "model"):
+            raise ValueError(
+                f"topology must be a TopologyConfig or None, "
+                f"got {self.topology!r}"
+            )
 
 
 @dataclass
@@ -194,6 +212,22 @@ class VIDFilter:
         self._membership_cache: ByteBudgetLRU[np.ndarray] = ByteBudgetLRU(
             self.config.membership_cache_bytes, lambda a: a.nbytes
         )
+        self._pruner = self._prior = None
+        if self.config.topology is not None:
+            # Imported here, not at module top: core must stay importable
+            # without the topology package in the dependency picture
+            # unless a caller actually opts in.
+            from repro.topology.matching import ReachabilityPruner, TransitionPrior
+
+            topo = self.config.topology
+            if topo.prune:
+                self._pruner = ReachabilityPruner(topo.model)
+            if topo.prior:
+                self._prior = TransitionPrior(topo.model, topo.prior_weight)
+        # Cumulative topology decisions (see topology_report()).
+        self._topology_counts: Dict[str, int] = {
+            "pruned": 0, "kept": 0, "downweighted": 0,
+        }
         # Last-published cumulative counters, so repeated match() calls
         # on one filter emit monotone deltas into the registry.
         self._published: Dict[str, float] = {}
@@ -259,6 +293,34 @@ class VIDFilter:
         registry.counter(
             "ev_v_comparisons_total", "feature-vector comparisons charged"
         ).inc(self.clock.comparisons - comparisons_before)
+        if self.config.topology is not None:
+            for count_name, metric, help_text in (
+                (
+                    "pruned",
+                    "ev_topology_pruned_total",
+                    "evidence scenarios dropped by reachability pruning",
+                ),
+                (
+                    "kept",
+                    "ev_topology_kept_total",
+                    "evidence scenarios surviving reachability pruning",
+                ),
+                (
+                    "downweighted",
+                    "ev_topology_downweighted_total",
+                    "evidence scenarios downweighted by the transition prior",
+                ),
+            ):
+                cumulative = float(self._topology_counts[count_name])
+                key = f"topology.{count_name}"
+                delta = cumulative - self._published.get(key, 0.0)
+                self._published[key] = cumulative
+                # Register at zero too: a topology-enabled worker always
+                # exposes the family, so federation and the slowlog
+                # counter deltas see it before the first pruning event.
+                counter = registry.counter(metric, help_text)
+                if delta > 0:
+                    counter.inc(delta)
         report = self.cache_report()
         for cache_name, stats in report.items():
             for counter_name, metric, help_text in (
@@ -297,6 +359,18 @@ class VIDFilter:
         """
         keys = self._usable_keys(scenario_keys, eid=eid)
         log = get_event_log()
+        if self._pruner is not None and keys:
+            keys, dropped = self._pruner.prune(keys)
+            self._topology_counts["pruned"] += len(dropped)
+            self._topology_counts["kept"] += len(keys)
+            if dropped:
+                log.emit(
+                    ev.V_TOPOLOGY_PRUNED,
+                    eid=eid.index,
+                    mac=eid.mac,
+                    dropped=len(dropped),
+                    kept=len(keys),
+                )
         if not keys:
             if log.debug:
                 log.emit(
@@ -338,10 +412,11 @@ class VIDFilter:
     ) -> MatchResult:
         for key in keys:
             self._ensure_extracted(key)
+        weights = self._topology_weights(keys)
 
         chosen: List[Detection] = []
         scores: List[float] = []
-        for key_a in keys:
+        for i, key_a in enumerate(keys):
             scenario = self.store.v_scenario(key_a)
             score_vec = np.ones(len(scenario))
             for key_b in keys:
@@ -351,6 +426,8 @@ class VIDFilter:
                 self.clock.charge_comparisons(
                     len(scenario) * len(self.store.v_scenario(key_b))
                 )
+            if weights is not None:
+                score_vec = score_vec * weights[i]
             if claimed:
                 score_vec = self._suppress_claimed(key_a, score_vec, claimed)
             winner = int(np.argmax(score_vec))
@@ -407,6 +484,7 @@ class VIDFilter:
         block_best = np.maximum.reduceat(sims, starts, axis=1)
         # float64 accumulation, like the reference's running product.
         scores_all = np.prod(block_best, axis=1, dtype=np.float64)
+        weights = self._topology_weights(keys)
 
         chosen: List[Detection] = []
         scores: List[float] = []
@@ -414,6 +492,8 @@ class VIDFilter:
             scenario = self.store.v_scenario(key_a)
             lo = int(starts[i])
             score_vec = scores_all[lo: lo + lens[i]]
+            if weights is not None:
+                score_vec = score_vec * weights[i]
             if claimed:
                 score_vec = self._suppress_claimed(key_a, score_vec, claimed)
             winner = int(np.argmax(score_vec))
@@ -428,6 +508,25 @@ class VIDFilter:
             scores=tuple(scores),
             agreement=agreement,
         )
+
+    def _topology_weights(self, keys: Sequence[ScenarioKey]) -> Optional[np.ndarray]:
+        """Per-scenario transit-consistency multipliers, or ``None``.
+
+        Shared by the reference and batched paths so both score
+        identically; a weight below 1.0 counts the scenario as
+        downweighted in :meth:`topology_report`.
+        """
+        if self._prior is None:
+            return None
+        weights = self._prior.weights(list(keys))
+        self._topology_counts["downweighted"] += int((weights < 1.0).sum())
+        return weights
+
+    def topology_report(self) -> Dict[str, int]:
+        """Cumulative topology decisions: scenarios pruned before
+        comparison, scenarios kept after pruning, and scenarios the
+        transition prior downweighted."""
+        return dict(self._topology_counts)
 
     def _suppress_claimed(
         self,

@@ -24,6 +24,7 @@ from repro.sensing.builder import ScenarioBuilder
 from repro.sensing.e_sensing import ESensingModel
 from repro.sensing.scenarios import ScenarioStore
 from repro.sensing.v_sensing import VSensingModel
+from repro.topology.transit import TransitModel
 from repro.world.cells import CellGrid, HexCellGrid
 from repro.world.entities import EID, VID
 from repro.world.geometry import BoundingBox
@@ -41,6 +42,10 @@ class EVDataset:
         traces: ground-truth trajectories (``None`` for datasets
             reloaded from disk — see :mod:`repro.datagen.io`).
         store: the EV-Scenarios — the only thing the matcher sees.
+        topology: the ground-truth camera graph fitted from the traces
+            (:class:`~repro.topology.transit.TransitModel`), emitted
+            alongside every generated world and persisted with it.
+            ``None`` only for worlds saved before topology existed.
     """
 
     config: ExperimentConfig
@@ -48,6 +53,7 @@ class EVDataset:
     grid: "CellGrid | HexCellGrid"
     traces: Optional[TraceSet]
     store: ScenarioStore
+    topology: Optional[TransitModel] = None
 
     @property
     def truth(self) -> Dict[EID, VID]:
@@ -134,4 +140,5 @@ def build_dataset(config: ExperimentConfig) -> EVDataset:
         grid=grid,
         traces=traces,
         store=store,
+        topology=TransitModel.fit(traces, grid),
     )

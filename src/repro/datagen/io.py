@@ -17,6 +17,11 @@ function of the configuration, and a loaded dataset carries
 the population (rebuilt deterministically from the stored config); code
 that inspects raw trajectories should rebuild with
 :func:`~repro.datagen.dataset.build_dataset`.
+
+The fitted camera graph (``EVDataset.topology``) *is* stored — as
+optional ``topo_*`` arrays, so pre-topology files load unchanged with
+``topology=None`` — because cluster workers load worlds from disk and
+need the graph without the traces it was fitted from.
 """
 
 from __future__ import annotations
@@ -85,6 +90,13 @@ def save_dataset(dataset: EVDataset, path: Union[str, Path]) -> Path:
         else np.empty((0, dataset.config.feature_dimension))
     )
     config_json = json.dumps(dataclasses.asdict(dataset.config))
+    # The fitted camera graph rides along as extra (optional) arrays:
+    # old files simply lack the topo_* keys and load with
+    # ``topology=None``, old readers ignore unknown npz members, so the
+    # format version stays put.
+    topo_arrays = (
+        dataset.topology.to_arrays() if dataset.topology is not None else {}
+    )
     np.savez_compressed(
         path,
         version=np.int64(FORMAT_VERSION),
@@ -98,6 +110,7 @@ def save_dataset(dataset: EVDataset, path: Union[str, Path]) -> Path:
         det_ids=np.array(det_ids, dtype=np.int64),
         det_vids=np.array(det_vids, dtype=np.int64),
         det_features=features,
+        **topo_arrays,
     )
     return path
 
@@ -118,6 +131,15 @@ def load_dataset(path: Union[str, Path]) -> EVDataset:
             )
         config = _config_from_json(str(archive["config"]))
         scenarios = _read_scenarios(archive)
+        topology = None
+        if "topo_edges" in archive.files:
+            from repro.topology.transit import TransitModel
+
+            topology = TransitModel.from_arrays(
+                archive["topo_edges"],
+                archive["topo_stats"],
+                archive["topo_meta"],
+            )
 
     population = Population(config.population_config())
     region = BoundingBox.square(config.region_side)
@@ -137,6 +159,7 @@ def load_dataset(path: Union[str, Path]) -> EVDataset:
         grid=grid,
         traces=None,
         store=ScenarioStore(scenarios),
+        topology=topology,
     )
 
 

@@ -13,6 +13,11 @@ with one single query" (Sec. I).  This package builds that product:
   (typically universal) match report, it answers single queries that
   need both sides at once — a person's full profile, everyone present
   at a place and time, appearance search, co-travel analysis.
+* :mod:`repro.fusion.convoys` — city-wide co-traveler mining: the
+  packed co-occurrence kernel screens candidates, then a
+  graph-constrained window join (against the fitted
+  :class:`~repro.topology.transit.TransitModel`) keeps only pairs that
+  genuinely *travel* together.
 """
 
 from repro.fusion.trajectories import (
@@ -21,15 +26,19 @@ from repro.fusion.trajectories import (
     build_e_trajectories,
     build_v_tracklets,
 )
+from repro.fusion.convoys import Convoy, ConvoyQuery, find_convoys
 from repro.fusion.index import FusedIndex, PersonProfile
 from repro.fusion.smoothing import smooth_store
 
 __all__ = [
+    "Convoy",
+    "ConvoyQuery",
     "ETrajectory",
     "FusedIndex",
     "PersonProfile",
     "VTracklet",
     "build_e_trajectories",
     "build_v_tracklets",
+    "find_convoys",
     "smooth_store",
 ]

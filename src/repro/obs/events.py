@@ -85,6 +85,7 @@ E_REFINE_ROUND_FINISHED = "e.refine.round.finished"
 #: V stage (VID filtering):
 V_SCENARIO_DROPPED = "v.scenario.dropped"
 V_MATCH_DECIDED = "v.match.decided"
+V_TOPOLOGY_PRUNED = "v.topology.pruned"
 #: Matcher-level provenance:
 MATCH_PROVENANCE = "match.provenance"
 #: MapReduce engine:
@@ -134,6 +135,7 @@ EVENT_TYPES = (
     E_REFINE_ROUND_FINISHED,
     V_SCENARIO_DROPPED,
     V_MATCH_DECIDED,
+    V_TOPOLOGY_PRUNED,
     MATCH_PROVENANCE,
     MR_TASK_RETRY,
     MR_STAGE_SPECULATION,

@@ -221,6 +221,14 @@ DEFAULT_RULES: Sequence[RegressionRule] = (
         "BENCH_stream.json", "throughput.events_per_sec", "higher",
         floor=2000.0, rel_tolerance=0.9,
     ),
+    RegressionRule(
+        "BENCH_topology.json", "dense.comparisons_ratio", "higher",
+        floor=3.0, rel_tolerance=0.9,
+    ),
+    RegressionRule(
+        "BENCH_topology.json", "dense.topology_accuracy_pct", "higher",
+        floor=90.0, rel_tolerance=0.5,
+    ),
 )
 
 

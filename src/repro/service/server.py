@@ -622,6 +622,7 @@ class MatchService:
         ("scenarios_examined", "ev_e_scenarios_examined_total"),
         ("cache_hits", "ev_cache_hits_total"),
         ("cache_misses", "ev_cache_misses_total"),
+        ("topology_pruned", "ev_topology_pruned_total"),
     )
 
     def _kernel_counter_totals(self) -> dict:

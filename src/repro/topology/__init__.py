@@ -1,0 +1,50 @@
+"""Camera-graph topology: reachability pruning and transit priors.
+
+The paper's V stage treats every candidate VID in a scenario as
+equally plausible, no matter where and when the scenario was filmed.
+City-scale systems (CLIQUE; spatial-temporal fusion re-id) exploit the
+opposite: cameras form a graph, transits take time, and a sighting
+pair that no one could have traveled between is evidence *against* a
+candidate, not for it.  This package learns that structure from the
+mobility traces the datagen layer already produces and feeds it to
+the matcher:
+
+* :mod:`repro.topology.graph` — :class:`CameraGraph`: cells as nodes,
+  observed one-tick transitions as edges with per-edge transit-time
+  statistics (:class:`EdgeStats`), and the all-pairs hop-distance
+  envelope that makes reachability tests sound.
+* :mod:`repro.topology.transit` — :class:`TransitModel`: fitting,
+  queries, serialization (rides inside saved ``.npz`` worlds).
+* :mod:`repro.topology.matching` — the V-stage consumers:
+  :class:`ReachabilityPruner` (drop impossible evidence before feature
+  comparison), :class:`TransitionPrior` (consistency-weight Eq. 1
+  scores), and :class:`TopologyConfig` (the ``FilterConfig.topology``
+  payload; off by default).
+
+The layering mirrors the rest of the repo: this package depends only
+on ``world``/``mobility``-shaped inputs (anything with ``locate`` /
+``neighbors`` / trajectories) and scenario-key-shaped evidence; the
+core matcher imports *it*, never the reverse.
+"""
+
+from repro.topology.graph import CameraGraph, EdgeStats
+from repro.topology.matching import (
+    ReachabilityPruner,
+    TopologyConfig,
+    TransitionPrior,
+    consistency_matrix,
+    consistency_votes,
+)
+from repro.topology.transit import DEFAULT_QUANTILE, TransitModel
+
+__all__ = [
+    "CameraGraph",
+    "DEFAULT_QUANTILE",
+    "EdgeStats",
+    "ReachabilityPruner",
+    "TopologyConfig",
+    "TransitModel",
+    "TransitionPrior",
+    "consistency_matrix",
+    "consistency_votes",
+]

@@ -1,0 +1,173 @@
+"""The camera graph: cells as nodes, observed transits as edges.
+
+A city's cameras are not interchangeable: a vehicle filmed at camera A
+at tick ``t`` can only reappear at cameras *reachable* from A within
+the elapsed time.  CLIQUE-style systems exploit exactly this adjacency
+structure.  Here the nodes are the ``world`` cells (each cell is one
+camera's coverage area) and the edges are **observed** one-tick cell
+transitions from mobility traces, each annotated with transit-time
+statistics.
+
+Two different questions are answered by two different structures, and
+keeping them apart is what makes pruning *sound*:
+
+* **"Could someone have gotten from u to v in Δ ticks?"** — answered
+  by the all-pairs hop-distance matrix over the observed transition
+  edges.  Every per-tick move in a fitted trace is an edge, so a
+  person sighted at ``u`` and ``Δ`` ticks later at ``v`` walked a path
+  of length ``Δ`` through observed edges; hence ``Δ >= hops(u, v)``
+  holds for *every* sighting pair of every fitted trace, by
+  construction.  This lower-bound envelope is what
+  :class:`~repro.topology.matching.ReachabilityPruner` tests.
+  (Per-edge transit-time quantiles can NOT be composed into such a
+  bound: a person who dwells at ``u`` and then hops to adjacent ``v``
+  produces a large *enter-to-enter* edge time but a tiny
+  sighting-to-sighting gap — composing edge quantiles would prune that
+  true pair.)
+* **"How long does the u -> v transit typically take?"** — answered by
+  the per-edge :class:`EdgeStats` (count, mean, variance, and a
+  calibrated upper quantile of enter-to-enter transit times).  These
+  feed the convoy window join's dwell bound and the inspect report;
+  they are deliberately *not* part of the pruning envelope.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EdgeStats:
+    """Transit-time statistics of one directed cell edge.
+
+    Times are *enter-to-enter*: the tick count from entering the source
+    cell to entering the destination cell (i.e. the dwell time at the
+    source before this transition), measured over every traversal in
+    the fitted traces.
+
+    Attributes:
+        count: traversals observed.
+        mean_ticks: mean enter-to-enter transit time.
+        var_ticks: population variance of the transit time.
+        min_ticks: fastest observed transit (>= 1 by construction).
+        quantile_ticks: the calibrated upper quantile of the transit
+            time (at the :class:`CameraGraph`'s quantile level) — the
+            "typical worst case" the convoy join bounds dwell with.
+    """
+
+    count: int
+    mean_ticks: float
+    var_ticks: float
+    min_ticks: int
+    quantile_ticks: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"count must be positive, got {self.count}")
+        if self.min_ticks <= 0:
+            raise ValueError(
+                f"min_ticks must be positive, got {self.min_ticks}"
+            )
+        if self.quantile_ticks < self.min_ticks:
+            raise ValueError(
+                f"quantile_ticks ({self.quantile_ticks}) below "
+                f"min_ticks ({self.min_ticks})"
+            )
+
+
+class CameraGraph:
+    """Directed graph over cell ids with fitted transit statistics.
+
+    Attributes:
+        num_cells: the world's cell count (nodes ``0..num_cells-1``;
+            unvisited cells are isolated nodes).
+        quantile: the level at which every edge's ``quantile_ticks``
+            was calibrated.
+    """
+
+    def __init__(
+        self,
+        num_cells: int,
+        edges: Mapping[Tuple[int, int], EdgeStats],
+        quantile: float,
+    ) -> None:
+        if num_cells <= 0:
+            raise ValueError(f"num_cells must be positive, got {num_cells}")
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        for (u, v) in edges:
+            if not (0 <= u < num_cells and 0 <= v < num_cells):
+                raise ValueError(
+                    f"edge ({u}, {v}) outside cell range [0, {num_cells})"
+                )
+            if u == v:
+                raise ValueError(f"self-loop edge ({u}, {v}) not allowed")
+        self.num_cells = num_cells
+        self.quantile = quantile
+        self._edges: Dict[Tuple[int, int], EdgeStats] = dict(edges)
+        self._hops = _hop_matrix(num_cells, self._edges.keys())
+
+    @property
+    def num_edges(self) -> int:
+        """Fitted directed edges."""
+        return len(self._edges)
+
+    @property
+    def hops(self) -> np.ndarray:
+        """All-pairs hop-distance matrix (int32; ``-1`` = unreachable).
+
+        ``hops[u, v]`` is the shortest observed-transition path length
+        from ``u`` to ``v``; the diagonal is 0.  This is the pruning
+        envelope — see the module docstring for why hop counts (not
+        transit-time quantiles) are the sound bound.
+        """
+        return self._hops
+
+    def edge(self, u: int, v: int) -> "EdgeStats | None":
+        """Fitted stats of the directed edge ``u -> v``, or ``None``."""
+        return self._edges.get((u, v))
+
+    def edges(self) -> Iterator[Tuple[Tuple[int, int], EdgeStats]]:
+        """All fitted ``((u, v), stats)`` pairs."""
+        return iter(self._edges.items())
+
+    def hop_distance(self, u: int, v: int) -> int:
+        """Shortest observed path length ``u -> v`` (``-1`` = none)."""
+        return int(self._hops[u, v])
+
+    def reachable(self, u: int, v: int, ticks: int) -> bool:
+        """Can someone sighted at ``u`` be at ``v`` ``ticks`` later?
+
+        True iff an observed-transition path of length <= ``ticks``
+        exists.  ``reachable(u, u, 0)`` is always True; a negative
+        ``ticks`` is never reachable (time does not run backwards).
+        """
+        if ticks < 0:
+            return False
+        hops = int(self._hops[u, v])
+        return hops >= 0 and ticks >= hops
+
+
+def _hop_matrix(num_cells: int, edges) -> np.ndarray:
+    """All-pairs BFS over the directed edge set (``-1`` = unreachable)."""
+    adjacency: Dict[int, list] = {}
+    for (u, v) in edges:
+        adjacency.setdefault(u, []).append(v)
+    hops = np.full((num_cells, num_cells), -1, dtype=np.int32)
+    for source in range(num_cells):
+        hops[source, source] = 0
+        if source not in adjacency:
+            continue
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            depth = hops[source, node] + 1
+            for neighbor in adjacency.get(node, ()):
+                if hops[source, neighbor] < 0:
+                    hops[source, neighbor] = depth
+                    queue.append(neighbor)
+    return hops

@@ -1,0 +1,157 @@
+"""Topology-aware V-stage machinery: pruning, priors, configuration.
+
+The V stage's cost is quadratic in a target's evidence-list length, so
+dropping spatiotemporally impossible evidence *before* feature
+comparison changes the stage's asymptotics, not just its constants.
+Both consumers here share one primitive — the pairwise consistency
+vote of :func:`consistency_votes` — and differ only in what they do
+with it:
+
+* :class:`ReachabilityPruner` **drops** scenarios that cannot lie on
+  one real trajectory with the rest of the evidence.  A target's true
+  sightings are *mutually* consistent under the fitted reachability
+  envelope (see :mod:`repro.topology.graph`), so the pruner greedily
+  removes the least-consistent key until the survivors form a mutually
+  consistent set — the misattributed sightings (reader crosstalk,
+  positional drift) clash with their temporal neighbors and are peeled
+  off first, while the true core backs itself up pair by pair.  On
+  well-behaved worlds the evidence is mutually consistent from the
+  start, the loop never fires, and pruning is the identity — the
+  soundness contract the hypothesis suite pins.
+* :class:`TransitionPrior` **downweights** instead of dropping: each
+  scenario's Eq. 1 score vector is multiplied by
+  ``prior_weight ** inconsistent_fraction``.  The weight is uniform
+  *within* a scenario, so the per-scenario argmax — and with it the
+  chosen detection and the accuracy metric's majority vote — is
+  provably unchanged; only the cross-scenario ``best``/``scores``
+  ranking shifts toward consistent evidence.  On drift-free worlds all
+  fractions are zero and the prior is exactly the identity, which is
+  why it can never flip a correct top-1 match there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.transit import TransitModel
+
+
+def consistency_matrix(model: TransitModel, keys: Sequence) -> np.ndarray:
+    """Boolean ``k x k`` pairwise-consistency matrix over ``keys``.
+
+    A pair is consistent when the earlier sighting can reach the later
+    one through observed transitions (same-tick pairs only in the same
+    cell).  Vectorized over the model's hop matrix: for ``k`` keys
+    this is two ``k x k`` gathers, no Python-level pair loop.
+    """
+    k = len(keys)
+    cells = np.fromiter((key.cell_id for key in keys), dtype=np.int64, count=k)
+    ticks = np.fromiter((key.tick for key in keys), dtype=np.int64, count=k)
+    hops = model.graph.hops[cells[:, None], cells[None, :]]
+    gaps = ticks[None, :] - ticks[:, None]  # time from row key to column key
+    forward = (hops >= 0) & (gaps >= hops)  # row sighted first (or same tick)
+    return np.where(gaps >= 0, forward, forward.T)
+
+
+def consistency_votes(model: TransitModel, keys: Sequence) -> np.ndarray:
+    """Per-key count of *other* keys it is pairwise consistent with."""
+    return consistency_matrix(model, keys).sum(axis=1) - 1  # drop self-pair
+
+
+class ReachabilityPruner:
+    """Greedily reduces evidence to a mutually consistent core.
+
+    True sightings all lie on one trajectory, so every true pair is
+    consistent; a misattributed sighting clashes with its temporal
+    neighbors (it would need more hops than the tick gap allows).
+    One-shot majority votes miss this — over a long evidence span a
+    far-away misread is still "consistent" with most temporally
+    distant keys — so the pruner iterates: drop the key with the
+    fewest consistent partners, recount among the survivors, stop when
+    the remainder is pairwise consistent.  The true core can never be
+    whittled down by this loop (its members always agree with each
+    other), and if fewer than a quarter of the keys survive the
+    pruner keeps the full list instead: with no sizable consistent
+    core to trust, dropping evidence is guessing.
+    """
+
+    def __init__(self, model: TransitModel) -> None:
+        self.model = model
+
+    def prune(self, keys: Sequence) -> Tuple[List, List]:
+        """``(kept, dropped)`` partition of ``keys`` (order preserved)."""
+        k = len(keys)
+        if k <= 1:
+            return list(keys), []
+        matrix = consistency_matrix(self.model, keys)
+        alive = np.ones(k, dtype=bool)
+        while int(alive.sum()) > 1:
+            indices = np.flatnonzero(alive)
+            sub = matrix[np.ix_(indices, indices)]
+            votes = sub.sum(axis=1) - 1
+            if int(votes.min()) == len(indices) - 1:
+                break  # survivors are pairwise consistent
+            alive[indices[int(np.argmin(votes))]] = False
+        kept = [key for key, live in zip(keys, alive) if live]
+        if 4 * len(kept) < k:
+            return list(keys), []
+        dropped = [key for key, live in zip(keys, alive) if not live]
+        return kept, dropped
+
+
+class TransitionPrior:
+    """Per-scenario Eq. 1 multipliers from transit consistency.
+
+    ``weights[i] = prior_weight ** (inconsistent pairs of i / (k-1))``
+    — 1.0 for fully consistent evidence, ``prior_weight`` for evidence
+    inconsistent with everything else, geometric in between.
+    """
+
+    def __init__(self, model: TransitModel, prior_weight: float = 0.25) -> None:
+        if not 0.0 < prior_weight <= 1.0:
+            raise ValueError(
+                f"prior_weight must be in (0, 1], got {prior_weight}"
+            )
+        self.model = model
+        self.prior_weight = prior_weight
+
+    def weights(self, keys: Sequence) -> np.ndarray:
+        """One multiplier per key, each in ``[prior_weight, 1]``."""
+        k = len(keys)
+        if k <= 1:
+            return np.ones(k)
+        votes = consistency_votes(self.model, keys)
+        inconsistent_fraction = 1.0 - votes / (k - 1)
+        return self.prior_weight ** inconsistent_fraction
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Topology knobs the V stage consults (``FilterConfig.topology``).
+
+    Attributes:
+        model: the fitted :class:`~repro.topology.transit.TransitModel`
+            (``EVDataset.topology`` for generated worlds).
+        prune: drop majority-inconsistent evidence before feature
+            comparison (:class:`ReachabilityPruner`).
+        prior: multiply Eq. 1 scores by consistency weights
+            (:class:`TransitionPrior`).
+        prior_weight: the prior's floor multiplier for fully
+            inconsistent evidence.
+    """
+
+    model: TransitModel
+    prune: bool = True
+    prior: bool = True
+    prior_weight: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.model is None:
+            raise ValueError("model must be a fitted TransitModel")
+        if not 0.0 < self.prior_weight <= 1.0:
+            raise ValueError(
+                f"prior_weight must be in (0, 1], got {self.prior_weight}"
+            )

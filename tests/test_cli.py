@@ -285,3 +285,87 @@ class TestProfilingCli:
         doc = json.load(open(out + ".speedscope.json"))
         assert doc["profiles"], "speedscope document is empty"
         assert "profile" in capsys.readouterr().out
+
+
+class TestTopologyCli:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(["match"])
+        assert args.topology is False
+        args = build_parser().parse_args(["match", "--topology"])
+        assert args.topology is True
+        args = build_parser().parse_args(["cluster", "serve", "--topology"])
+        assert args.topology is True
+        args = build_parser().parse_args(
+            ["topology", "build", "--out", "w.npz", "--people", "50"]
+        )
+        assert (args.command, args.topology_command) == ("topology", "build")
+        assert args.people == 50
+        args = build_parser().parse_args(["topology", "inspect", "--edges", "3"])
+        assert args.topology_command == "inspect"
+        assert args.edges == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topology", "build"])  # --out required
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topology"])  # subcommand required
+
+    def test_topology_build_then_inspect(self, tmp_path, capsys):
+        out = str(tmp_path / "world.npz")
+        assert main(
+            ["topology", "build", "--out", out, "--people", "40",
+             "--cells", "3", "--duration", "200"]
+        ) == 0
+        assert main(
+            ["topology", "inspect", "--dataset", out, "--edges", "5"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "camera graph" in captured
+        assert "busiest" in captured
+        assert "traversals" in captured
+
+    def test_match_with_topology(self, tmp_path, capsys):
+        out = str(tmp_path / "world.npz")
+        assert main(
+            ["build", "--out", out, "--people", "50", "--cells", "2",
+             "--duration", "200"]
+        ) == 0
+        assert main(
+            ["match", "--dataset", out, "--targets", "10",
+             "--algorithm", "ss", "--topology"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "topology:" in captured and "fitted edges" in captured
+        assert "accuracy_pct" in captured
+
+    def test_match_topology_rejects_mapreduce(self, capsys):
+        assert main(
+            ["match", "--topology", "--engine", "mapreduce",
+             "--people", "40", "--cells", "2", "--duration", "200"]
+        ) == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_match_topology_needs_a_fitted_graph(self, tmp_path, capsys):
+        from repro.datagen.config import ExperimentConfig
+        from repro.datagen.dataset import build_dataset
+        from repro.datagen.io import save_dataset
+
+        dataset = build_dataset(
+            ExperimentConfig(
+                num_people=30, cells_per_side=2, duration=150.0, seed=1
+            )
+        )
+        dataset.topology = None  # a pre-topology world
+        path = str(save_dataset(dataset, tmp_path / "old.npz"))
+        assert main(
+            ["match", "--dataset", path, "--targets", "5", "--topology"]
+        ) == 2
+        assert "fitted camera graph" in capsys.readouterr().err
+        # Same world loads fine topology-blind (backward compatibility).
+        assert main(["match", "--dataset", path, "--targets", "5"]) == 0
+
+    def test_inspect_reports_the_camera_graph(self, capsys):
+        assert main(
+            ["inspect", "--people", "40", "--cells", "2", "--duration", "200"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "camera graph (topology):" in captured
+        assert "fitted edges" in captured

@@ -479,6 +479,137 @@ class TestEventShipping:
         assert described["workers"]["w0"]["lag_s"] >= 0
 
 
+class TestTopologyTelemetry:
+    """Topology counters flow end to end: from a worker's V stage into
+    the federation (with worker labels and restart-proof sums), and
+    into slow-query exemplars' kernel-counter deltas."""
+
+    def _corrupted_evidence(self, dataset, count=4):
+        """Honest sighting lists with one same-tick misread each, so a
+        topology-enabled filter actually prunes something."""
+        store = dataset.store
+        evidence = {}
+        for key in store.keys:
+            for eid in store.e_scenario(key).inclusive:
+                evidence.setdefault(eid, []).append(key)
+        corrupted = {}
+        for eid in sorted(evidence):
+            keys = sorted(evidence[eid], key=lambda k: (k.tick, k.cell_id))
+            if len(keys) < 8:
+                continue
+            victim = len(keys) // 2
+            elsewhere = [
+                k
+                for k in store.keys_at_tick(keys[victim].tick)
+                if k.cell_id != keys[victim].cell_id
+                and len(store.v_scenario(k)) > 0
+            ]
+            if not elsewhere:
+                continue
+            keys[victim] = elsewhere[0]
+            corrupted[eid] = keys
+            if len(corrupted) >= count:
+                break
+        assert corrupted, "no corruptible targets in this world"
+        return corrupted
+
+    def test_topology_counters_federate_across_workers(
+        self, ideal_dataset, fresh_obs
+    ):
+        from repro.core.vid_filtering import FilterConfig, VIDFilter
+        from repro.topology import TopologyConfig
+
+        fed = MetricsFederation()
+        # Worker w0: a real topology-enabled V stage publishing into
+        # its own (worker-local) registry.
+        w0_registry = MetricsRegistry()
+        previous = set_registry(w0_registry)
+        try:
+            vid_filter = VIDFilter(
+                ideal_dataset.store,
+                FilterConfig(
+                    topology=TopologyConfig(model=ideal_dataset.topology)
+                ),
+            )
+            vid_filter.match(self._corrupted_evidence(ideal_dataset))
+        finally:
+            set_registry(previous)
+        pruned_w0 = float(vid_filter.topology_report()["pruned"])
+        assert pruned_w0 > 0
+        fed.update("w0", generation=1, state=w0_registry.export_state())
+        # Worker w1: a synthetic beat with its own pruning tally.
+        w1_registry = MetricsRegistry()
+        w1_registry.counter("ev_topology_pruned_total", "").inc(5)
+        fed.update("w1", generation=1, state=w1_registry.export_state())
+
+        assert fed.counter_value("ev_topology_pruned_total") == pytest.approx(
+            pruned_w0 + 5.0
+        )
+        assert fed.counter_value(
+            "ev_topology_pruned_total", "w0"
+        ) == pytest.approx(pruned_w0)
+        text = fed.render()
+        pruned_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("ev_topology_pruned_total{")
+        ]
+        assert any('worker="w0"' in line for line in pruned_lines)
+        assert any('worker="w1"' in line for line in pruned_lines)
+        # A worker restart must rebase, not double-count.
+        restarted = MetricsRegistry()
+        restarted.counter("ev_topology_pruned_total", "").inc(2)
+        fed.update("w1", generation=2, state=restarted.export_state())
+        assert fed.counter_value(
+            "ev_topology_pruned_total", "w1"
+        ) == pytest.approx(7.0)
+
+    def test_slowlog_exemplar_carries_the_topology_delta(
+        self, ideal_dataset, fresh_obs
+    ):
+        """Regression: the slow-query kernel-counter snapshot must
+        include ``topology_pruned`` so an exemplar can distinguish
+        "slow because pruning collapsed" from "slow because big"."""
+        from dataclasses import replace
+
+        from repro.core.vid_filtering import FilterConfig
+        from repro.obs.slowlog import SlowLogConfig
+        from repro.service.server import (
+            STATUS_OK,
+            MatchService,
+            ServiceConfig,
+        )
+        from repro.topology import TopologyConfig
+
+        config = ServiceConfig(
+            workers=1,
+            worker_delay_s=0.02,
+            slowlog=SlowLogConfig(capacity=8, threshold_s=0.001),
+        )
+        config = replace(
+            config,
+            matcher=replace(
+                config.matcher,
+                filter=FilterConfig(
+                    topology=TopologyConfig(model=ideal_dataset.topology)
+                ),
+            ),
+        )
+        with MatchService.from_dataset(ideal_dataset, config) as service:
+            targets = list(ideal_dataset.sample_targets(3, seed=11))
+            assert service.match(targets).status == STATUS_OK
+            records = [
+                r
+                for r in service.slow_queries.records()
+                if r["endpoint"] == "match"
+            ]
+        assert records, "no match exemplar captured"
+        counters = records[0]["counters"]
+        assert "topology_pruned" in counters
+        # Honest split evidence: pruning is the identity, the bill is 0.
+        assert counters["topology_pruned"] >= 0
+
+
 class TestExpositionDedup:
     def test_merge_expositions_dedupes_family_headers(self):
         a = MetricsRegistry()

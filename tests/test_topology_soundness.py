@@ -1,0 +1,284 @@
+"""Property tests pinning the topology layer's soundness contract.
+
+The whole point of camera-graph pruning is that it is *free* on honest
+evidence: the fitted reachability envelope covers every sighting pair
+of every fitted trace by construction (see
+:mod:`repro.topology.graph`), so on a clean world the pruner is the
+identity, the transition prior multiplies by exactly 1.0, and a
+topology-enabled :class:`~repro.core.vid_filtering.VIDFilter` is
+byte-identical to the topology-blind baseline — same evidence lists,
+same chosen detections, same simulated comparison bill, same accuracy.
+These tests pin each link of that chain, plus the pruner's structural
+invariants (partition, order preservation, idempotence, keep-all
+guard) on adversarial synthetic graphs.
+"""
+
+import functools
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.set_splitting import SetSplitter, SplitConfig
+from repro.core.vid_filtering import FilterConfig, VIDFilter
+from repro.datagen.config import ExperimentConfig
+from repro.datagen.dataset import build_dataset
+from repro.metrics.accuracy import accuracy_of
+from repro.metrics.timing import SimulatedClock
+from repro.sensing.scenarios import ScenarioKey
+from repro.topology import (
+    CameraGraph,
+    EdgeStats,
+    ReachabilityPruner,
+    TopologyConfig,
+    TransitModel,
+    TransitionPrior,
+    consistency_matrix,
+)
+
+
+@functools.lru_cache(maxsize=None)
+def clean_world(seed: int = 7):
+    """A small, well-behaved world (no drift, no misattribution)."""
+    return build_dataset(
+        ExperimentConfig(
+            num_people=70,
+            cells_per_side=3,
+            duration=400.0,
+            mobility_model="random_walk",
+            seed=seed,
+        )
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def true_sightings(seed: int = 7):
+    """Each EID's honest evidence list, straight from the E-Scenarios."""
+    dataset = clean_world(seed)
+    evidence = {}
+    for key in dataset.store.keys:
+        for eid in dataset.store.e_scenario(key).inclusive:
+            evidence.setdefault(eid, []).append(key)
+    return {
+        eid: sorted(keys, key=lambda k: (k.tick, k.cell_id))
+        for eid, keys in evidence.items()
+    }
+
+
+def edge(count=3, mean=1.0, var=0.0, lo=1, hi=1):
+    return EdgeStats(
+        count=count, mean_ticks=mean, var_ticks=var,
+        min_ticks=lo, quantile_ticks=hi,
+    )
+
+
+def line_model(num_cells: int) -> TransitModel:
+    """A directed line graph ``0 -> 1 -> ... -> n-1`` (hops = index gap)."""
+    edges = {(i, i + 1): edge() for i in range(num_cells - 1)}
+    return TransitModel(CameraGraph(num_cells, edges, 0.95), 1.0)
+
+
+class TestEnvelopeCoversFittedTraces:
+    """``Δt >= hops`` holds for every sighting pair of every fitted
+    trace — the construction argument, checked empirically."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        person=st.integers(0, 69),
+        t1=st.integers(0, 200),
+        t2=st.integers(0, 200),
+    )
+    def test_every_trace_pair_is_reachable(self, person, t1, t2):
+        dataset = clean_world()
+        person_ids = dataset.traces.person_ids
+        trajectory = dataset.traces.trajectory(
+            person_ids[person % len(person_ids)]
+        )
+        cells = [dataset.grid.locate(p).cell_id for p in trajectory.points]
+        a, b = t1 % len(cells), t2 % len(cells)
+        assert dataset.topology.reachable(cells[a], a, cells[b], b)
+
+    def test_consistency_matrix_all_true_on_a_real_trace(self):
+        dataset = clean_world()
+        trajectory = dataset.traces.trajectory(dataset.traces.person_ids[0])
+        keys = [
+            ScenarioKey(cell_id=dataset.grid.locate(p).cell_id, tick=t)
+            for t, p in enumerate(trajectory.points[:40])
+        ]
+        assert consistency_matrix(dataset.topology, keys).all()
+
+
+class TestPruningIdentityOnCleanWorlds:
+    """Honest evidence is mutually consistent, so pruning keeps it all."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(pick=st.integers(0, 10_000))
+    def test_prune_keeps_every_true_sighting(self, pick):
+        dataset = clean_world()
+        evidence = true_sightings()
+        eids = sorted(evidence)
+        keys = evidence[eids[pick % len(eids)]]
+        kept, dropped = ReachabilityPruner(dataset.topology).prune(keys)
+        assert kept == list(keys)
+        assert dropped == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(pick=st.integers(0, 10_000))
+    def test_prior_is_exactly_one_on_true_sightings(self, pick):
+        dataset = clean_world()
+        evidence = true_sightings()
+        eids = sorted(evidence)
+        keys = evidence[eids[pick % len(eids)]]
+        weights = TransitionPrior(dataset.topology).weights(keys)
+        np.testing.assert_array_equal(weights, np.ones(len(keys)))
+
+
+class TestPrunerInvariants:
+    """Structural properties on synthetic graphs and arbitrary keys."""
+
+    #: Sighting lists over a 6-cell directed line graph: (cell, tick).
+    sightings = st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 30)),
+        min_size=0,
+        max_size=16,
+        unique=True,
+    )
+
+    @settings(max_examples=80, deadline=None)
+    @given(entries=sightings)
+    def test_prune_is_an_order_preserving_partition(self, entries):
+        keys = [ScenarioKey(cell_id=c, tick=t) for c, t in entries]
+        pruner = ReachabilityPruner(line_model(6))
+        kept, dropped = pruner.prune(keys)
+        assert sorted(kept + dropped, key=keys.index) == keys
+        # Order within each side follows the input order.
+        for side in (kept, dropped):
+            indices = [keys.index(k) for k in side]
+            assert indices == sorted(indices)
+
+    @settings(max_examples=80, deadline=None)
+    @given(entries=sightings)
+    def test_prune_is_idempotent(self, entries):
+        keys = [ScenarioKey(cell_id=c, tick=t) for c, t in entries]
+        pruner = ReachabilityPruner(line_model(6))
+        kept, _ = pruner.prune(keys)
+        again, dropped_again = pruner.prune(kept)
+        assert again == kept
+        assert dropped_again == []
+
+    @settings(max_examples=80, deadline=None)
+    @given(entries=sightings)
+    def test_survivors_are_pairwise_consistent_or_guard_fired(self, entries):
+        keys = [ScenarioKey(cell_id=c, tick=t) for c, t in entries]
+        model = line_model(6)
+        pruner = ReachabilityPruner(model)
+        kept, dropped = pruner.prune(keys)
+        if dropped:
+            # The loop converged: survivors form a consistent clique.
+            assert consistency_matrix(model, kept).all()
+        else:
+            assert kept == list(keys)
+
+    def test_misattributed_key_is_peeled_off(self):
+        """A trajectory walking the line 0->1->2->... with one sighting
+        teleported far down the line must lose exactly that key."""
+        keys = [ScenarioKey(cell_id=min(t, 5), tick=t) for t in range(12)]
+        bad = ScenarioKey(cell_id=5, tick=1)  # 5 hops away, 1 tick in
+        corrupted = keys[:1] + [bad] + keys[2:]
+        kept, dropped = ReachabilityPruner(line_model(6)).prune(corrupted)
+        assert dropped == [bad]
+        assert kept == keys[:1] + keys[2:]
+
+    def test_keep_all_guard_without_a_consistent_core(self):
+        """When no sizable mutually consistent core exists, the pruner
+        must keep everything rather than guess."""
+        # Same tick, all different cells: every pair is inconsistent,
+        # the loop whittles down to a single survivor, and 4*1 < 6
+        # trips the guard.
+        keys = [ScenarioKey(cell_id=c, tick=3) for c in range(6)]
+        kept, dropped = ReachabilityPruner(line_model(6)).prune(keys)
+        assert kept == keys
+        assert dropped == []
+
+
+class TestTopologyEqualsBaselineOnCleanWorlds:
+    """The end-to-end contract: on a well-behaved world the
+    topology-enabled filter is indistinguishable from the baseline —
+    pruning is the identity and the prior multiplies by 1.0."""
+
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.sampled_from([7, 11]), num_targets=st.sampled_from([8, 14]))
+    def test_full_filter_equivalence(self, seed, num_targets):
+        dataset = clean_world(seed)
+        targets = list(dataset.sample_targets(num_targets, seed=1))
+        split = SetSplitter(dataset.store, SplitConfig()).run(targets)
+
+        runs = {}
+        for label, config in (
+            ("baseline", FilterConfig()),
+            (
+                "topology",
+                FilterConfig(
+                    topology=TopologyConfig(model=dataset.topology)
+                ),
+            ),
+        ):
+            clock = SimulatedClock()
+            results = VIDFilter(dataset.store, config, clock).match(
+                split.evidence
+            )
+            runs[label] = (results, clock)
+
+        base_results, base_clock = runs["baseline"]
+        topo_results, topo_clock = runs["topology"]
+        assert any(not base_results[t].is_empty for t in targets)
+        for t in targets:
+            a, b = base_results[t], topo_results[t]
+            assert a.scenario_keys == b.scenario_keys
+            assert a.chosen == b.chosen
+            assert a.agreement == b.agreement
+            np.testing.assert_allclose(a.scores, b.scores, rtol=1e-12)
+        assert base_clock.comparisons == topo_clock.comparisons
+        base_acc = accuracy_of(
+            {t: base_results[t].chosen for t in targets}, dataset.truth, targets
+        )
+        topo_acc = accuracy_of(
+            {t: topo_results[t].chosen for t in targets}, dataset.truth, targets
+        )
+        assert base_acc.percentage == topo_acc.percentage
+
+    def test_prior_never_flips_the_per_scenario_choice(self):
+        """The prior's weight is uniform *within* a scenario, so the
+        per-scenario argmax — and the majority vote built on it — is
+        unchanged even on evidence the prior downweights."""
+        dataset = clean_world()
+        evidence = true_sightings()
+        eids = sorted(evidence)
+        # Corrupt one sighting per target so the prior actually bites.
+        rng = np.random.default_rng(0)
+        corrupted = {}
+        for eid in eids[:10]:
+            keys = list(evidence[eid])
+            if len(keys) < 3:
+                continue
+            victim = int(rng.integers(len(keys)))
+            candidates = [
+                k
+                for k in dataset.store.keys_at_tick(keys[victim].tick)
+                if k.cell_id != keys[victim].cell_id
+            ]
+            if not candidates:
+                continue
+            keys[victim] = candidates[int(rng.integers(len(candidates)))]
+            corrupted[eid] = keys
+        assert corrupted, "no corruptible targets found"
+
+        prior_only = FilterConfig(
+            topology=TopologyConfig(
+                model=dataset.topology, prune=False, prior=True
+            )
+        )
+        base = VIDFilter(dataset.store, FilterConfig()).match(corrupted)
+        prior = VIDFilter(dataset.store, prior_only).match(corrupted)
+        for eid in corrupted:
+            assert base[eid].scenario_keys == prior[eid].scenario_keys
+            assert base[eid].chosen == prior[eid].chosen
